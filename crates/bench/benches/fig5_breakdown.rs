@@ -1,0 +1,33 @@
+//! Figure 5 bench: FCT breakdowns on the asymmetric testbed — mice
+//! (<100 KB, Fig 5a), elephants (>10 MB, Fig 5b), and p99 (Fig 5c) — all
+//! computed from one run per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clove_harness::experiments::{rpc_point, ExpConfig};
+use clove_harness::scenario::TopologyKind;
+use clove_harness::Scheme;
+
+fn fig5_breakdowns(c: &mut Criterion) {
+    let cfg = ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10 };
+    let mut g = c.benchmark_group("fig5_breakdowns_asymmetric");
+    for scheme in [Scheme::Ecmp, Scheme::CloveEcn] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| {
+            b.iter(|| {
+                let mut summary = rpc_point(s, TopologyKind::Asymmetric, 0.5, &cfg);
+                // All three Figure-5 projections from one sample set.
+                let mice = summary.mice.mean();
+                let elephants = summary.elephants.mean();
+                let p99 = summary.p99();
+                (mice, elephants, p99)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig5;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = fig5_breakdowns
+);
+criterion_main!(fig5);

@@ -1,0 +1,41 @@
+//! Figure 6 bench: Clove-ECN parameter sensitivity — (flowlet gap, ECN
+//! threshold) variants on the asymmetric testbed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clove_harness::scenario::{Scenario, TopologyKind};
+use clove_harness::Scheme;
+use clove_sim::{Duration, Time};
+use clove_workload::web_search;
+
+fn fig6_sensitivity(c: &mut Criterion) {
+    let variants: [(&str, f64, u32); 4] = [
+        ("1xRTT_20pkts", 1.0, 20),
+        ("0.2xRTT_20pkts", 0.2, 20),
+        ("5xRTT_20pkts", 5.0, 20),
+        ("1xRTT_40pkts", 1.0, 40),
+    ];
+    let dist = web_search();
+    let mut g = c.benchmark_group("fig6_clove_param_sensitivity");
+    for (name, gap_mult, ecn_pkts) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(gap_mult, ecn_pkts), |b, &(gm, ep)| {
+            b.iter(|| {
+                let mut s = Scenario::new(Scheme::CloveEcn, TopologyKind::Asymmetric, 0.5, 77);
+                s.jobs_per_conn = 4;
+                s.conns_per_client = 1;
+                s.horizon = Time::from_secs(10);
+                s.profile.flowlet_gap = Duration::from_secs_f64(s.profile.flowlet_gap.as_secs_f64() * gm);
+                s.profile.ecn_threshold_pkts = ep;
+                let out = s.run_rpc(&dist);
+                out.fct.avg()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig6;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = fig6_sensitivity
+);
+criterion_main!(fig6);

@@ -1,0 +1,33 @@
+//! Figure 7 bench: incast goodput vs request fan-in for Clove-ECN,
+//! Edge-Flowlet and MPTCP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clove_harness::scenario::{Scenario, TopologyKind};
+use clove_harness::Scheme;
+use clove_sim::Time;
+
+fn fig7_incast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_incast_goodput");
+    for scheme in [Scheme::CloveEcn, Scheme::EdgeFlowlet, Scheme::Mptcp { subflows: 4 }] {
+        for fanout in [4u32, 12] {
+            let id = format!("{}_n{}", scheme.label(), fanout);
+            g.bench_with_input(BenchmarkId::from_parameter(id), &(scheme.clone(), fanout), |b, (s, n)| {
+                b.iter(|| {
+                    let mut scenario = Scenario::new(s.clone(), TopologyKind::Symmetric, 0.5, 9);
+                    scenario.horizon = Time::from_secs(10);
+                    let out = scenario.run_incast(*n, 4, 10_000_000);
+                    assert!(out.rounds > 0);
+                    out.goodput_bps
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig7;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = fig7_incast
+);
+criterion_main!(fig7);

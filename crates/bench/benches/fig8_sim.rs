@@ -1,0 +1,41 @@
+//! Figure 8 bench: the "NS2 simulation" scheme set (ECMP, Edge-Flowlet,
+//! Clove-ECN, Clove-INT, CONGA) on symmetric (8a) and asymmetric (8b)
+//! topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clove_harness::experiments::{rpc_point, ExpConfig};
+use clove_harness::scenario::TopologyKind;
+use clove_harness::Scheme;
+
+fn bench_cfg() -> ExpConfig {
+    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10 }
+}
+
+fn fig8a_symmetric(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("fig8a_sim_symmetric");
+    for scheme in [Scheme::CloveInt, Scheme::Conga] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| {
+            b.iter(|| rpc_point(s, TopologyKind::Symmetric, 0.5, &cfg).avg())
+        });
+    }
+    g.finish();
+}
+
+fn fig8b_asymmetric(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("fig8b_sim_asymmetric");
+    for scheme in [Scheme::CloveInt, Scheme::Conga, Scheme::LetFlow] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| {
+            b.iter(|| rpc_point(s, TopologyKind::Asymmetric, 0.5, &cfg).avg())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig8;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = fig8a_symmetric, fig8b_asymmetric
+);
+criterion_main!(fig8);

@@ -1,0 +1,30 @@
+//! Figure 9 bench: mice-FCT CDFs at 70% load on the asymmetric topology
+//! for ECMP / Clove-ECN / CONGA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clove_harness::experiments::{rpc_point, ExpConfig};
+use clove_harness::scenario::TopologyKind;
+use clove_harness::Scheme;
+
+fn fig9_cdfs(c: &mut Criterion) {
+    let cfg = ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10 };
+    let mut g = c.benchmark_group("fig9_mice_cdf_asymmetric_70pct");
+    for scheme in [Scheme::Ecmp, Scheme::CloveEcn, Scheme::Conga] {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| {
+            b.iter(|| {
+                let mut summary = rpc_point(s, TopologyKind::Asymmetric, 0.7, &cfg);
+                let cdf = summary.mice_cdf(20);
+                assert!(!cdf.is_empty());
+                cdf.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = fig9;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = fig9_cdfs
+);
+criterion_main!(fig9);

@@ -1,0 +1,102 @@
+//! Microbenchmarks of the hot-path components: the costs §4 of the paper
+//! discusses for the kernel datapath (flowlet lookups, path selection,
+//! ECMP hashing) plus the simulator's own event queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clove_core::{CloveEcnConfig, CloveEcnPolicy, FlowletConfig, FlowletTable, Wrr};
+use clove_net::hash::{ecmp_select, hash_tuple};
+use clove_net::packet::{Feedback, Packet, PacketKind};
+use clove_net::types::{FlowKey, HostId};
+use clove_overlay::EdgePolicy;
+use clove_sim::{Duration, EventQueue, SimRng, Time};
+
+fn bench_ecmp_hash(c: &mut Criterion) {
+    let key = FlowKey::tcp(HostId(3), HostId(17), 49_321, 7471);
+    c.bench_function("ecmp_hash_tuple", |b| {
+        b.iter(|| hash_tuple(black_box(&key), black_box(0xDEAD_BEEF)))
+    });
+    c.bench_function("ecmp_select_of_4", |b| {
+        b.iter(|| ecmp_select(black_box(&key), black_box(0xDEAD_BEEF), black_box(4)))
+    });
+}
+
+fn bench_flowlet_table(c: &mut Criterion) {
+    c.bench_function("flowlet_table_hit", |b| {
+        let mut table = FlowletTable::new(FlowletConfig::with_gap(Duration::from_micros(100)));
+        let flow = FlowKey::tcp(HostId(0), HostId(1), 1000, 80);
+        let mut now = Time::ZERO;
+        table.on_packet(now, flow, |_| 42);
+        b.iter(|| {
+            now = now + Duration::from_nanos(500);
+            table.on_packet(black_box(now), black_box(flow), |_| 42)
+        })
+    });
+    c.bench_function("flowlet_table_1k_flows", |b| {
+        let mut table = FlowletTable::new(FlowletConfig::with_gap(Duration::from_micros(100)));
+        let mut rng = SimRng::new(5);
+        let flows: Vec<FlowKey> = (0..1000)
+            .map(|i| FlowKey::tcp(HostId(i % 16), HostId(16 + i % 16), 1000 + i as u16, 80))
+            .collect();
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now = now + Duration::from_nanos(200);
+            let f = flows[rng.below(1000) as usize];
+            table.on_packet(now, f, |_| 7)
+        })
+    });
+}
+
+fn bench_wrr_and_policy(c: &mut Criterion) {
+    c.bench_function("wrr_pick_4", |b| {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2, 3, 4]);
+        b.iter(|| w.pick())
+    });
+    c.bench_function("clove_ecn_select_port", |b| {
+        let mut p = CloveEcnPolicy::new(CloveEcnConfig::for_rtt(Duration::from_micros(20)));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30, 40]);
+        let mut pkt = Packet::new(1, 1500, FlowKey::tcp(HostId(0), HostId(1), 5, 80), PacketKind::Data { seq: 0, len: 1400, dsn: 0 });
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now = now + Duration::from_nanos(700);
+            p.select_port(now, HostId(1), &mut pkt)
+        })
+    });
+    c.bench_function("clove_ecn_feedback", |b| {
+        let mut p = CloveEcnPolicy::new(CloveEcnConfig::for_rtt(Duration::from_micros(20)));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30, 40]);
+        let mut now = Time::ZERO;
+        let mut i = 0u16;
+        b.iter(|| {
+            now = now + Duration::from_nanos(900);
+            i = i.wrapping_add(1);
+            let port = [10u16, 20, 30, 40][(i % 4) as usize];
+            p.on_feedback(now, HostId(1), &Feedback::Ecn { sport: port, congested: i % 3 == 0 });
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+            for i in 0..1000u64 {
+                q.push(Time::from_nanos(i * 37 % 1000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.event);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ecmp_hash, bench_flowlet_table, bench_wrr_and_policy, bench_event_queue
+);
+criterion_main!(micro);

@@ -1,0 +1,1 @@
+//! Benches and figure binaries live in `benches/` and `src/bin/`.

@@ -1,0 +1,298 @@
+//! Clove-ECN: congestion-aware weighted round-robin (paper §3.2).
+//!
+//! The deployable-today variant. Fabric switches CE-mark the ECT-enabled
+//! outer headers above a queue threshold; the destination hypervisor relays
+//! (source port, ecnSet) back in STT context bits; this policy reacts:
+//!
+//! * flowlets are scheduled over the discovered ports by weighted round
+//!   robin;
+//! * ECN feedback for a port cuts its weight by a configurable proportion
+//!   (default ⅓) and spreads the removed weight equally over the paths not
+//!   recently congested;
+//! * when *every* path is congested, weights stay put and the policy
+//!   reports `all_paths_congested` so the vswitch stops masking ECN from
+//!   the guest — the one case where the guest should throttle.
+
+use crate::flowlet::{FlowletConfig, FlowletTable};
+use crate::paths::PathSet;
+use crate::wrr::Wrr;
+use clove_net::packet::{Feedback, Packet};
+use clove_net::types::{FlowKey, HostId};
+use clove_sim::{Duration, Time};
+use std::collections::HashMap;
+
+/// Clove-ECN tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CloveEcnConfig {
+    /// Flowlet detection parameters (gap ≈ 1–2 RTT).
+    pub flowlet: FlowletConfig,
+    /// Weight fraction removed from a congested path per ECN indication
+    /// (paper: "e.g., by a third").
+    pub weight_cut: f64,
+    /// How long a path stays "congested" after an ECN indication, for the
+    /// purposes of redistribution and guest-ECN masking.
+    pub congested_window: Duration,
+    /// Optional slow drift of weights back toward uniform (per feedback
+    /// event); 0 disables. Documented implementation choice: without it a
+    /// path cut during a transient can only recover when *other* paths get
+    /// cut.
+    pub recovery_rho: f64,
+}
+
+impl CloveEcnConfig {
+    /// Defaults scaled for a base RTT: gap = 1×RTT (the paper's best
+    /// testbed setting, Figure 6), window = 2×RTT.
+    pub fn for_rtt(rtt: Duration) -> CloveEcnConfig {
+        CloveEcnConfig {
+            flowlet: FlowletConfig::with_gap(rtt),
+            weight_cut: 1.0 / 3.0,
+            congested_window: rtt * 2,
+            recovery_rho: 0.01,
+        }
+    }
+}
+
+#[derive(Default)]
+struct DstState {
+    paths: PathSet,
+    wrr: Wrr,
+}
+
+/// Policy counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CloveEcnStats {
+    /// ECN feedback entries processed.
+    pub ecn_feedback: u64,
+    /// Weight cuts applied.
+    pub weight_cuts: u64,
+    /// Feedback arriving while all paths were congested (no cut applied).
+    pub all_congested_events: u64,
+}
+
+/// The Clove-ECN edge policy. See module docs.
+pub struct CloveEcnPolicy {
+    cfg: CloveEcnConfig,
+    flowlets: FlowletTable,
+    dsts: HashMap<HostId, DstState>,
+    /// Counters.
+    pub stats: CloveEcnStats,
+}
+
+impl CloveEcnPolicy {
+    /// Build the policy.
+    pub fn new(cfg: CloveEcnConfig) -> CloveEcnPolicy {
+        CloveEcnPolicy {
+            flowlets: FlowletTable::new(cfg.flowlet),
+            dsts: HashMap::new(),
+            stats: CloveEcnStats::default(),
+            cfg,
+        }
+    }
+
+    /// Fallback port (pre-discovery): hash-spread like plain ECMP.
+    fn fallback_port(flow: &FlowKey, flowlet_id: u64) -> u16 {
+        49152 + (clove_net::hash::hash_tuple(flow, flowlet_id ^ 0xEC4) % 64) as u16
+    }
+
+    /// Current weight of `port` toward `dst` (tests/diagnostics).
+    pub fn weight(&self, dst: HostId, port: u16) -> Option<f64> {
+        self.dsts.get(&dst).and_then(|d| d.wrr.weight(port))
+    }
+}
+
+impl clove_overlay::EdgePolicy for CloveEcnPolicy {
+    fn name(&self) -> &'static str {
+        "clove-ecn"
+    }
+
+    fn select_port(&mut self, now: Time, dst_hv: HostId, pkt: &mut Packet) -> u16 {
+        let dst = self.dsts.entry(dst_hv).or_default();
+        let wrr = &mut dst.wrr;
+        let flow = pkt.flow;
+        self.flowlets
+            .on_packet(now, flow, |flowlet_id| wrr.pick().unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id)))
+    }
+
+    fn on_feedback(&mut self, now: Time, dst_hv: HostId, fb: &Feedback) {
+        let Feedback::Ecn { sport, congested } = *fb else {
+            return;
+        };
+        self.stats.ecn_feedback += 1;
+        let Some(dst) = self.dsts.get_mut(&dst_hv) else {
+            return;
+        };
+        dst.paths.record_ecn(now, sport, congested);
+        if congested {
+            let receivers = dst.paths.uncongested_ports(now, self.cfg.congested_window);
+            if receivers.is_empty() {
+                // All paths congested: no point shuffling weights; the
+                // vswitch will stop masking ECN from the guest instead.
+                self.stats.all_congested_events += 1;
+            } else {
+                dst.wrr.cut_and_redistribute(sport, self.cfg.weight_cut, &receivers);
+                self.stats.weight_cuts += 1;
+            }
+        }
+        if self.cfg.recovery_rho > 0.0 {
+            dst.wrr.decay_toward_uniform(self.cfg.recovery_rho);
+        }
+    }
+
+    fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
+        let dst = self.dsts.entry(dst_hv).or_default();
+        dst.paths.set_ports(ports);
+        dst.wrr.set_ports(ports);
+    }
+
+    fn all_paths_congested(&self, now: Time, dst_hv: HostId) -> bool {
+        self.dsts
+            .get(&dst_hv)
+            .map(|d| d.paths.all_congested(now, self.cfg.congested_window))
+            .unwrap_or(false)
+    }
+
+    fn debug_weights(&self, dst_hv: HostId) -> Option<Vec<(u16, f64)>> {
+        self.dsts.get(&dst_hv).map(|d| {
+            d.wrr
+                .ports()
+                .into_iter()
+                .map(|p| (p, d.wrr.weight(p).unwrap_or(0.0)))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clove_net::packet::PacketKind;
+    use clove_overlay::EdgePolicy;
+
+    const RTT: Duration = Duration(100_000); // 100us
+
+    fn policy() -> CloveEcnPolicy {
+        let mut p = CloveEcnPolicy::new(CloveEcnConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30, 40]);
+        p
+    }
+
+    fn pkt(sport: u16) -> Packet {
+        Packet::new(1, 1500, FlowKey::tcp(HostId(0), HostId(1), sport, 80), PacketKind::Data { seq: 0, len: 1400, dsn: 0 })
+    }
+
+    /// Drive many flowlets and count port usage.
+    fn spread(p: &mut CloveEcnPolicy, n: usize, start: Time) -> HashMap<u16, usize> {
+        let mut m = HashMap::new();
+        let mut t = start;
+        for i in 0..n {
+            let mut a = pkt(5000 + i as u16);
+            *m.entry(p.select_port(t, HostId(1), &mut a)).or_insert(0) += 1;
+            t = t + Duration::from_micros(1);
+        }
+        m
+    }
+
+    #[test]
+    fn balanced_before_feedback() {
+        let mut p = policy();
+        let m = spread(&mut p, 400, Time::ZERO);
+        for port in [10, 20, 30, 40] {
+            assert_eq!(m[&port], 100);
+        }
+    }
+
+    #[test]
+    fn ecn_cut_shifts_new_flowlets_away() {
+        let mut p = policy();
+        for i in 0..6 {
+            p.on_feedback(Time::from_micros(i), HostId(1), &Feedback::Ecn { sport: 10, congested: true });
+        }
+        assert!(p.weight(HostId(1), 10).unwrap() < 0.1);
+        let m = spread(&mut p, 400, Time::from_micros(10));
+        let congested = m.get(&10).copied().unwrap_or(0);
+        assert!(congested < 40, "congested path got {congested}/400");
+        assert_eq!(p.stats.weight_cuts, 6);
+    }
+
+    #[test]
+    fn redistribution_only_to_uncongested() {
+        let mut p = policy();
+        let t = Time::from_micros(5);
+        p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: 20, congested: true });
+        p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: 10, congested: true });
+        // 10's cut went to 30 and 40, not 20.
+        let w30 = p.weight(HostId(1), 30).unwrap();
+        let w20 = p.weight(HostId(1), 20).unwrap();
+        assert!(w30 > w20, "w30={w30} w20={w20}");
+    }
+
+    #[test]
+    fn all_congested_reported_and_no_cut() {
+        let mut p = policy();
+        let t = Time::from_micros(5);
+        for port in [10, 20, 30] {
+            p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: port, congested: true });
+        }
+        assert!(!p.all_paths_congested(t, HostId(1)));
+        p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: 40, congested: true });
+        assert!(p.all_paths_congested(t, HostId(1)));
+        // Another congested indication cannot redistribute anywhere.
+        let cuts_before = p.stats.weight_cuts;
+        p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: 10, congested: true });
+        assert_eq!(p.stats.weight_cuts, cuts_before);
+        assert!(p.stats.all_congested_events >= 1);
+        // The window expires.
+        assert!(!p.all_paths_congested(t + RTT * 4, HostId(1)));
+    }
+
+    #[test]
+    fn explicit_clear_reopens_path() {
+        let mut p = policy();
+        let t = Time::from_micros(5);
+        for port in [10, 20, 30, 40] {
+            p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: port, congested: true });
+        }
+        assert!(p.all_paths_congested(t, HostId(1)));
+        p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: 30, congested: false });
+        assert!(!p.all_paths_congested(t, HostId(1)));
+    }
+
+    #[test]
+    fn flowlet_stickiness_survives_feedback() {
+        let mut p = policy();
+        let mut a = pkt(1234);
+        let port0 = p.select_port(Time::ZERO, HostId(1), &mut a);
+        for i in 0..8 {
+            p.on_feedback(Time::from_micros(i), HostId(1), &Feedback::Ecn { sport: port0, congested: true });
+        }
+        // Packets inside the same flowlet stay put (no reordering).
+        let port1 = p.select_port(Time::from_micros(20), HostId(1), &mut a);
+        assert_eq!(port0, port1);
+        // A new flowlet avoids the hammered port with high probability:
+        // with weight < 0.05 across 100 new flows, expect ≈ a few.
+        let m = spread(&mut p, 200, Time::from_micros(30));
+        assert!(m.get(&port0).copied().unwrap_or(0) < 30);
+    }
+
+    #[test]
+    fn unknown_destination_feedback_is_ignored() {
+        let mut p = policy();
+        p.on_feedback(Time::ZERO, HostId(99), &Feedback::Ecn { sport: 10, congested: true });
+        assert_eq!(p.stats.weight_cuts, 0);
+    }
+
+    #[test]
+    fn fallback_port_before_discovery() {
+        let mut p = CloveEcnPolicy::new(CloveEcnConfig::for_rtt(RTT));
+        let mut a = pkt(77);
+        let port = p.select_port(Time::ZERO, HostId(3), &mut a);
+        assert!(port >= 49152);
+    }
+
+    #[test]
+    fn non_ecn_feedback_ignored() {
+        let mut p = policy();
+        p.on_feedback(Time::ZERO, HostId(1), &Feedback::Util { sport: 10, util_pm: 999 });
+        assert_eq!(p.stats.ecn_feedback, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Clove-INT and Clove-Latency: utilization-aware variants.
+//!
+//! Clove-INT (paper §3.2) asks every fabric hop to stamp egress link
+//! utilization into packets (In-band Network Telemetry); the destination
+//! hypervisor relays the path maximum back, and the source routes each new
+//! flowlet on the least-utilized path. Unlike Clove-ECN — which only reacts
+//! once queues cross the marking threshold — this is *proactive*: the
+//! simulations show it captures ~95% of CONGA's gain (paper §6.2).
+//!
+//! Clove-Latency is the paper's §7 sketch ("Use of path latency"): with
+//! NIC timestamping and synchronized clocks, one-way path delay replaces
+//! utilization as the signal. It also powers the adaptive flowlet-gap
+//! extension: the gap stretches with the observed inter-path latency
+//! spread, reducing reorder probability when paths diverge.
+
+use crate::flowlet::{FlowletConfig, FlowletTable};
+use crate::paths::PathSet;
+use clove_net::packet::{Feedback, Packet};
+use clove_net::types::{FlowKey, HostId};
+use clove_sim::{Duration, Time};
+use std::collections::HashMap;
+
+/// Shared configuration for the utilization/latency variants.
+#[derive(Debug, Clone, Copy)]
+pub struct CloveUtilConfig {
+    /// Flowlet detection parameters.
+    pub flowlet: FlowletConfig,
+    /// Utilization reports older than this count as zero (stale paths get
+    /// probed again rather than shunned forever).
+    pub stale_after: Duration,
+    /// Adaptive flowlet gap (latency variant only): when enabled, the gap
+    /// becomes `base_gap + latency_spread` across paths.
+    pub adaptive_gap: bool,
+}
+
+impl CloveUtilConfig {
+    /// Defaults scaled for a base RTT.
+    pub fn for_rtt(rtt: Duration) -> CloveUtilConfig {
+        CloveUtilConfig {
+            flowlet: FlowletConfig::with_gap(rtt),
+            stale_after: rtt * 8,
+            adaptive_gap: false,
+        }
+    }
+}
+
+/// Counters shared by both variants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CloveUtilStats {
+    /// Utilization / latency feedback entries processed.
+    pub feedback: u64,
+    /// New flowlets routed.
+    pub flowlets_routed: u64,
+}
+
+/// Clove-INT: new flowlets take the least-utilized discovered path.
+pub struct CloveIntPolicy {
+    cfg: CloveUtilConfig,
+    flowlets: FlowletTable,
+    dsts: HashMap<HostId, PathSet>,
+    /// Counters.
+    pub stats: CloveUtilStats,
+}
+
+impl CloveIntPolicy {
+    /// Build the policy.
+    pub fn new(cfg: CloveUtilConfig) -> CloveIntPolicy {
+        CloveIntPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: HashMap::new(), stats: CloveUtilStats::default(), cfg }
+    }
+
+    fn fallback_port(flow: &FlowKey, flowlet_id: u64) -> u16 {
+        49152 + (clove_net::hash::hash_tuple(flow, flowlet_id ^ 0x147) % 64) as u16
+    }
+}
+
+impl clove_overlay::EdgePolicy for CloveIntPolicy {
+    fn name(&self) -> &'static str {
+        "clove-int"
+    }
+
+    fn select_port(&mut self, now: Time, dst_hv: HostId, pkt: &mut Packet) -> u16 {
+        let paths = self.dsts.entry(dst_hv).or_default();
+        let stale = self.cfg.stale_after;
+        let flow = pkt.flow;
+        let stats = &mut self.stats;
+        self.flowlets.on_packet(now, flow, |flowlet_id| {
+            stats.flowlets_routed += 1;
+            paths
+                .least_utilized(now, stale)
+                .unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id))
+        })
+    }
+
+    fn on_feedback(&mut self, now: Time, dst_hv: HostId, fb: &Feedback) {
+        if let Feedback::Util { sport, util_pm } = *fb {
+            self.stats.feedback += 1;
+            if let Some(paths) = self.dsts.get_mut(&dst_hv) {
+                paths.record_util(now, sport, util_pm);
+            }
+        }
+    }
+
+    fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
+        self.dsts.entry(dst_hv).or_default().set_ports(ports);
+    }
+}
+
+/// Clove-Latency (paper §7): least one-way-latency path per new flowlet,
+/// with optional adaptive flowlet gap.
+pub struct CloveLatencyPolicy {
+    cfg: CloveUtilConfig,
+    base_gap: Duration,
+    flowlets: FlowletTable,
+    dsts: HashMap<HostId, PathSet>,
+    /// Counters.
+    pub stats: CloveUtilStats,
+}
+
+impl CloveLatencyPolicy {
+    /// Build the policy.
+    pub fn new(cfg: CloveUtilConfig) -> CloveLatencyPolicy {
+        CloveLatencyPolicy {
+            base_gap: cfg.flowlet.gap,
+            flowlets: FlowletTable::new(cfg.flowlet),
+            dsts: HashMap::new(),
+            stats: CloveUtilStats::default(),
+            cfg,
+        }
+    }
+
+    /// The flowlet gap currently in force (tests the adaptive extension).
+    pub fn current_gap(&self) -> Duration {
+        self.flowlets.gap()
+    }
+}
+
+impl clove_overlay::EdgePolicy for CloveLatencyPolicy {
+    fn name(&self) -> &'static str {
+        "clove-latency"
+    }
+
+    fn select_port(&mut self, now: Time, dst_hv: HostId, pkt: &mut Packet) -> u16 {
+        let paths = self.dsts.entry(dst_hv).or_default();
+        let flow = pkt.flow;
+        let stats = &mut self.stats;
+        self.flowlets.on_packet(now, flow, |flowlet_id| {
+            stats.flowlets_routed += 1;
+            paths
+                .least_latency()
+                .unwrap_or_else(|| 49152 + (clove_net::hash::hash_tuple(&flow, flowlet_id ^ 0x1A7) % 64) as u16)
+        })
+    }
+
+    fn on_feedback(&mut self, now: Time, dst_hv: HostId, fb: &Feedback) {
+        let Feedback::Latency { sport, one_way } = *fb else {
+            return;
+        };
+        self.stats.feedback += 1;
+        let paths = self.dsts.entry(dst_hv).or_default();
+        paths.record_latency(sport, one_way);
+        if self.cfg.adaptive_gap {
+            // Stretch the gap by the worst-case inter-path skew so a
+            // re-routed flowlet cannot overtake its predecessor.
+            let spread = paths.latency_spread().unwrap_or(Duration::ZERO);
+            self.flowlets.set_gap(self.base_gap + spread);
+        }
+        let _ = now;
+    }
+
+    fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
+        self.dsts.entry(dst_hv).or_default().set_ports(ports);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clove_net::packet::PacketKind;
+    use clove_overlay::EdgePolicy;
+
+    const RTT: Duration = Duration(100_000);
+
+    fn pkt(sport: u16) -> Packet {
+        Packet::new(1, 1500, FlowKey::tcp(HostId(0), HostId(1), sport, 80), PacketKind::Data { seq: 0, len: 1400, dsn: 0 })
+    }
+
+    #[test]
+    fn int_routes_new_flowlets_to_least_utilized() {
+        let mut p = CloveIntPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30]);
+        let t = Time::from_micros(10);
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 10, util_pm: 900 });
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 20, util_pm: 100 });
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 30, util_pm: 500 });
+        let mut a = pkt(1);
+        assert_eq!(p.select_port(t, HostId(1), &mut a), 20);
+        // Same flowlet sticks even if feedback changes.
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 20, util_pm: 999 });
+        assert_eq!(p.select_port(t + Duration::from_micros(10), HostId(1), &mut a), 20);
+        // A new flow goes elsewhere now.
+        let mut b = pkt(2);
+        assert_eq!(p.select_port(t + Duration::from_micros(20), HostId(1), &mut b), 30);
+    }
+
+    #[test]
+    fn int_stale_reports_age_out() {
+        let mut p = CloveIntPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20]);
+        p.on_feedback(Time::from_micros(10), HostId(1), &Feedback::Util { sport: 10, util_pm: 900 });
+        p.on_feedback(Time::from_millis(5), HostId(1), &Feedback::Util { sport: 20, util_pm: 100 });
+        // Port 10's report is ancient by t=5ms: treated as idle, wins ties
+        // by port order.
+        let mut a = pkt(3);
+        assert_eq!(p.select_port(Time::from_millis(5), HostId(1), &mut a), 10);
+    }
+
+    #[test]
+    fn int_ignores_ecn_feedback() {
+        let mut p = CloveIntPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20]);
+        p.on_feedback(Time::ZERO, HostId(1), &Feedback::Ecn { sport: 10, congested: true });
+        assert_eq!(p.stats.feedback, 0);
+    }
+
+    #[test]
+    fn latency_routes_to_fastest_path() {
+        let mut p = CloveLatencyPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30]);
+        let t = Time::from_micros(10);
+        p.on_feedback(t, HostId(1), &Feedback::Latency { sport: 10, one_way: Duration::from_micros(90) });
+        p.on_feedback(t, HostId(1), &Feedback::Latency { sport: 20, one_way: Duration::from_micros(40) });
+        p.on_feedback(t, HostId(1), &Feedback::Latency { sport: 30, one_way: Duration::from_micros(70) });
+        let mut a = pkt(4);
+        assert_eq!(p.select_port(t, HostId(1), &mut a), 20);
+    }
+
+    #[test]
+    fn adaptive_gap_stretches_with_spread() {
+        let mut cfg = CloveUtilConfig::for_rtt(RTT);
+        cfg.adaptive_gap = true;
+        let mut p = CloveLatencyPolicy::new(cfg);
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20]);
+        assert_eq!(p.current_gap(), RTT);
+        let t = Time::from_micros(10);
+        p.on_feedback(t, HostId(1), &Feedback::Latency { sport: 10, one_way: Duration::from_micros(50) });
+        p.on_feedback(t, HostId(1), &Feedback::Latency { sport: 20, one_way: Duration::from_micros(250) });
+        assert_eq!(p.current_gap(), RTT + Duration::from_micros(200));
+    }
+
+    #[test]
+    fn fallback_when_no_paths_known() {
+        let mut p = CloveIntPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        let mut a = pkt(9);
+        let port = p.select_port(Time::ZERO, HostId(5), &mut a);
+        assert!(port >= 49152);
+    }
+}

@@ -1,0 +1,384 @@
+//! Path discovery using traceroute (paper §3.1).
+//!
+//! For each destination hypervisor with active traffic, the daemon
+//! periodically sends probes with randomized encapsulation source ports;
+//! each probe is repeated with TTL = 1, 2, ..., diameter. A switch where a
+//! probe's TTL expires returns a time-exceeded reply naming itself and the
+//! ingress interface, so the replies for one source port assemble into a
+//! *path signature* (the ordered list of traversed interfaces). Because
+//! probes carry the same outer five-tuple as data with that source port,
+//! ECMP routes them identically.
+//!
+//! From the signatures, the daemon greedily selects `k` ports: repeatedly
+//! add the candidate path sharing the fewest links with those already
+//! picked (the paper's heuristic for distinct — ideally disjoint — paths).
+//!
+//! The daemon is sans-IO: [`ProbeDaemon::start_round`] returns probe
+//! packets for the caller to transmit, [`ProbeDaemon::on_reply`] consumes
+//! replies, and [`ProbeDaemon::finish_round`] (driven by a host timer)
+//! closes the round and yields the selected ports. Rounds repeat every
+//! `probe_interval`, so topology changes are re-learned automatically —
+//! the reaction time the paper ties to the probing frequency (§4).
+
+use clove_net::packet::{Encap, Packet, PacketKind};
+use clove_net::types::{FlowKey, HostId, LinkId, SwitchId};
+use clove_net::wire::PROBE_SIZE;
+use clove_sim::{Duration, SimRng, Time};
+use std::collections::{BTreeMap, HashMap};
+
+/// Discovery parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryConfig {
+    /// Randomized candidate source ports probed per round.
+    pub candidates: usize,
+    /// Paths (ports) to hand to the load-balancing policy.
+    pub k_paths: usize,
+    /// Maximum TTL probed (network diameter in switch hops).
+    pub max_ttl: u8,
+    /// Time between rounds per destination (paper: hundreds of ms to a few
+    /// seconds; scaled down with everything else in simulation profiles).
+    pub probe_interval: Duration,
+    /// How long to wait for replies before closing a round.
+    pub round_timeout: Duration,
+    /// Bottom of the ephemeral port range probes draw from.
+    pub port_base: u16,
+    /// Size of the ephemeral port range.
+    pub port_span: u16,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            candidates: 24,
+            k_paths: 4,
+            max_ttl: 4,
+            probe_interval: Duration::from_millis(50),
+            round_timeout: Duration::from_millis(2),
+            port_base: 49152,
+            port_span: 16000,
+        }
+    }
+}
+
+/// One hop of a path signature: (hop switch, ingress interface).
+pub type Hop = (SwitchId, LinkId);
+
+#[derive(Debug, Default)]
+struct Round {
+    /// probe_id → candidate sport.
+    probes: HashMap<u64, u16>,
+    /// sport → hops by TTL.
+    traces: HashMap<u16, BTreeMap<u8, Hop>>,
+    open: bool,
+}
+
+/// Something the caller must act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryEvent {
+    /// A fresh port selection for a destination: install into the policy.
+    PathsUpdated {
+        /// Destination hypervisor.
+        dst: HostId,
+        /// Selected outer source ports, one per distinct path.
+        ports: Vec<u16>,
+    },
+}
+
+/// Daemon counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscoveryStats {
+    /// Probe packets produced.
+    pub probes_sent: u64,
+    /// Replies consumed.
+    pub replies: u64,
+    /// Rounds completed.
+    pub rounds: u64,
+}
+
+/// The per-hypervisor traceroute daemon. See module docs.
+pub struct ProbeDaemon {
+    /// The hypervisor this daemon runs on.
+    pub host: HostId,
+    cfg: DiscoveryConfig,
+    rng: SimRng,
+    rounds: HashMap<HostId, Round>,
+    /// Last selection per destination (inspection / idempotent updates).
+    selections: HashMap<HostId, Vec<u16>>,
+    next_probe_id: u64,
+    uid_counter: u64,
+    /// Counters.
+    pub stats: DiscoveryStats,
+}
+
+impl ProbeDaemon {
+    /// Build a daemon for `host`.
+    pub fn new(host: HostId, cfg: DiscoveryConfig, seed: u64) -> ProbeDaemon {
+        ProbeDaemon {
+            host,
+            cfg,
+            rng: SimRng::new(seed ^ ((host.0 as u64) << 32) ^ 0xD15C),
+            rounds: HashMap::new(),
+            selections: HashMap::new(),
+            next_probe_id: (host.0 as u64) << 40,
+            uid_counter: 0,
+            stats: DiscoveryStats::default(),
+        }
+    }
+
+    /// The probing interval (callers schedule rounds on this cadence).
+    pub fn probe_interval(&self) -> Duration {
+        self.cfg.probe_interval
+    }
+
+    /// The round timeout (callers schedule `finish_round` after this).
+    pub fn round_timeout(&self) -> Duration {
+        self.cfg.round_timeout
+    }
+
+    /// The last selection made for `dst`.
+    pub fn selection(&self, dst: HostId) -> Option<&[u16]> {
+        self.selections.get(&dst).map(|v| v.as_slice())
+    }
+
+    /// Open a probing round toward `dst`: returns the probe packets to
+    /// transmit (candidates × max_ttl of them).
+    pub fn start_round(&mut self, now: Time, dst: HostId) -> Vec<Packet> {
+        let round = self.rounds.entry(dst).or_default();
+        round.probes.clear();
+        round.traces.clear();
+        round.open = true;
+        // Distinct random candidate ports.
+        let mut ports = Vec::with_capacity(self.cfg.candidates);
+        while ports.len() < self.cfg.candidates {
+            let p = self.cfg.port_base + self.rng.below(self.cfg.port_span as u64) as u16;
+            if !ports.contains(&p) {
+                ports.push(p);
+            }
+        }
+        let mut out = Vec::with_capacity(ports.len() * self.cfg.max_ttl as usize);
+        for &sport in &ports {
+            for ttl in 1..=self.cfg.max_ttl {
+                self.next_probe_id += 1;
+                let probe_id = self.next_probe_id;
+                self.rounds.get_mut(&dst).expect("round exists").probes.insert(probe_id, sport);
+                self.uid_counter += 1;
+                let mut pkt = Packet::new(
+                    ((self.host.0 as u64) << 44) | self.uid_counter,
+                    PROBE_SIZE,
+                    FlowKey::tcp(self.host, dst, sport, clove_net::types::STT_PORT),
+                    PacketKind::Probe { probe_id, ttl_sent: ttl },
+                );
+                pkt.outer = Some(Encap { src: self.host, dst, sport });
+                pkt.ttl = ttl;
+                pkt.sent_at = now;
+                out.push(pkt);
+            }
+        }
+        self.stats.probes_sent += out.len() as u64;
+        out
+    }
+
+    /// Consume a time-exceeded reply.
+    pub fn on_reply(&mut self, probe_id: u64, ttl_sent: u8, switch: SwitchId, ingress: Option<LinkId>) {
+        self.stats.replies += 1;
+        for round in self.rounds.values_mut() {
+            if !round.open {
+                continue;
+            }
+            if let Some(&sport) = round.probes.get(&probe_id) {
+                let hop = (switch, ingress.unwrap_or(LinkId(u32::MAX)));
+                round.traces.entry(sport).or_default().insert(ttl_sent, hop);
+                return;
+            }
+        }
+        // Reply for a closed/unknown round: stale, drop silently.
+    }
+
+    /// Close the round for `dst` and compute the port selection from the
+    /// replies gathered so far. Returns `None` if no round was open or no
+    /// usable trace arrived (e.g. destination unreachable).
+    pub fn finish_round(&mut self, _now: Time, dst: HostId) -> Option<DiscoveryEvent> {
+        let round = self.rounds.get_mut(&dst)?;
+        if !round.open {
+            return None;
+        }
+        round.open = false;
+        self.stats.rounds += 1;
+        // Build signatures: ordered hop list per candidate port.
+        let mut candidates: Vec<(u16, Vec<Hop>)> = round
+            .traces
+            .iter()
+            .map(|(&sport, hops)| (sport, hops.values().copied().collect()))
+            .filter(|(_, sig): &(u16, Vec<Hop>)| !sig.is_empty())
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_by_key(|&(sport, _)| sport); // determinism
+        let ports = greedy_disjoint(&candidates, self.cfg.k_paths);
+        self.selections.insert(dst, ports.clone());
+        Some(DiscoveryEvent::PathsUpdated { dst, ports })
+    }
+}
+
+/// The paper's heuristic: greedily add the candidate whose path shares the
+/// fewest links with the union of already-picked paths; skip candidates
+/// whose signature duplicates a picked one unless nothing else remains.
+fn greedy_disjoint(candidates: &[(u16, Vec<Hop>)], k: usize) -> Vec<u16> {
+    let mut picked: Vec<usize> = Vec::new();
+    let mut picked_links: Vec<Hop> = Vec::new();
+    let mut picked_sigs: Vec<&Vec<Hop>> = Vec::new();
+    while picked.len() < k && picked.len() < candidates.len() {
+        let mut best: Option<(usize, usize, bool)> = None; // (idx, shared, dup)
+        for (idx, (_, sig)) in candidates.iter().enumerate() {
+            if picked.contains(&idx) {
+                continue;
+            }
+            let shared = sig.iter().filter(|h| picked_links.contains(h)).count();
+            let dup = picked_sigs.iter().any(|s| *s == sig);
+            let better = match best {
+                None => true,
+                // Prefer non-duplicates, then fewest shared links.
+                Some((_, bshared, bdup)) => (dup, shared) < (bdup, bshared),
+            };
+            if better {
+                best = Some((idx, shared, dup));
+            }
+        }
+        let Some((idx, _, dup)) = best else { break };
+        // Stop adding once only duplicate paths remain and we already have
+        // at least one path: more ports on the same path add nothing.
+        if dup && !picked.is_empty() {
+            break;
+        }
+        picked.push(idx);
+        picked_links.extend(candidates[idx].1.iter().copied());
+        picked_sigs.push(&candidates[idx].1);
+    }
+    picked.into_iter().map(|i| candidates[i].0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon() -> ProbeDaemon {
+        ProbeDaemon::new(HostId(0), DiscoveryConfig::default(), 7)
+    }
+
+    fn sig(hops: &[(u32, u32)]) -> Vec<Hop> {
+        hops.iter().map(|&(s, l)| (SwitchId(s), LinkId(l))).collect()
+    }
+
+    #[test]
+    fn round_produces_candidates_times_ttl_probes() {
+        let mut d = daemon();
+        let probes = d.start_round(Time::ZERO, HostId(1));
+        assert_eq!(probes.len(), 24 * 4);
+        // All probes are encapsulated toward the destination with stepped TTL.
+        for p in &probes {
+            let e = p.outer.expect("encapsulated");
+            assert_eq!(e.dst, HostId(1));
+            match p.kind {
+                PacketKind::Probe { ttl_sent, .. } => assert_eq!(p.ttl, ttl_sent),
+                _ => panic!("not a probe"),
+            }
+        }
+        // 24 distinct sports.
+        let mut sports: Vec<u16> = probes.iter().map(|p| p.outer.unwrap().sport).collect();
+        sports.sort_unstable();
+        sports.dedup();
+        assert_eq!(sports.len(), 24);
+    }
+
+    #[test]
+    fn replies_assemble_into_selection() {
+        let mut d = daemon();
+        let probes = d.start_round(Time::ZERO, HostId(1));
+        // Simulate: sport parity decides path A or B (two distinct paths).
+        for p in &probes {
+            let PacketKind::Probe { probe_id, ttl_sent } = p.kind else { unreachable!() };
+            let sport = p.outer.unwrap().sport;
+            let path = (sport % 2) as u32;
+            // Hop identities depend on path and ttl.
+            d.on_reply(probe_id, ttl_sent, SwitchId(path * 10 + ttl_sent as u32), Some(LinkId(path * 100 + ttl_sent as u32)));
+        }
+        let ev = d.finish_round(Time::from_millis(2), HostId(1)).expect("event");
+        let DiscoveryEvent::PathsUpdated { dst, ports } = ev;
+        assert_eq!(dst, HostId(1));
+        // Only two distinct paths exist: selection stops at 2.
+        assert_eq!(ports.len(), 2);
+        assert_ne!(ports[0] % 2, ports[1] % 2, "one port per distinct path");
+        assert_eq!(d.selection(HostId(1)).unwrap(), &ports[..]);
+    }
+
+    #[test]
+    fn no_replies_yields_none() {
+        let mut d = daemon();
+        d.start_round(Time::ZERO, HostId(1));
+        assert!(d.finish_round(Time::from_millis(2), HostId(1)).is_none());
+    }
+
+    #[test]
+    fn finish_without_round_is_none() {
+        let mut d = daemon();
+        assert!(d.finish_round(Time::ZERO, HostId(9)).is_none());
+    }
+
+    #[test]
+    fn stale_replies_ignored() {
+        let mut d = daemon();
+        let probes = d.start_round(Time::ZERO, HostId(1));
+        d.finish_round(Time::from_millis(2), HostId(1));
+        let PacketKind::Probe { probe_id, ttl_sent } = probes[0].kind else { unreachable!() };
+        d.on_reply(probe_id, ttl_sent, SwitchId(1), Some(LinkId(1)));
+        // The reply landed after close: no new selection appears.
+        assert!(d.finish_round(Time::from_millis(3), HostId(1)).is_none());
+    }
+
+    #[test]
+    fn greedy_prefers_disjoint() {
+        // Four candidates: two on path A, one on B, one sharing a link
+        // with A.
+        let candidates = vec![
+            (100u16, sig(&[(1, 1), (2, 2), (3, 3)])), // A
+            (101, sig(&[(1, 1), (2, 2), (3, 3)])),    // A duplicate
+            (102, sig(&[(1, 4), (5, 5), (3, 6)])),    // B disjoint
+            (103, sig(&[(1, 1), (7, 8), (3, 9)])),    // shares (1,1) with A
+        ];
+        let picked = greedy_disjoint(&candidates, 3);
+        assert_eq!(picked.len(), 3);
+        assert!(picked.contains(&100), "first candidate picked");
+        assert!(picked.contains(&102), "disjoint path picked");
+        assert!(picked.contains(&103), "least-overlapping picked over duplicate");
+    }
+
+    #[test]
+    fn greedy_stops_at_duplicates() {
+        let candidates = vec![
+            (100u16, sig(&[(1, 1)])),
+            (101, sig(&[(1, 1)])),
+            (102, sig(&[(1, 1)])),
+        ];
+        let picked = greedy_disjoint(&candidates, 4);
+        assert_eq!(picked, vec![100], "identical paths add nothing");
+    }
+
+    #[test]
+    fn greedy_respects_k() {
+        let candidates: Vec<(u16, Vec<Hop>)> =
+            (0..10).map(|i| (100 + i as u16, sig(&[(i, i), (i + 50, i + 50)]))).collect();
+        assert_eq!(greedy_disjoint(&candidates, 4).len(), 4);
+    }
+
+    #[test]
+    fn new_round_resets_traces() {
+        let mut d = daemon();
+        let probes = d.start_round(Time::ZERO, HostId(1));
+        let PacketKind::Probe { probe_id, ttl_sent } = probes[0].kind else { unreachable!() };
+        d.on_reply(probe_id, ttl_sent, SwitchId(1), Some(LinkId(1)));
+        // Restart before finishing: old replies are discarded.
+        d.start_round(Time::from_millis(10), HostId(1));
+        assert!(d.finish_round(Time::from_millis(12), HostId(1)).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-destination path state shared by the Clove policy variants.
+//!
+//! Each hypervisor keeps, for every destination it actively talks to, the
+//! set of discovered outer source ports and per-port network state: the
+//! last time ECN feedback marked the path congested, the latest relayed
+//! utilization (INT) and one-way latency. The paper sizes this at `k`
+//! paths × `N` destinations and argues it is trivially cheap on x86 (§4
+//! "Scalability") — here it is a small `Vec` per destination.
+
+use clove_sim::{Duration, Time};
+
+/// State for one discovered path (outer source port) to a destination.
+#[derive(Debug, Clone, Copy)]
+pub struct PathInfo {
+    /// The outer transport source port steering onto this path.
+    pub port: u16,
+    /// Last time ECN feedback reported this path congested.
+    pub last_congested: Option<Time>,
+    /// Latest relayed max link utilization (per-mille), if INT is on.
+    pub util_pm: Option<u16>,
+    /// When the utilization was last refreshed.
+    pub util_at: Option<Time>,
+    /// Latest relayed one-way latency, if latency feedback is on.
+    pub latency: Option<Duration>,
+}
+
+impl PathInfo {
+    fn new(port: u16) -> PathInfo {
+        PathInfo { port, last_congested: None, util_pm: None, util_at: None, latency: None }
+    }
+}
+
+/// The path set toward one destination hypervisor.
+#[derive(Debug, Clone, Default)]
+pub struct PathSet {
+    paths: Vec<PathInfo>,
+}
+
+impl PathSet {
+    /// An empty set (before discovery completes).
+    pub fn new() -> PathSet {
+        PathSet { paths: Vec::new() }
+    }
+
+    /// Replace the port list, preserving state for surviving ports. The
+    /// paper notes network state "may be maintained through such a
+    /// transition" when only the port→path mapping changes (§3.1).
+    pub fn set_ports(&mut self, ports: &[u16]) {
+        let old = std::mem::take(&mut self.paths);
+        self.paths = ports
+            .iter()
+            .map(|&p| old.iter().find(|i| i.port == p).copied().unwrap_or_else(|| PathInfo::new(p)))
+            .collect();
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> Vec<u16> {
+        self.paths.iter().map(|p| p.port).collect()
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True before discovery.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Look up a path by port.
+    pub fn get(&self, port: u16) -> Option<&PathInfo> {
+        self.paths.iter().find(|p| p.port == port)
+    }
+
+    /// Mutable lookup by port.
+    pub fn get_mut(&mut self, port: u16) -> Option<&mut PathInfo> {
+        self.paths.iter_mut().find(|p| p.port == port)
+    }
+
+    /// Iterate paths.
+    pub fn iter(&self) -> impl Iterator<Item = &PathInfo> {
+        self.paths.iter()
+    }
+
+    /// Record ECN feedback for `port`.
+    pub fn record_ecn(&mut self, now: Time, port: u16, congested: bool) {
+        if let Some(p) = self.get_mut(port) {
+            if congested {
+                p.last_congested = Some(now);
+            } else {
+                p.last_congested = None;
+            }
+        }
+    }
+
+    /// Record utilization feedback for `port`.
+    pub fn record_util(&mut self, now: Time, port: u16, util_pm: u16) {
+        if let Some(p) = self.get_mut(port) {
+            p.util_pm = Some(util_pm);
+            p.util_at = Some(now);
+        }
+    }
+
+    /// Record latency feedback for `port`.
+    pub fn record_latency(&mut self, port: u16, latency: Duration) {
+        if let Some(p) = self.get_mut(port) {
+            p.latency = Some(latency);
+        }
+    }
+
+    /// Is `port` considered congested at `now` (ECN within `window`)?
+    pub fn is_congested(&self, now: Time, port: u16, window: Duration) -> bool {
+        self.get(port)
+            .and_then(|p| p.last_congested)
+            .map(|t| now.saturating_since(t) <= window)
+            .unwrap_or(false)
+    }
+
+    /// Ports *not* congested at `now`.
+    pub fn uncongested_ports(&self, now: Time, window: Duration) -> Vec<u16> {
+        self.paths
+            .iter()
+            .filter(|p| {
+                p.last_congested
+                    .map(|t| now.saturating_since(t) > window)
+                    .unwrap_or(true)
+            })
+            .map(|p| p.port)
+            .collect()
+    }
+
+    /// True when every path is congested (paper: the only case where ECN
+    /// is relayed to the guest).
+    pub fn all_congested(&self, now: Time, window: Duration) -> bool {
+        !self.paths.is_empty() && self.uncongested_ports(now, window).is_empty()
+    }
+
+    /// The port with the least utilization; unknown utilization counts as
+    /// zero (encourages probing fresh paths). `stale_after` ages out old
+    /// reports the same way. Ties break to the lowest port for determinism.
+    pub fn least_utilized(&self, now: Time, stale_after: Duration) -> Option<u16> {
+        self.paths
+            .iter()
+            .map(|p| {
+                let util = match (p.util_pm, p.util_at) {
+                    (Some(u), Some(at)) if now.saturating_since(at) <= stale_after => u,
+                    _ => 0,
+                };
+                (util, p.port)
+            })
+            .min()
+            .map(|(_, port)| port)
+    }
+
+    /// The port with the least one-way latency (unknown = zero).
+    pub fn least_latency(&self) -> Option<u16> {
+        self.paths
+            .iter()
+            .map(|p| (p.latency.unwrap_or(Duration::ZERO), p.port))
+            .min()
+            .map(|(_, port)| port)
+    }
+
+    /// Latency spread across paths (adaptive flowlet-gap extension §7):
+    /// `max - min` over paths with known latency.
+    pub fn latency_spread(&self) -> Option<Duration> {
+        let known: Vec<Duration> = self.paths.iter().filter_map(|p| p.latency).collect();
+        if known.len() < 2 {
+            return None;
+        }
+        let max = known.iter().copied().max().unwrap();
+        let min = known.iter().copied().min().unwrap();
+        Some(max - min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> PathSet {
+        let mut s = PathSet::new();
+        s.set_ports(&[10, 20, 30, 40]);
+        s
+    }
+
+    const W: Duration = Duration(200_000); // 200us window
+
+    #[test]
+    fn congestion_window_semantics() {
+        let mut s = set();
+        s.record_ecn(Time::from_micros(100), 10, true);
+        assert!(s.is_congested(Time::from_micros(150), 10, W));
+        assert!(s.is_congested(Time::from_micros(300), 10, W));
+        assert!(!s.is_congested(Time::from_micros(301), 10, W));
+        assert!(!s.is_congested(Time::from_micros(150), 20, W));
+    }
+
+    #[test]
+    fn explicit_uncongested_feedback_clears() {
+        let mut s = set();
+        s.record_ecn(Time::from_micros(100), 10, true);
+        s.record_ecn(Time::from_micros(120), 10, false);
+        assert!(!s.is_congested(Time::from_micros(130), 10, W));
+    }
+
+    #[test]
+    fn uncongested_ports_and_all_congested() {
+        let mut s = set();
+        let t = Time::from_micros(100);
+        for p in [10, 20, 30] {
+            s.record_ecn(t, p, true);
+        }
+        assert_eq!(s.uncongested_ports(t, W), vec![40]);
+        assert!(!s.all_congested(t, W));
+        s.record_ecn(t, 40, true);
+        assert!(s.all_congested(t, W));
+        // The window ages them out again.
+        assert!(!s.all_congested(Time::from_micros(500), W));
+    }
+
+    #[test]
+    fn least_utilized_prefers_unknown_then_lowest() {
+        let mut s = set();
+        let t = Time::from_micros(100);
+        s.record_util(t, 10, 500);
+        s.record_util(t, 20, 300);
+        // 30 and 40 unknown → util 0 → lowest port 30 wins.
+        assert_eq!(s.least_utilized(t, W), Some(30));
+        s.record_util(t, 30, 100);
+        s.record_util(t, 40, 200);
+        assert_eq!(s.least_utilized(t, W), Some(30));
+        s.record_util(t, 30, 900);
+        assert_eq!(s.least_utilized(t, W), Some(40));
+    }
+
+    #[test]
+    fn stale_utilization_ages_to_zero() {
+        let mut s = set();
+        s.record_util(Time::from_micros(100), 10, 900);
+        s.record_util(Time::from_micros(100), 20, 1);
+        s.record_util(Time::from_micros(400), 30, 1);
+        s.record_util(Time::from_micros(400), 40, 2);
+        // At t=400, port 10's report (900) is stale (>200us old) → counts 0.
+        assert_eq!(s.least_utilized(Time::from_micros(400), W), Some(10));
+    }
+
+    #[test]
+    fn least_latency() {
+        let mut s = set();
+        s.record_latency(10, Duration::from_micros(80));
+        s.record_latency(20, Duration::from_micros(40));
+        s.record_latency(30, Duration::from_micros(120));
+        s.record_latency(40, Duration::from_micros(60));
+        assert_eq!(s.least_latency(), Some(20));
+        assert_eq!(s.latency_spread(), Some(Duration::from_micros(80)));
+    }
+
+    #[test]
+    fn set_ports_preserves_surviving_state() {
+        let mut s = set();
+        s.record_ecn(Time::from_micros(100), 20, true);
+        s.set_ports(&[20, 50]);
+        assert!(s.is_congested(Time::from_micros(150), 20, W));
+        assert!(!s.is_congested(Time::from_micros(150), 50, W));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        let s = PathSet::new();
+        assert!(s.is_empty());
+        assert!(!s.all_congested(Time::ZERO, W));
+        assert_eq!(s.least_utilized(Time::ZERO, W), None);
+        assert_eq!(s.least_latency(), None);
+        assert_eq!(s.latency_spread(), None);
+    }
+}

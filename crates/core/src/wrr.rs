@@ -1,0 +1,262 @@
+//! Smooth weighted round-robin over outer source ports.
+//!
+//! Clove-ECN "schedules new flowlets on different paths by rotating through
+//! source ports in a weighted round-robin fashion" (paper §1). The smooth
+//! WRR variant (as popularized by nginx) spreads picks evenly through the
+//! cycle instead of emitting runs of the same item, which matters here
+//! because consecutive flowlets should not pile onto one path.
+
+/// A smooth weighted round-robin scheduler over `u16` port numbers.
+#[derive(Debug, Clone, Default)]
+pub struct Wrr {
+    items: Vec<WrrItem>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WrrItem {
+    port: u16,
+    weight: f64,
+    current: f64,
+}
+
+impl Wrr {
+    /// An empty scheduler.
+    pub fn new() -> Wrr {
+        Wrr { items: Vec::new() }
+    }
+
+    /// Replace the port set, giving every port the same weight. Existing
+    /// weights of surviving ports are preserved.
+    pub fn set_ports(&mut self, ports: &[u16]) {
+        let old: std::collections::HashMap<u16, f64> =
+            self.items.iter().map(|i| (i.port, i.weight)).collect();
+        self.items = ports
+            .iter()
+            .map(|&p| WrrItem { port: p, weight: *old.get(&p).unwrap_or(&1.0), current: 0.0 })
+            .collect();
+        self.normalize();
+    }
+
+    /// All ports currently scheduled.
+    pub fn ports(&self) -> Vec<u16> {
+        self.items.iter().map(|i| i.port).collect()
+    }
+
+    /// The weight of `port`, if present.
+    pub fn weight(&self, port: u16) -> Option<f64> {
+        self.items.iter().find(|i| i.port == port).map(|i| i.weight)
+    }
+
+    /// Overwrite the weight of `port`. Weights are relative — `pick`
+    /// works off the live total — so setting several weights in sequence
+    /// behaves as expected; a small floor prevents total starvation.
+    pub fn set_weight(&mut self, port: u16, weight: f64) {
+        if let Some(item) = self.items.iter_mut().find(|i| i.port == port) {
+            item.weight = if weight.is_finite() { weight.max(1e-3) } else { 1e-3 };
+        }
+    }
+
+    /// Scale the weight of `port` by `factor` and redistribute the removed
+    /// mass equally across `receivers` — the Clove-ECN adjustment: "the
+    /// weight of that path is reduced by some predefined proportion ... the
+    /// weight remainder is then spread equally across all the other
+    /// uncongested paths" (paper §3.2). No-op if `receivers` is empty.
+    pub fn cut_and_redistribute(&mut self, port: u16, factor: f64, receivers: &[u16]) {
+        if receivers.is_empty() {
+            return;
+        }
+        let Some(item) = self.items.iter_mut().find(|i| i.port == port) else {
+            return;
+        };
+        let cut = item.weight * factor.clamp(0.0, 1.0);
+        if cut <= 0.0 {
+            return;
+        }
+        item.weight -= cut;
+        let share = cut / receivers.len() as f64;
+        for &r in receivers {
+            if r == port {
+                continue;
+            }
+            if let Some(it) = self.items.iter_mut().find(|i| i.port == r) {
+                it.weight += share;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Drift all weights toward uniform by `rho` in `[0, 1]` — a gentle
+    /// recovery so a path cut long ago can regain traffic even if no
+    /// further feedback arrives (implementation choice documented in
+    /// DESIGN.md; the paper's redistribution alone never restores a path
+    /// that stays quiet).
+    pub fn decay_toward_uniform(&mut self, rho: f64) {
+        if self.items.is_empty() {
+            return;
+        }
+        let uniform = 1.0 / self.items.len() as f64;
+        for it in &mut self.items {
+            it.weight += rho.clamp(0.0, 1.0) * (uniform - it.weight);
+        }
+        self.normalize();
+    }
+
+    /// Pick the next port (smooth WRR). Returns `None` when empty.
+    pub fn pick(&mut self) -> Option<u16> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let total: f64 = self.items.iter().map(|i| i.weight).sum();
+        for it in &mut self.items {
+            it.current += it.weight;
+        }
+        // Strictly-greater keeps ties resolved by lowest index: deterministic.
+        let mut best = 0usize;
+        for (idx, it) in self.items.iter().enumerate().skip(1) {
+            if it.current > self.items[best].current {
+                best = idx;
+            }
+        }
+        self.items[best].current -= total;
+        Some(self.items[best].port)
+    }
+
+    /// Normalize weights to sum to 1 (keeps floats bounded over long runs);
+    /// enforces a small floor so no path is starved forever.
+    fn normalize(&mut self) {
+        if self.items.is_empty() {
+            return;
+        }
+        const FLOOR: f64 = 1e-3;
+        for it in &mut self.items {
+            if !it.weight.is_finite() || it.weight < FLOOR {
+                it.weight = FLOOR;
+            }
+        }
+        let total: f64 = self.items.iter().map(|i| i.weight).sum();
+        for it in &mut self.items {
+            it.weight /= total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(w: &mut Wrr, n: usize) -> std::collections::HashMap<u16, usize> {
+        let mut m = std::collections::HashMap::new();
+        for _ in 0..n {
+            *m.entry(w.pick().unwrap()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut w = Wrr::new();
+        assert!(w.pick().is_none());
+    }
+
+    #[test]
+    fn equal_weights_rotate_evenly() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2, 3, 4]);
+        let c = counts(&mut w, 400);
+        for p in [1, 2, 3, 4] {
+            assert_eq!(c[&p], 100, "port {p}");
+        }
+    }
+
+    #[test]
+    fn smooth_interleaving_not_runs() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2]);
+        let picks: Vec<u16> = (0..8).map(|_| w.pick().unwrap()).collect();
+        // Equal weights must alternate, never AABB.
+        for pair in picks.windows(2) {
+            assert_ne!(pair[0], pair[1], "run detected: {picks:?}");
+        }
+    }
+
+    #[test]
+    fn weights_respected_proportionally() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2]);
+        w.set_weight(1, 3.0);
+        w.set_weight(2, 1.0);
+        let c = counts(&mut w, 4000);
+        let ratio = c[&1] as f64 / c[&2] as f64;
+        assert!((2.6..3.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn cut_and_redistribute_conserves_mass() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2, 3, 4]);
+        w.cut_and_redistribute(1, 1.0 / 3.0, &[2, 3, 4]);
+        let total: f64 = [1, 2, 3, 4].iter().map(|&p| w.weight(p).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let w1 = w.weight(1).unwrap();
+        let w2 = w.weight(2).unwrap();
+        // 0.25 → 0.25·⅔ ≈ 0.1667; receivers get 0.25/3/3 ≈ 0.0278 each.
+        assert!((w1 - 0.1667).abs() < 0.01, "w1 {w1}");
+        assert!((w2 - 0.2778).abs() < 0.01, "w2 {w2}");
+    }
+
+    #[test]
+    fn cut_with_no_receivers_is_noop() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2]);
+        let before = w.weight(1).unwrap();
+        w.cut_and_redistribute(1, 0.5, &[]);
+        assert_eq!(w.weight(1).unwrap(), before);
+    }
+
+    #[test]
+    fn repeated_cuts_shift_traffic_away() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2, 3, 4]);
+        for _ in 0..10 {
+            w.cut_and_redistribute(1, 1.0 / 3.0, &[2, 3, 4]);
+        }
+        let c = counts(&mut w, 1000);
+        assert!(c.get(&1).copied().unwrap_or(0) < 40, "congested path still used: {c:?}");
+    }
+
+    #[test]
+    fn decay_restores_uniformity() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2]);
+        w.set_weight(1, 0.9);
+        w.set_weight(2, 0.1);
+        for _ in 0..200 {
+            w.decay_toward_uniform(0.05);
+        }
+        assert!((w.weight(1).unwrap() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn set_ports_preserves_surviving_weights() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2]);
+        w.set_weight(1, 3.0);
+        w.set_ports(&[1, 3]);
+        // Port 1 keeps its (normalized) dominance over the newcomer.
+        assert!(w.weight(1).unwrap() > w.weight(3).unwrap());
+        assert!(w.weight(2).is_none());
+    }
+
+    #[test]
+    fn weight_floor_prevents_starvation() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2]);
+        for _ in 0..100 {
+            w.cut_and_redistribute(1, 0.9, &[2]);
+        }
+        assert!(w.weight(1).unwrap() > 0.0);
+        // Over a very long horizon port 1 is still picked occasionally.
+        let c = counts(&mut w, 10_000);
+        assert!(c.get(&1).copied().unwrap_or(0) > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Run a Clove experiment described by a JSON file.
+//!
+//! ```text
+//! clove-run <spec.json>     # prints a RunReport as JSON on stdout
+//! clove-run --example      # prints a commented example spec
+//! ```
+
+use clove_harness::config::ScenarioSpec;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg == "--example" || arg.is_empty() {
+        eprintln!("usage: clove-run <spec.json> | --example");
+        println!(
+            "{}",
+            r#"{
+  "scheme": { "name": "clove-ecn" },
+  "topology": { "kind": "asymmetric" },
+  "load": 0.7,
+  "workload": "web-search",
+  "jobs_per_conn": 100,
+  "conns_per_client": 2,
+  "seed": 42,
+  "horizon_secs": 30
+}"#
+        );
+        std::process::exit(if arg.is_empty() { 2 } else { 0 });
+    }
+    let text = match std::fs::read_to_string(&arg) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clove-run: cannot read {arg}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let spec: ScenarioSpec = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("clove-run: bad spec: {e}");
+            std::process::exit(1);
+        }
+    };
+    match spec.run() {
+        Ok(report) => println!("{}", serde_json::to_string_pretty(&report).expect("serializable")),
+        Err(e) => {
+            eprintln!("clove-run: {e}");
+            std::process::exit(1);
+        }
+    }
+}

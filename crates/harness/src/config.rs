@@ -1,0 +1,303 @@
+//! Serializable experiment specifications — run scenarios from JSON.
+//!
+//! [`ScenarioSpec`] is the on-disk form of a [`Scenario`]: a JSON file a
+//! user can write without touching Rust, consumed by the `clove-run`
+//! binary. [`RunReport`] is its JSON output (summary numbers only; full
+//! CDFs via the `cdf_points` knob).
+
+use crate::profile::Profile;
+use crate::scenario::{Scenario, TopologyKind};
+use crate::scheme::Scheme;
+use clove_sim::{Duration, Time};
+use clove_workload::{data_mining, enterprise, web_search, FlowSizeDist};
+use serde::{Deserialize, Serialize};
+
+/// JSON-facing scheme name.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(rename_all = "kebab-case", tag = "name")]
+pub enum SchemeSpec {
+    /// Static flow hashing.
+    Ecmp,
+    /// Random port per flowlet.
+    EdgeFlowlet,
+    /// Clove with ECN feedback.
+    CloveEcn,
+    /// Clove with INT feedback.
+    CloveInt,
+    /// Clove with latency feedback.
+    CloveLatency {
+        /// Enable the adaptive flowlet gap.
+        #[serde(default)]
+        adaptive_gap: bool,
+    },
+    /// Presto with optional static path weights.
+    Presto {
+        /// Oracle weights per discovered path.
+        #[serde(default)]
+        weights: Option<Vec<f64>>,
+    },
+    /// MPTCP with k subflows.
+    Mptcp {
+        /// Subflow count (paper: 4).
+        subflows: usize,
+    },
+    /// CONGA in the switches.
+    Conga,
+    /// LetFlow in the switches.
+    LetFlow,
+    /// HULA in the switches.
+    Hula,
+    /// Partial Clove deployment.
+    Incremental {
+        /// Number of Clove-enabled hypervisors.
+        clove_hosts: u32,
+    },
+}
+
+impl From<SchemeSpec> for Scheme {
+    fn from(s: SchemeSpec) -> Scheme {
+        match s {
+            SchemeSpec::Ecmp => Scheme::Ecmp,
+            SchemeSpec::EdgeFlowlet => Scheme::EdgeFlowlet,
+            SchemeSpec::CloveEcn => Scheme::CloveEcn,
+            SchemeSpec::CloveInt => Scheme::CloveInt,
+            SchemeSpec::CloveLatency { adaptive_gap } => Scheme::CloveLatency { adaptive_gap },
+            SchemeSpec::Presto { weights } => Scheme::Presto { oracle_weights: weights },
+            SchemeSpec::Mptcp { subflows } => Scheme::Mptcp { subflows },
+            SchemeSpec::Conga => Scheme::Conga,
+            SchemeSpec::LetFlow => Scheme::LetFlow,
+            SchemeSpec::Hula => Scheme::Hula,
+            SchemeSpec::Incremental { clove_hosts } => Scheme::Incremental { clove_hosts },
+        }
+    }
+}
+
+/// JSON-facing topology.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+#[serde(rename_all = "kebab-case", tag = "kind")]
+pub enum TopologySpec {
+    /// Healthy 2×2×16 leaf-spine.
+    Symmetric,
+    /// Leaf-spine with the S2–L2 cable down from t = 0.
+    Asymmetric,
+    /// k-ary fat-tree.
+    FatTree {
+        /// Pod arity (even, ≥ 4).
+        k: u32,
+    },
+}
+
+impl From<TopologySpec> for TopologyKind {
+    fn from(t: TopologySpec) -> TopologyKind {
+        match t {
+            TopologySpec::Symmetric => TopologyKind::Symmetric,
+            TopologySpec::Asymmetric => TopologyKind::Asymmetric,
+            TopologySpec::FatTree { k } => TopologyKind::FatTree { k },
+        }
+    }
+}
+
+/// A complete experiment specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Load balancer under test.
+    pub scheme: SchemeSpec,
+    /// Topology variant.
+    pub topology: TopologySpec,
+    /// Offered load as a fraction of bisection bandwidth.
+    pub load: f64,
+    /// Flow-size distribution: "web-search", "enterprise", "data-mining".
+    #[serde(default = "default_workload")]
+    pub workload: String,
+    /// Jobs per client connection.
+    #[serde(default = "default_jobs")]
+    pub jobs_per_conn: u32,
+    /// Persistent connections per client.
+    #[serde(default = "default_conns")]
+    pub conns_per_client: u32,
+    /// RNG seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Simulated-time ceiling in seconds.
+    #[serde(default = "default_horizon")]
+    pub horizon_secs: u64,
+    /// Optional mid-run S2–L2 failure time in milliseconds.
+    #[serde(default)]
+    pub fail_at_ms: Option<u64>,
+    /// Flowlet gap override in microseconds.
+    #[serde(default)]
+    pub flowlet_gap_us: Option<u64>,
+    /// ECN threshold override in MTU packets.
+    #[serde(default)]
+    pub ecn_threshold_pkts: Option<u32>,
+}
+
+fn default_workload() -> String {
+    "web-search".into()
+}
+fn default_jobs() -> u32 {
+    60
+}
+fn default_conns() -> u32 {
+    2
+}
+fn default_horizon() -> u64 {
+    30
+}
+
+impl ScenarioSpec {
+    /// Resolve the named workload distribution.
+    pub fn distribution(&self) -> Result<FlowSizeDist, String> {
+        match self.workload.as_str() {
+            "web-search" => Ok(web_search()),
+            "enterprise" => Ok(enterprise()),
+            "data-mining" => Ok(data_mining()),
+            other => Err(format!("unknown workload '{other}' (want web-search | enterprise | data-mining)")),
+        }
+    }
+
+    /// Build the runnable [`Scenario`].
+    pub fn to_scenario(&self) -> Scenario {
+        let mut s = Scenario::new(self.scheme.clone().into(), self.topology.into(), self.load, self.seed);
+        s.jobs_per_conn = self.jobs_per_conn;
+        s.conns_per_client = self.conns_per_client;
+        s.horizon = Time::from_secs(self.horizon_secs);
+        s.fail_at = self.fail_at_ms.map(Time::from_millis);
+        let mut profile = Profile::default();
+        if let Some(us) = self.flowlet_gap_us {
+            profile.flowlet_gap = Duration::from_micros(us);
+        }
+        if let Some(pkts) = self.ecn_threshold_pkts {
+            profile.ecn_threshold_pkts = pkts;
+        }
+        s.profile = profile;
+        s
+    }
+
+    /// Run the RPC workload described by this spec.
+    pub fn run(&self) -> Result<RunReport, String> {
+        let dist = self.distribution()?;
+        let scenario = self.to_scenario();
+        let out = scenario.run_rpc(&dist);
+        let mut fct = out.fct;
+        Ok(RunReport {
+            scheme: format!("{:?}", self.scheme),
+            load: self.load,
+            flows_completed: fct.all.count() as u64,
+            flows_incomplete: fct.incomplete as u64,
+            avg_fct_s: fct.avg(),
+            p50_fct_s: fct.all.p50(),
+            p99_fct_s: fct.p99(),
+            mice_avg_fct_s: fct.mice.mean(),
+            elephant_avg_fct_s: fct.elephants.mean(),
+            sim_time_s: out.sim_time.as_secs_f64(),
+            events: out.events,
+            drops: out.drops,
+            ecn_marks: out.ecn_marks,
+            timeouts: out.timeouts,
+            retransmits: out.retransmits,
+        })
+    }
+}
+
+/// JSON result summary of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scheme descriptor.
+    pub scheme: String,
+    /// Offered load fraction.
+    pub load: f64,
+    /// Flows completed before the horizon.
+    pub flows_completed: u64,
+    /// Flows still in flight at the horizon.
+    pub flows_incomplete: u64,
+    /// Average flow completion time, seconds.
+    pub avg_fct_s: f64,
+    /// Median FCT.
+    pub p50_fct_s: f64,
+    /// 99th-percentile FCT.
+    pub p99_fct_s: f64,
+    /// Average FCT of flows under 100 KB.
+    pub mice_avg_fct_s: f64,
+    /// Average FCT of flows over 10 MB.
+    pub elephant_avg_fct_s: f64,
+    /// Simulated seconds elapsed.
+    pub sim_time_s: f64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Packets dropped.
+    pub drops: u64,
+    /// CE marks applied.
+    pub ecn_marks: u64,
+    /// TCP timeouts.
+    pub timeouts: u64,
+    /// TCP retransmissions.
+    pub retransmits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ScenarioSpec {
+            scheme: SchemeSpec::CloveEcn,
+            topology: TopologySpec::Asymmetric,
+            load: 0.7,
+            workload: "web-search".into(),
+            jobs_per_conn: 10,
+            conns_per_client: 1,
+            seed: 42,
+            horizon_secs: 10,
+            fail_at_ms: Some(100),
+            flowlet_gap_us: Some(150),
+            ecn_threshold_pkts: Some(30),
+        };
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.load, 0.7);
+        assert_eq!(back.scheme, SchemeSpec::CloveEcn);
+        assert_eq!(back.fail_at_ms, Some(100));
+    }
+
+    #[test]
+    fn minimal_json_uses_defaults() {
+        let json = r#"{"scheme":{"name":"ecmp"},"topology":{"kind":"symmetric"},"load":0.5}"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.jobs_per_conn, 60);
+        assert_eq!(spec.workload, "web-search");
+        assert!(spec.fail_at_ms.is_none());
+        let s = spec.to_scenario();
+        assert_eq!(s.load, 0.5);
+    }
+
+    #[test]
+    fn scheme_specs_map_to_schemes() {
+        assert_eq!(Scheme::from(SchemeSpec::Mptcp { subflows: 4 }).label(), "MPTCP");
+        assert_eq!(Scheme::from(SchemeSpec::Hula).label(), "HULA");
+        assert_eq!(Scheme::from(SchemeSpec::Presto { weights: None }).label(), "Presto");
+        assert_eq!(
+            Scheme::from(SchemeSpec::Incremental { clove_hosts: 8 }).label(),
+            "Clove-ECN (partial)"
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let json = r#"{"scheme":{"name":"ecmp"},"topology":{"kind":"symmetric"},"load":0.5,"workload":"nope"}"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert!(spec.distribution().is_err());
+    }
+
+    #[test]
+    fn tiny_spec_runs_end_to_end() {
+        let json = r#"{"scheme":{"name":"clove-ecn"},"topology":{"kind":"asymmetric"},
+                       "load":0.3,"jobs_per_conn":2,"conns_per_client":1,"horizon_secs":10}"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        let report = spec.run().unwrap();
+        assert!(report.flows_completed > 0);
+        let out_json = serde_json::to_string(&report).unwrap();
+        assert!(out_json.contains("avg_fct_s"));
+    }
+}

@@ -1,0 +1,292 @@
+//! One function per paper figure.
+//!
+//! Every function returns a [`FigureTable`] whose series reproduce the
+//! corresponding plot. The `scale` knob trades fidelity for wall-clock
+//! time: it multiplies the job count per connection (the paper runs 50 K
+//! jobs per connection on the testbed and 20 K in NS2; full-fidelity runs
+//! of this reproduction use hundreds to thousands — enough for the
+//! qualitative ordering, as EXPERIMENTS.md documents). Benches use tiny
+//! scales.
+
+use crate::report::FigureTable;
+use crate::scenario::{Scenario, TopologyKind};
+use crate::scheme::Scheme;
+use clove_sim::{Duration, Time};
+use clove_workload::{web_search, FctSummary};
+
+/// Shared experiment sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Jobs per client connection.
+    pub jobs_per_conn: u32,
+    /// Connections per client.
+    pub conns_per_client: u32,
+    /// Seeds to average over (paper: 3).
+    pub seeds: u32,
+    /// Simulated-time ceiling per run.
+    pub horizon_secs: u64,
+}
+
+impl ExpConfig {
+    /// A configuration suitable for generating the committed figures.
+    pub fn full() -> ExpConfig {
+        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60 }
+    }
+
+    /// A tiny configuration for benches and CI smoke tests.
+    pub fn quick() -> ExpConfig {
+        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10 }
+    }
+}
+
+/// The oracle Presto weights for the asymmetric topology (paper §5.2:
+/// 0.33/0.33/0.17/0.17 — full weight on the two healthy S1 paths, half on
+/// the S2 paths that share the surviving S2–L2 cable).
+pub fn presto_oracle_weights(topology: TopologyKind) -> Option<Vec<f64>> {
+    match topology {
+        TopologyKind::Asymmetric => Some(vec![0.33, 0.33, 0.17, 0.17]),
+        _ => None,
+    }
+}
+
+fn scenario(scheme: Scheme, topology: TopologyKind, load: f64, seed: u64, cfg: &ExpConfig) -> Scenario {
+    let mut s = Scenario::new(scheme, topology, load, seed);
+    s.jobs_per_conn = cfg.jobs_per_conn;
+    s.conns_per_client = cfg.conns_per_client;
+    s.horizon = Time::from_secs(cfg.horizon_secs);
+    s
+}
+
+/// Run one (scheme, topology, load) point over the configured seeds and
+/// pool the FCT samples.
+pub fn rpc_point(scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> FctSummary {
+    let dist = web_search();
+    let mut pooled: Option<FctSummary> = None;
+    for seed in 0..cfg.seeds {
+        let s = scenario(scheme.clone(), topology, load, 1000 + seed as u64, cfg);
+        let out = s.run_rpc(&dist);
+        match pooled.as_mut() {
+            None => pooled = Some(out.fct),
+            Some(p) => p.merge(&out.fct),
+        }
+    }
+    pooled.expect("at least one seed")
+}
+
+/// Memoizes [`rpc_point`] results so figures sharing the same underlying
+/// runs (4c with 5a/5b/5c, 8b with 9) pay for them once.
+#[derive(Default)]
+pub struct PointCache {
+    entries: std::collections::HashMap<(String, bool, u64), FctSummary>,
+}
+
+impl PointCache {
+    /// An empty cache.
+    pub fn new() -> PointCache {
+        PointCache::default()
+    }
+
+    /// Fetch or compute a point.
+    pub fn point(&mut self, scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> FctSummary {
+        let key = (
+            scheme.label().to_string(),
+            topology == TopologyKind::Asymmetric,
+            (load * 1000.0).round() as u64,
+        );
+        self.entries
+            .entry(key)
+            .or_insert_with(|| rpc_point(scheme, topology, load, cfg))
+            .clone()
+    }
+}
+
+/// The paper's testbed scheme set (Figures 4–6).
+pub fn testbed_schemes(topology: TopologyKind) -> Vec<Scheme> {
+    vec![
+        Scheme::Ecmp,
+        Scheme::EdgeFlowlet,
+        Scheme::CloveEcn,
+        Scheme::Mptcp { subflows: 4 },
+        Scheme::Presto { oracle_weights: presto_oracle_weights(topology) },
+    ]
+}
+
+/// The paper's simulation scheme set (Figures 8–9).
+pub fn sim_schemes() -> Vec<Scheme> {
+    vec![Scheme::Ecmp, Scheme::EdgeFlowlet, Scheme::CloveEcn, Scheme::CloveInt, Scheme::Conga]
+}
+
+/// Figure 4b: symmetric topology, average FCT vs load.
+pub fn fig4b(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    fig4b_cached(loads, cfg, &mut PointCache::new())
+}
+
+/// [`fig4b`] reusing a shared run cache.
+pub fn fig4b_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
+    rpc_figure("Fig 4b — testbed symmetric, avg FCT (s)", TopologyKind::Symmetric, &testbed_schemes(TopologyKind::Symmetric), loads, cfg, cache, |s| s.avg())
+}
+
+/// Figure 4c: asymmetric topology, average FCT vs load.
+pub fn fig4c(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    fig4c_cached(loads, cfg, &mut PointCache::new())
+}
+
+/// [`fig4c`] reusing a shared run cache.
+pub fn fig4c_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
+    rpc_figure("Fig 4c — testbed asymmetric, avg FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| s.avg())
+}
+
+/// Figure 5a: asymmetric, average FCT of mice (<100 KB) vs load.
+pub fn fig5a(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    fig5a_cached(loads, cfg, &mut PointCache::new())
+}
+
+/// [`fig5a`] reusing a shared run cache.
+pub fn fig5a_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
+    rpc_figure("Fig 5a — asymmetric, mice (<100KB) avg FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| s.mice.mean())
+}
+
+/// Figure 5b: asymmetric, average FCT of elephants (>10 MB) vs load.
+pub fn fig5b(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    fig5b_cached(loads, cfg, &mut PointCache::new())
+}
+
+/// [`fig5b`] reusing a shared run cache.
+pub fn fig5b_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
+    rpc_figure("Fig 5b — asymmetric, elephants (>10MB) avg FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| s.elephants.mean())
+}
+
+/// Figure 5c: asymmetric, 99th-percentile FCT vs load.
+pub fn fig5c(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    fig5c_cached(loads, cfg, &mut PointCache::new())
+}
+
+/// [`fig5c`] reusing a shared run cache.
+pub fn fig5c_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
+    rpc_figure("Fig 5c — asymmetric, p99 FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| s.p99())
+}
+
+/// Figure 6: Clove-ECN parameter sensitivity on the asymmetric topology.
+/// Series: (flowlet-gap multiplier × RTT, ECN threshold in packets).
+pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    let variants: [(&str, f64, u32); 4] = [
+        ("Clove-best (1*RTT, 20pkts)", 1.0, 20),
+        ("Clove (0.2*RTT, 20pkts)", 0.2, 20),
+        ("Clove (5*RTT, 20pkts)", 5.0, 20),
+        ("Clove (1*RTT, 40pkts)", 1.0, 40),
+    ];
+    let dist = web_search();
+    let mut table = FigureTable::new(
+        "Fig 6 — Clove-ECN parameter sensitivity, asymmetric, avg FCT (s)",
+        "load %",
+        loads.iter().map(|l| l * 100.0).collect(),
+    );
+    for (name, gap_mult, ecn_pkts) in variants {
+        let mut ys = Vec::new();
+        for &load in loads {
+            let mut pooled: Option<FctSummary> = None;
+            for seed in 0..cfg.seeds {
+                let mut s = scenario(Scheme::CloveEcn, TopologyKind::Asymmetric, load, 2000 + seed as u64, cfg);
+                // Multipliers are relative to the default gap (≈ the
+                // loaded RTT, the paper's "1×RTT best" operating point).
+                s.profile.flowlet_gap = Duration::from_secs_f64(s.profile.flowlet_gap.as_secs_f64() * gap_mult);
+                s.profile.ecn_threshold_pkts = ecn_pkts;
+                let out = s.run_rpc(&dist);
+                match pooled.as_mut() {
+                    None => pooled = Some(out.fct),
+                    Some(p) => p.merge(&out.fct),
+                }
+            }
+            ys.push(pooled.expect("seed ran").avg());
+        }
+        table.push_series(name, ys);
+    }
+    table
+}
+
+/// Figure 7: incast — client goodput (Gbps) vs request fan-in.
+pub fn fig7(fanouts: &[u32], requests: u32, cfg: &ExpConfig) -> FigureTable {
+    let schemes = [Scheme::CloveEcn, Scheme::EdgeFlowlet, Scheme::Mptcp { subflows: 4 }];
+    let mut table = FigureTable::new(
+        "Fig 7 — incast: client goodput (Gbps) vs request fan-in",
+        "fan-in",
+        fanouts.iter().map(|&f| f as f64).collect(),
+    );
+    for scheme in schemes {
+        let mut ys = Vec::new();
+        for &fanout in fanouts {
+            let mut sum = 0.0;
+            for seed in 0..cfg.seeds {
+                let s = scenario(scheme.clone(), TopologyKind::Symmetric, 0.5, 3000 + seed as u64, cfg);
+                let out = s.run_incast(fanout, requests, 10_000_000);
+                sum += out.goodput_bps / 1e9;
+            }
+            ys.push(sum / cfg.seeds as f64);
+        }
+        table.push_series(scheme.label(), ys);
+    }
+    table
+}
+
+/// Figure 8a: simulation scheme set, symmetric topology, avg FCT vs load.
+pub fn fig8a(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    fig8a_cached(loads, cfg, &mut PointCache::new())
+}
+
+/// [`fig8a`] reusing a shared run cache.
+pub fn fig8a_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
+    rpc_figure("Fig 8a — sim symmetric, avg FCT (s)", TopologyKind::Symmetric, &sim_schemes(), loads, cfg, cache, |s| s.avg())
+}
+
+/// Figure 8b: simulation scheme set, asymmetric topology, avg FCT vs load.
+pub fn fig8b(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
+    fig8b_cached(loads, cfg, &mut PointCache::new())
+}
+
+/// [`fig8b`] reusing a shared run cache.
+pub fn fig8b_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
+    rpc_figure("Fig 8b — sim asymmetric, avg FCT (s)", TopologyKind::Asymmetric, &sim_schemes(), loads, cfg, cache, |s| s.avg())
+}
+
+/// Figure 9: CDFs of mice FCTs at 70% load on the asymmetric topology for
+/// ECMP, Clove-ECN, CONGA. Returns `(scheme, cdf points)` triples.
+pub fn fig9(cfg: &ExpConfig) -> Vec<(String, Vec<(f64, f64)>)> {
+    fig9_cached(cfg, &mut PointCache::new())
+}
+
+/// [`fig9`] reusing a shared run cache.
+pub fn fig9_cached(cfg: &ExpConfig, cache: &mut PointCache) -> Vec<(String, Vec<(f64, f64)>)> {
+    let schemes = [Scheme::Ecmp, Scheme::CloveEcn, Scheme::Conga];
+    schemes
+        .into_iter()
+        .map(|scheme| {
+            let label = scheme.label().to_string();
+            let mut s = cache.point(&scheme, TopologyKind::Asymmetric, 0.7, cfg);
+            (label, s.mice_cdf(40))
+        })
+        .collect()
+}
+
+/// Shared driver for FCT-vs-load figures.
+fn rpc_figure(
+    title: &str,
+    topology: TopologyKind,
+    schemes: &[Scheme],
+    loads: &[f64],
+    cfg: &ExpConfig,
+    cache: &mut PointCache,
+    metric: impl Fn(&mut FctSummary) -> f64,
+) -> FigureTable {
+    let mut table = FigureTable::new(title, "load %", loads.iter().map(|l| l * 100.0).collect());
+    for scheme in schemes {
+        let ys: Vec<f64> = loads
+            .iter()
+            .map(|&load| {
+                let mut s = cache.point(scheme, topology, load, cfg);
+                metric(&mut s)
+            })
+            .collect();
+        table.push_series(scheme.label(), ys);
+    }
+    table
+}

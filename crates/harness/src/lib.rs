@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # clove-harness — experiments that reproduce every figure of the paper
+//!
+//! This crate assembles the substrates into runnable experiments:
+//!
+//! * [`profile`] — the parameter profile (link rates, ECN threshold,
+//!   flowlet gap, relay interval, RTO floors) used by all experiments;
+//!   defaults mirror the paper's testbed (§5) at full 10G/40G rates.
+//! * [`scheme`] — the scheme matrix: every load balancer the paper
+//!   evaluates (ECMP, Edge-Flowlet, Clove-ECN, Clove-INT, MPTCP, Presto,
+//!   CONGA, LetFlow) plus the §7 extensions (Clove-Latency, DCTCP hosts,
+//!   non-overlay mode).
+//! * [`stack`] — the per-hypervisor host stack implementing
+//!   `clove_net::HostLogic`: guest transports, the vswitch, the probe
+//!   daemon, application models, timers.
+//! * [`scenario`] — scenario construction and the run loop (RPC and
+//!   incast entry points).
+//! * [`experiments`] — one function per paper figure, returning tables.
+//! * [`report`] — plain-text table rendering for figures/EXPERIMENTS.md.
+
+pub mod config;
+pub mod experiments;
+pub mod profile;
+pub mod report;
+pub mod scenario;
+pub mod scheme;
+pub mod stack;
+
+pub use profile::Profile;
+pub use scenario::{IncastOutcome, RpcOutcome, Scenario, TopologyKind};
+pub use scheme::Scheme;

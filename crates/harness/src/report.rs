@@ -1,0 +1,131 @@
+//! Plain-text rendering of experiment tables (the figures, as text).
+
+use std::fmt::Write as _;
+
+/// A table of `series × x-points`, e.g. average FCT per scheme per load.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    /// Figure id and caption, e.g. "Fig 4b — symmetric, avg FCT (s)".
+    pub title: String,
+    /// The x-axis label (e.g. "load %").
+    pub x_label: String,
+    /// The x values.
+    pub xs: Vec<f64>,
+    /// One named series per scheme: `(name, y-values)` aligned with `xs`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, xs: Vec<f64>) -> FigureTable {
+        FigureTable { title: title.into(), x_label: x_label.into(), xs, series: Vec::new() }
+    }
+
+    /// Append a series; y length must match xs.
+    pub fn push_series(&mut self, name: impl Into<String>, ys: Vec<f64>) {
+        assert_eq!(ys.len(), self.xs.len(), "series length mismatch");
+        self.series.push((name.into(), ys));
+    }
+
+    /// The value of `series` at `x`, if present.
+    pub fn value(&self, series: &str, x: f64) -> Option<f64> {
+        let xi = self.xs.iter().position(|&v| (v - x).abs() < 1e-9)?;
+        self.series.iter().find(|(n, _)| n == series).map(|(_, ys)| ys[xi])
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let name_w = self.series.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(self.x_label.len());
+        let _ = write!(out, "{:<name_w$}", self.x_label);
+        for x in &self.xs {
+            let _ = write!(out, " {:>10}", format_num(*x));
+        }
+        let _ = writeln!(out);
+        for (name, ys) in &self.series {
+            let _ = write!(out, "{name:<name_w$}");
+            for y in ys {
+                let _ = write!(out, " {:>10}", format_num(*y));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for (name, _) in &self.series {
+            let _ = write!(out, ",{name}");
+        }
+        let _ = writeln!(out);
+        for (xi, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for (_, ys) in &self.series {
+                let _ = write!(out, ",{}", ys[xi]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FigureTable {
+        let mut t = FigureTable::new("Fig X", "load %", vec![30.0, 50.0, 70.0]);
+        t.push_series("ECMP", vec![0.1, 0.5, 2.0]);
+        t.push_series("Clove-ECN", vec![0.1, 0.2, 0.4]);
+        t
+    }
+
+    #[test]
+    fn lookup_by_x() {
+        let t = table();
+        assert_eq!(t.value("ECMP", 70.0), Some(2.0));
+        assert_eq!(t.value("Clove-ECN", 30.0), Some(0.1));
+        assert_eq!(t.value("nope", 30.0), None);
+        assert_eq!(t.value("ECMP", 99.0), None);
+    }
+
+    #[test]
+    fn render_contains_all_parts() {
+        let s = table().render();
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("ECMP"));
+        assert!(s.contains("Clove-ECN"));
+        assert!(s.contains("70"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "load %,ECMP,Clove-ECN");
+        assert!(lines[3].starts_with("70,2,"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_series_rejected() {
+        let mut t = FigureTable::new("t", "x", vec![1.0]);
+        t.push_series("s", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Scenario construction and the run loop.
+//!
+//! A [`Scenario`] names everything one experiment run needs: the scheme,
+//! the topology (symmetric or with the paper's S2–L2 failure), the target
+//! load, job counts and the random seed. [`Scenario::run_rpc`] executes
+//! the web-search RPC workload and returns FCT summaries;
+//! [`Scenario::run_incast`] executes the Figure-7 partition-aggregate
+//! workload and returns client goodput.
+
+use crate::profile::Profile;
+use crate::scheme::Scheme;
+use crate::stack::HostStack;
+use clove_net::fabric::Event;
+use clove_net::topology::{LeafSpine, Topology};
+use clove_net::types::{HostId, NodeId, SwitchId};
+use clove_net::Network;
+use clove_sim::{Duration, EventQueue, SimRng, Time};
+use clove_workload::{load_to_rate, FctSummary, FlowSizeDist, IncastSpec, RpcModel};
+use std::collections::HashMap;
+
+/// Which topology variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// The 2×2×16 leaf-spine testbed, all links healthy.
+    Symmetric,
+    /// Same, with one 40G S2–L2 cable failed before traffic starts —
+    /// the paper's asymmetry case (25% bisection loss).
+    Asymmetric,
+    /// A k-ary fat-tree (k even, ≥4; k²·k/4 hosts at the access rate) —
+    /// exercises the paper's "works on any topology" claim end to end.
+    FatTree {
+        /// Pod arity.
+        k: u32,
+    },
+}
+
+/// One experiment run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The load balancer under test.
+    pub scheme: Scheme,
+    /// Topology variant.
+    pub topology: TopologyKind,
+    /// Offered load as a fraction of the bisection bandwidth.
+    pub load: f64,
+    /// Jobs per client connection.
+    pub jobs_per_conn: u32,
+    /// Persistent connections per client (testbed: several; sims: 3).
+    pub conns_per_client: u32,
+    /// RNG seed (paper runs 3 seeds and averages).
+    pub seed: u64,
+    /// Parameter profile.
+    pub profile: Profile,
+    /// Hard wall on simulated time.
+    pub horizon: Time,
+    /// Fail one S2–L2 cable *mid-run* at this instant (dynamic failure —
+    /// exercises on-line re-discovery; independent of `topology`, which
+    /// fails the cable before traffic starts).
+    pub fail_at: Option<Time>,
+}
+
+impl Scenario {
+    /// A scenario with everything defaulted except scheme/topology/load.
+    pub fn new(scheme: Scheme, topology: TopologyKind, load: f64, seed: u64) -> Scenario {
+        Scenario {
+            scheme,
+            topology,
+            load,
+            jobs_per_conn: 40,
+            conns_per_client: 2,
+            seed,
+            profile: Profile::default(),
+            horizon: Time::from_secs(30),
+            fail_at: None,
+        }
+    }
+
+    fn build_topology(&self) -> Topology {
+        if let TopologyKind::FatTree { k } = self.topology {
+            return clove_net::topology::FatTree {
+                k,
+                access_bps: self.profile.access_bps,
+                fabric_bps: self.profile.access_bps, // uniform rates, as usual for fat-trees
+                scheme: self.scheme.fabric_scheme(&self.profile),
+                seed: self.seed,
+            }
+            .build();
+        }
+        let mut spec = LeafSpine::paper_testbed(1.0, self.seed);
+        spec.access_bps = self.profile.access_bps;
+        spec.fabric_bps = self.profile.fabric_bps;
+        spec.access_cfg = self.profile.access_link(self.scheme.int_enabled());
+        spec.fabric_cfg = self.profile.fabric_link(self.scheme.int_enabled());
+        spec.scheme = self.scheme.fabric_scheme(&self.profile);
+        let mut topo = spec.build();
+        if self.topology == TopologyKind::Asymmetric {
+            // Fail one S2–L2 cable: spine index 1 (switch id 3) to leaf 1.
+            let cable = topo
+                .cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3)))
+                .expect("fabric cable exists");
+            topo.fail_cable(cable);
+        }
+        topo
+    }
+
+    /// Run the web-search RPC workload.
+    pub fn run_rpc(&self, dist: &FlowSizeDist) -> RpcOutcome {
+        let topo = self.build_topology();
+        let num_hosts = topo.num_hosts;
+        let bisection = topo.bisection_bps;
+        let mut stack = HostStack::new(num_hosts, &self.scheme, self.profile, self.seed);
+
+        // Plan the workload.
+        let hosts: Vec<HostId> = (0..num_hosts).map(HostId).collect();
+        let model = RpcModel::half_and_half(&hosts, self.conns_per_client, dist.clone());
+        let mut rng = SimRng::new(self.seed ^ 0x0C0FFEE);
+        let plans = model.plan_connections(&mut rng);
+        let mean_bytes = model.mean_flow_bytes();
+        let rate = load_to_rate(self.load, bisection, model.total_connections(), mean_bytes);
+        let mean_gap = Duration::from_secs_f64(1.0 / rate);
+
+        let mptcp = self.scheme.mptcp_subflows();
+        for plan in &plans {
+            let conn_idx = stack.add_connection(plan, mptcp, Time::ZERO);
+            let jobs = model.sample_jobs(&mut rng, self.jobs_per_conn, mean_gap);
+            stack.set_jobs(plan.client, conn_idx, jobs);
+        }
+
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(1 << 16);
+        stack.bootstrap(&mut |host, tok, at| {
+            queue.push(at, Event::HostTimer { host, token: tok });
+        });
+        if matches!(self.scheme, Scheme::Hula) {
+            queue.push(Time::ZERO, Event::HulaTick);
+        }
+        if let Some(at) = self.fail_at {
+            assert!(
+                !matches!(self.topology, TopologyKind::FatTree { .. }),
+                "mid-run failure injection targets the leaf-spine cable"
+            );
+            let cable = topo
+                .cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3)))
+                .expect("fabric cable exists");
+            queue.push(at, Event::LinkAdmin { link: cable.0, up: false });
+            queue.push(at, Event::LinkAdmin { link: cable.1, up: false });
+        }
+
+        let mut net = Network::new(topo.fabric, stack);
+        let summary = run_to_completion(&mut net, &mut queue, self.horizon);
+        let events = summary.events;
+        let end = summary.end_time;
+
+        let drops: u64 = net.fabric.links.iter().map(|l| l.stats.drops_overflow + l.stats.drops_down).sum();
+        let marks: u64 = net.fabric.links.iter().map(|l| l.stats.ecn_marks).sum();
+        net.hosts.aggregate_transport_stats();
+        RpcOutcome {
+            fct: net.hosts.fct.summarize(),
+            sim_time: end,
+            events,
+            drops,
+            ecn_marks: marks,
+            timeouts: net.hosts.stats.timeouts,
+            retransmits: net.hosts.stats.retransmits,
+            fast_retransmits: net.hosts.stats.fast_retransmits,
+            spurious_undos: net.hosts.stats.spurious_undos,
+            path_updates: net.hosts.stats.path_updates,
+            stalled: net.hosts.stalled_report(),
+            link_report: link_report(&net.fabric),
+        }
+    }
+
+    /// Run the incast workload at the given fan-in.
+    pub fn run_incast(&self, fanout: u32, requests: u32, object_bytes: u64) -> IncastOutcome {
+        let topo = self.build_topology();
+        let num_hosts = topo.num_hosts;
+        let mut stack = HostStack::new(num_hosts, &self.scheme, self.profile, self.seed);
+
+        // Client is host 0 (leaf 0); servers are the 16 hosts of leaf 1 —
+        // responses cross the fabric and converge on the client's access
+        // downlink, as in the paper's testbed.
+        let client = HostId(0);
+        let servers: Vec<HostId> = (16..32).map(HostId).collect();
+        let mptcp = self.scheme.mptcp_subflows();
+        let mut server_conn = HashMap::new();
+        for (i, &server) in servers.iter().enumerate() {
+            // Server→client data pipe.
+            let plan = clove_workload::rpc::ConnectionPlan {
+                client: server, // the sending side of the pipe
+                server: client,
+                sport: 7000 + i as u16 * 16,
+                dport: 5201,
+            };
+            let conn_idx = stack.add_connection(&plan, mptcp, Time::ZERO);
+            server_conn.insert(server, conn_idx);
+        }
+        let spec = IncastSpec { client, servers, object_bytes, fanout, requests };
+        stack.set_incast(spec, server_conn, self.seed);
+
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(1 << 16);
+        stack.bootstrap(&mut |host, tok, at| {
+            queue.push(at, Event::HostTimer { host, token: tok });
+        });
+        if matches!(self.scheme, Scheme::Hula) {
+            queue.push(Time::ZERO, Event::HulaTick);
+        }
+
+        let mut net = Network::new(topo.fabric, stack);
+        let summary = run_to_completion(&mut net, &mut queue, self.horizon);
+        let (rounds, elapsed) = net.hosts.incast_result().expect("incast configured");
+        let bytes = rounds as u64 * object_bytes;
+        let goodput_bps = if elapsed.is_zero() {
+            0.0
+        } else {
+            bytes as f64 * 8.0 / elapsed.as_secs_f64()
+        };
+        IncastOutcome {
+            goodput_bps,
+            rounds,
+            sim_time: summary.end_time,
+            events: summary.events,
+            timeouts: net.hosts.stats.timeouts,
+        }
+    }
+}
+
+/// Drive the network until all jobs complete or the horizon passes.
+fn run_to_completion(
+    net: &mut Network<HostStack>,
+    queue: &mut EventQueue<Event>,
+    horizon: Time,
+) -> clove_sim::RunSummary {
+    let chunk = Duration::from_millis(50);
+    let mut upto = Time::ZERO + chunk;
+    let mut total = clove_sim::RunSummary { events: 0, end_time: Time::ZERO, hit_horizon: false };
+    loop {
+        let s = clove_sim::run(net, queue, upto.min(horizon));
+        total.events += s.events;
+        total.end_time = total.end_time.max(s.end_time);
+        total.hit_horizon = s.hit_horizon;
+        let done = net.hosts.fct.completed() as u64 >= net.hosts.total_jobs;
+        if done || !s.hit_horizon || upto >= horizon {
+            return total;
+        }
+        upto = upto + chunk;
+    }
+}
+
+/// Results of one RPC run.
+#[derive(Debug, Clone)]
+pub struct RpcOutcome {
+    /// FCT summaries (all / mice / elephants / p99).
+    pub fct: FctSummary,
+    /// Simulated time at the last event.
+    pub sim_time: Time,
+    /// Events processed.
+    pub events: u64,
+    /// Packets dropped in the fabric.
+    pub drops: u64,
+    /// CE marks applied.
+    pub ecn_marks: u64,
+    /// TCP timeouts.
+    pub timeouts: u64,
+    /// TCP retransmissions (all kinds).
+    pub retransmits: u64,
+    /// Fast retransmissions.
+    pub fast_retransmits: u64,
+    /// Spurious retransmissions undone (DSACK).
+    pub spurious_undos: u64,
+    /// Discovery updates installed.
+    pub path_updates: u64,
+    /// Diagnostic lines for connections that never drained.
+    pub stalled: Vec<String>,
+    /// Per-fabric-link utilization diagnostics.
+    pub link_report: Vec<String>,
+}
+
+/// Summarize switch-to-switch link usage (diagnostics).
+fn link_report(fabric: &clove_net::Fabric) -> Vec<String> {
+    fabric
+        .links
+        .iter()
+        .filter(|l| matches!((l.from, l.to), (NodeId::Switch(_), NodeId::Switch(_))))
+        .map(|l| {
+            format!(
+                "{:?}->{:?} {} tx={}MB drops={} marks={} maxq={}KB",
+                l.from,
+                l.to,
+                if l.up { "up" } else { "DOWN" },
+                l.stats.tx_bytes / 1_000_000,
+                l.stats.drops_overflow,
+                l.stats.ecn_marks,
+                l.stats.max_queue_bytes / 1024,
+            )
+        })
+        .collect()
+}
+
+/// Results of one incast run.
+#[derive(Debug, Clone, Copy)]
+pub struct IncastOutcome {
+    /// Client receive goodput in bits/second.
+    pub goodput_bps: f64,
+    /// Completed request rounds.
+    pub rounds: u32,
+    /// Simulated time at the last event.
+    pub sim_time: Time,
+    /// Events processed.
+    pub events: u64,
+    /// TCP timeouts.
+    pub timeouts: u64,
+}

@@ -1,0 +1,353 @@
+//! Directed links: the queueing heart of the simulator.
+//!
+//! A [`Link`] models one direction of a cable attached to an egress port:
+//! a FIFO drop-tail byte-bounded queue, a transmitter that serializes one
+//! packet at a time at the line rate, fixed propagation delay, ECN marking
+//! when the *standing queue* exceeds a threshold (the switch-feature Clove
+//! relies on, paper §3.2), and a [`Dre`] utilization estimator (CONGA / INT).
+//!
+//! The link itself schedules no events — [`crate::fabric`] drives it with
+//! `enqueue` / `tx_done` calls and owns the event queue. This keeps all
+//! scheduling in one place and the link unit-testable in isolation.
+
+use crate::dre::Dre;
+use crate::packet::Packet;
+use crate::types::{LinkId, NodeId};
+use clove_sim::{Duration, Time};
+use std::collections::VecDeque;
+
+/// Static configuration for a link direction.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Line rate in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay.
+    pub prop_delay: Duration,
+    /// Drop-tail buffer capacity in bytes.
+    pub buffer_bytes: u32,
+    /// ECN marking threshold in bytes of standing queue (the paper and
+    /// DCTCP recommend ~20 MTU-sized packets).
+    pub ecn_threshold_bytes: u32,
+    /// Whether this link's switch stamps INT utilization into packets.
+    pub int_enabled: bool,
+    /// DRE gain.
+    pub dre_alpha: f64,
+    /// DRE decay period.
+    pub dre_period: Duration,
+}
+
+impl LinkConfig {
+    /// A sensible default for a given rate: 256 KB buffer, 30 KB ECN
+    /// threshold (20 × 1500 B), DRE window ≈ 500 µs.
+    pub fn for_rate(rate_bps: u64) -> LinkConfig {
+        LinkConfig {
+            rate_bps,
+            prop_delay: Duration::from_micros(2),
+            buffer_bytes: 256 * 1024,
+            ecn_threshold_bytes: 30_000,
+            int_enabled: false,
+            dre_alpha: 0.1,
+            dre_period: Duration::from_micros(50),
+        }
+    }
+}
+
+/// Counters exposed for experiments and assertions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub tx_packets: u64,
+    /// Bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped: buffer overflow.
+    pub drops_overflow: u64,
+    /// Packets dropped: link administratively down.
+    pub drops_down: u64,
+    /// Packets that received a CE mark here.
+    pub ecn_marks: u64,
+    /// High-water mark of the queue in bytes.
+    pub max_queue_bytes: u32,
+}
+
+/// What `enqueue` did with the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Queued (possibly CE-marked); transmitter already busy.
+    Queued,
+    /// Queued and the transmitter was idle: caller must schedule
+    /// [`Link::tx_done`] at the returned time.
+    StartedTx {
+        /// When serialization of this packet completes.
+        done_at: Time,
+    },
+    /// Dropped (full buffer or link down).
+    Dropped,
+}
+
+/// One direction of a cable. See module docs.
+#[derive(Debug)]
+pub struct Link {
+    /// This link's id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Static parameters.
+    pub cfg: LinkConfig,
+    /// Administrative and physical state.
+    pub up: bool,
+    /// The opposite direction of this cable (set by topology builders);
+    /// HULA probes use it to read utilization in the data direction.
+    pub reverse: Option<LinkId>,
+    /// Utilization estimator.
+    pub dre: Dre,
+    /// Counters.
+    pub stats: LinkStats,
+    queue: VecDeque<Packet>,
+    queue_bytes: u32,
+    in_flight: Option<Packet>,
+}
+
+impl Link {
+    /// Create an idle, up link.
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, cfg: LinkConfig) -> Link {
+        Link {
+            id,
+            from,
+            to,
+            up: true,
+            reverse: None,
+            dre: Dre::new(cfg.dre_alpha, cfg.dre_period, cfg.rate_bps),
+            stats: LinkStats::default(),
+            queue: VecDeque::new(),
+            queue_bytes: 0,
+            in_flight: None,
+            cfg,
+        }
+    }
+
+    /// Standing queue length in bytes (excludes the packet on the wire).
+    pub fn queue_bytes(&self) -> u32 {
+        self.queue_bytes
+    }
+
+    /// Number of queued packets (excludes the packet on the wire).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if the transmitter is serializing a packet right now.
+    pub fn busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Time to serialize `bytes` on this link.
+    pub fn ser_time(&self, bytes: u32) -> Duration {
+        Duration::for_bytes_at(bytes as u64, self.cfg.rate_bps)
+    }
+
+    /// Offer a packet to this egress port at `now`.
+    ///
+    /// Applies admission (drop-tail), ECN marking, and INT stamping, then
+    /// either starts transmission (if idle) or queues. The caller turns
+    /// `StartedTx { done_at }` into a `TxDone` event.
+    pub fn enqueue(&mut self, now: Time, mut pkt: Packet) -> EnqueueOutcome {
+        if !self.up {
+            self.stats.drops_down += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        if self.queue_bytes.saturating_add(pkt.size) > self.cfg.buffer_bytes {
+            self.stats.drops_overflow += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        // ECN: mark on enqueue if the standing queue already exceeds the
+        // threshold and the packet is ECN-capable.
+        if pkt.ect && self.queue_bytes >= self.cfg.ecn_threshold_bytes {
+            if !pkt.ce {
+                self.stats.ecn_marks += 1;
+            }
+            pkt.ce = true;
+        }
+        // INT: stamp the running max of this egress link's utilization.
+        if self.cfg.int_enabled {
+            let u = self.dre.utilization_pm(now);
+            pkt.int_util_pm = Some(pkt.int_util_pm.map_or(u, |prev| prev.max(u)));
+        }
+        if self.in_flight.is_none() {
+            debug_assert!(self.queue.is_empty());
+            let done_at = now + self.ser_time(pkt.size);
+            self.dre.on_transmit(now, pkt.size);
+            self.in_flight = Some(pkt);
+            EnqueueOutcome::StartedTx { done_at }
+        } else {
+            self.queue_bytes += pkt.size;
+            self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queue_bytes);
+            self.queue.push_back(pkt);
+            EnqueueOutcome::Queued
+        }
+    }
+
+    /// The transmitter finished serializing the in-flight packet.
+    ///
+    /// Returns the departed packet (to be delivered to `self.to` after
+    /// `prop_delay`) and, if another packet was waiting, the completion
+    /// time of its transmission (caller schedules the next `TxDone`).
+    pub fn tx_done(&mut self, now: Time) -> (Packet, Option<Time>) {
+        let departed = self.in_flight.take().expect("tx_done without in-flight packet");
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += departed.size as u64;
+        let next_done = self.queue.pop_front().map(|next| {
+            self.queue_bytes -= next.size;
+            let done_at = now + self.ser_time(next.size);
+            self.dre.on_transmit(now, next.size);
+            self.in_flight = Some(next);
+            done_at
+        });
+        (departed, next_done)
+    }
+
+    /// Administratively set link state. Taking the link down flushes the
+    /// queue (packets are lost, as with a real cable pull); the packet
+    /// currently on the wire is allowed to arrive.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+        if !up {
+            self.stats.drops_down += self.queue.len() as u64;
+            self.queue.clear();
+            self.queue_bytes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use crate::types::{FlowKey, HostId, SwitchId};
+
+    fn cfg() -> LinkConfig {
+        LinkConfig {
+            rate_bps: 1_000_000_000, // 1 Gbps: 1500 B = 12 us
+            prop_delay: Duration::from_micros(2),
+            buffer_bytes: 6000,
+            ecn_threshold_bytes: 3000,
+            int_enabled: false,
+            dre_alpha: 0.1,
+            dre_period: Duration::from_micros(50),
+        }
+    }
+
+    fn link() -> Link {
+        Link::new(LinkId(0), NodeId::Switch(SwitchId(0)), NodeId::Host(HostId(0)), cfg())
+    }
+
+    fn pkt(uid: u64, size: u32) -> Packet {
+        let mut p = Packet::new(uid, size, FlowKey::tcp(HostId(0), HostId(1), 1, 2), PacketKind::Data { seq: 0, len: size, dsn: 0 });
+        p.ect = true;
+        p
+    }
+
+    #[test]
+    fn idle_link_starts_transmission() {
+        let mut l = link();
+        match l.enqueue(Time::ZERO, pkt(1, 1500)) {
+            EnqueueOutcome::StartedTx { done_at } => assert_eq!(done_at, Time::from_micros(12)),
+            other => panic!("{other:?}"),
+        }
+        assert!(l.busy());
+        assert_eq!(l.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_link_queues_then_chains() {
+        let mut l = link();
+        assert!(matches!(l.enqueue(Time::ZERO, pkt(1, 1500)), EnqueueOutcome::StartedTx { .. }));
+        assert_eq!(l.enqueue(Time::ZERO, pkt(2, 1500)), EnqueueOutcome::Queued);
+        assert_eq!(l.queue_bytes(), 1500);
+        let (departed, next) = l.tx_done(Time::from_micros(12));
+        assert_eq!(departed.uid, 1);
+        assert_eq!(next, Some(Time::from_micros(24)));
+        assert_eq!(l.queue_bytes(), 0);
+        let (departed2, next2) = l.tx_done(Time::from_micros(24));
+        assert_eq!(departed2.uid, 2);
+        assert!(next2.is_none());
+        assert!(!l.busy());
+        assert_eq!(l.stats.tx_packets, 2);
+        assert_eq!(l.stats.tx_bytes, 3000);
+    }
+
+    #[test]
+    fn drop_tail_on_overflow() {
+        let mut l = link();
+        // 1 in flight + 4 queued fills 6000-byte buffer.
+        for i in 0..5 {
+            assert_ne!(l.enqueue(Time::ZERO, pkt(i, 1500)), EnqueueOutcome::Dropped);
+        }
+        assert_eq!(l.enqueue(Time::ZERO, pkt(9, 1500)), EnqueueOutcome::Dropped);
+        assert_eq!(l.stats.drops_overflow, 1);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold_only_ect() {
+        let mut l = link();
+        // First packet in flight; two queued puts queue at 3000 = threshold.
+        l.enqueue(Time::ZERO, pkt(0, 1500));
+        l.enqueue(Time::ZERO, pkt(1, 1500));
+        l.enqueue(Time::ZERO, pkt(2, 1500));
+        // Fourth packet sees queue_bytes = 3000 >= 3000: marked.
+        l.enqueue(Time::ZERO, pkt(3, 1500));
+        // Non-ECT packet is never marked.
+        let mut non_ect = pkt(4, 100);
+        non_ect.ect = false;
+        l.enqueue(Time::ZERO, non_ect);
+        let mut marked = vec![];
+        l.tx_done(Time::from_micros(12)); // departs pkt 0
+        for t in [24, 36, 48, 49u64] {
+            let (p, _) = l.tx_done(Time::from_micros(t));
+            marked.push((p.uid, p.ce));
+        }
+        assert_eq!(marked, vec![(1, false), (2, false), (3, true), (4, false)]);
+        assert_eq!(l.stats.ecn_marks, 1);
+    }
+
+    #[test]
+    fn int_stamps_running_max() {
+        let mut c = cfg();
+        c.int_enabled = true;
+        let mut l = Link::new(LinkId(0), NodeId::Switch(SwitchId(0)), NodeId::Host(HostId(0)), c);
+        let mut p = pkt(1, 1500);
+        p.int_util_pm = Some(700);
+        // Link idle: utilization ~0, running max stays 700.
+        match l.enqueue(Time::ZERO, p) {
+            EnqueueOutcome::StartedTx { .. } => {}
+            o => panic!("{o:?}"),
+        }
+        let (out, _) = l.tx_done(Time::from_micros(12));
+        assert_eq!(out.int_util_pm, Some(700));
+    }
+
+    #[test]
+    fn down_link_drops_and_flushes() {
+        let mut l = link();
+        l.enqueue(Time::ZERO, pkt(1, 1500));
+        l.enqueue(Time::ZERO, pkt(2, 1500));
+        l.set_up(false);
+        assert_eq!(l.queue_len(), 0);
+        assert_eq!(l.enqueue(Time::ZERO, pkt(3, 1500)), EnqueueOutcome::Dropped);
+        assert_eq!(l.stats.drops_down, 2);
+        // in-flight packet still completes
+        let (p, next) = l.tx_done(Time::from_micros(12));
+        assert_eq!(p.uid, 1);
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn max_queue_high_water_mark() {
+        let mut l = link();
+        for i in 0..4 {
+            l.enqueue(Time::ZERO, pkt(i, 1000));
+        }
+        assert_eq!(l.stats.max_queue_bytes, 3000);
+    }
+}

@@ -1,0 +1,495 @@
+//! Topology builders and shortest-path ECMP routing.
+//!
+//! The paper's testbed is a 2-tier leaf-spine: two leaves, two spines,
+//! *two* 40G links between every leaf-spine pair (four disjoint fabric
+//! paths), 16 × 10G hosts per leaf, full bisection. [`LeafSpine`]
+//! generalizes this (any leaf/spine/host counts and trunking factor), and
+//! [`FatTree`] builds k-ary fat-trees, backing the paper's "works on any
+//! topology" claim.
+//!
+//! Routing is computed from the live graph — BFS from every host over *up*
+//! links, with every minimal-distance egress admitted to the ECMP group.
+//! This is rerun on any link state change, which is exactly the remap that
+//! forces Clove to re-discover its port→path mapping (paper §3.1).
+
+use crate::fabric::{Fabric, HostAttachment};
+use crate::link::{Link, LinkConfig};
+use crate::switch::{FabricScheme, Switch};
+use crate::types::{HostId, LinkId, NodeId, SwitchId};
+use std::collections::VecDeque;
+
+/// A constructed topology: the fabric plus builder metadata that
+/// experiments use (e.g. which link to fail).
+pub struct Topology {
+    /// The runnable fabric.
+    pub fabric: Fabric,
+    /// Human-readable name.
+    pub name: String,
+    /// Duplex pairs: `(a_to_b, b_to_a)` for every cable, for admin ops.
+    pub cables: Vec<(LinkId, LinkId)>,
+    /// Total bisection bandwidth in bits/sec (leaf-spine capacity).
+    pub bisection_bps: u64,
+    /// Number of hosts.
+    pub num_hosts: u32,
+}
+
+impl Topology {
+    /// Both directed link ids of the cable between two nodes, if present.
+    pub fn cable_between(&self, a: NodeId, b: NodeId) -> Option<(LinkId, LinkId)> {
+        self.cables.iter().copied().find(|&(ab, _)| {
+            let l = self.fabric.link(ab);
+            l.from == a && l.to == b
+        })
+    }
+
+    /// Administratively fail a cable (both directions) and recompute routes.
+    pub fn fail_cable(&mut self, cable: (LinkId, LinkId)) {
+        self.fabric.links[cable.0 .0 as usize].set_up(false);
+        self.fabric.links[cable.1 .0 as usize].set_up(false);
+        recompute_routes(&mut self.fabric);
+    }
+
+    /// Restore a failed cable and recompute routes.
+    pub fn restore_cable(&mut self, cable: (LinkId, LinkId)) {
+        self.fabric.links[cable.0 .0 as usize].set_up(true);
+        self.fabric.links[cable.1 .0 as usize].set_up(true);
+        recompute_routes(&mut self.fabric);
+    }
+}
+
+/// Builder for 2-tier leaf-spine fabrics (the paper's testbed shape).
+#[derive(Debug, Clone)]
+pub struct LeafSpine {
+    /// Number of leaf (ToR) switches.
+    pub leaves: u32,
+    /// Number of spine switches.
+    pub spines: u32,
+    /// Parallel cables between each leaf-spine pair (the testbed uses 2).
+    pub trunk: u32,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: u32,
+    /// Host access link rate (testbed: 10G; scale as needed).
+    pub access_bps: u64,
+    /// Leaf-spine link rate (testbed: 40G).
+    pub fabric_bps: u64,
+    /// Link config template for access links (rate overridden).
+    pub access_cfg: LinkConfig,
+    /// Link config template for fabric links (rate overridden).
+    pub fabric_cfg: LinkConfig,
+    /// Scheme the switches run.
+    pub scheme: FabricScheme,
+    /// Seed for per-switch hash seeds and fabric RNG.
+    pub seed: u64,
+}
+
+impl LeafSpine {
+    /// The paper's testbed, with rates scaled by `scale` (1.0 = 40G/10G).
+    /// Use a small scale (e.g. 0.1 → 4G/1G) to keep simulations cheap while
+    /// preserving the 16:4 host:fabric-path ratio and full bisection.
+    pub fn paper_testbed(scale: f64, seed: u64) -> LeafSpine {
+        let access = (10e9 * scale) as u64;
+        let fabric = (40e9 * scale) as u64;
+        LeafSpine {
+            leaves: 2,
+            spines: 2,
+            trunk: 2,
+            hosts_per_leaf: 16,
+            access_bps: access,
+            fabric_bps: fabric,
+            access_cfg: LinkConfig::for_rate(access),
+            fabric_cfg: LinkConfig::for_rate(fabric),
+            scheme: FabricScheme::Ecmp,
+            seed,
+        }
+    }
+
+    /// Construct the fabric.
+    pub fn build(&self) -> Topology {
+        assert!(self.leaves > 0 && self.spines > 0 && self.trunk > 0 && self.hosts_per_leaf > 0);
+        let mut switches = Vec::new();
+        let mut links: Vec<Link> = Vec::new();
+        let mut cables = Vec::new();
+        let mut hosts = Vec::new();
+
+        let mut seed_gen = clove_sim::SimRng::new(self.seed ^ 0x70_50_10);
+        // Leaves first, then spines.
+        for i in 0..self.leaves {
+            switches.push(Switch::new(SwitchId(i), seed_gen.u64(), true));
+        }
+        for i in 0..self.spines {
+            switches.push(Switch::new(SwitchId(self.leaves + i), seed_gen.u64(), false));
+        }
+
+        let add_cable = |links: &mut Vec<Link>,
+                             switches: &mut Vec<Switch>,
+                             a: NodeId,
+                             b: NodeId,
+                             cfg: LinkConfig| {
+            let ab = LinkId(links.len() as u32);
+            links.push(Link::new(ab, a, b, cfg));
+            let ba = LinkId(links.len() as u32);
+            links.push(Link::new(ba, b, a, cfg));
+            links[ab.0 as usize].reverse = Some(ba);
+            links[ba.0 as usize].reverse = Some(ab);
+            if let NodeId::Switch(s) = a {
+                switches[s.0 as usize].ports.push(ab);
+            }
+            if let NodeId::Switch(s) = b {
+                switches[s.0 as usize].ports.push(ba);
+            }
+            (ab, ba)
+        };
+
+        // Fabric cables: leaf <-> spine, `trunk` parallel cables each.
+        let mut fcfg = self.fabric_cfg;
+        fcfg.rate_bps = self.fabric_bps;
+        for l in 0..self.leaves {
+            for s in 0..self.spines {
+                for _ in 0..self.trunk {
+                    let pair = add_cable(
+                        &mut links,
+                        &mut switches,
+                        NodeId::Switch(SwitchId(l)),
+                        NodeId::Switch(SwitchId(self.leaves + s)),
+                        fcfg,
+                    );
+                    cables.push(pair);
+                }
+            }
+        }
+
+        // Access cables: host <-> leaf.
+        let mut acfg = self.access_cfg;
+        acfg.rate_bps = self.access_bps;
+        for l in 0..self.leaves {
+            for h in 0..self.hosts_per_leaf {
+                let host = HostId(l * self.hosts_per_leaf + h);
+                let (up, down) = add_cable(
+                    &mut links,
+                    &mut switches,
+                    NodeId::Host(host),
+                    NodeId::Switch(SwitchId(l)),
+                    acfg,
+                );
+                cables.push((up, down));
+                hosts.push(HostAttachment { uplink: up, downlink: down, leaf: SwitchId(l) });
+            }
+        }
+
+        let mut fabric = Fabric::new(switches, links, hosts, self.scheme, self.seed);
+        recompute_routes(&mut fabric);
+        // Bisection: uplink capacity of one leaf (symmetric Clos).
+        let bisection = self.fabric_bps * (self.spines * self.trunk) as u64;
+        Topology {
+            fabric,
+            name: format!(
+                "leafspine-{}x{}x{}t{} ({}G/{}G)",
+                self.leaves,
+                self.spines,
+                self.hosts_per_leaf,
+                self.trunk,
+                self.fabric_bps / 1_000_000_000,
+                self.access_bps / 1_000_000_000
+            ),
+            cables,
+            bisection_bps: bisection,
+            num_hosts: self.leaves * self.hosts_per_leaf,
+        }
+    }
+}
+
+/// Builder for k-ary fat-trees (k pods; k²/4 cores; k/2 aggs + k/2 edges
+/// per pod; k/2 hosts per edge) — used to demonstrate topology-agnostic
+/// path discovery.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Pod arity; must be even and ≥ 2.
+    pub k: u32,
+    /// Host access rate.
+    pub access_bps: u64,
+    /// Switch-switch rate.
+    pub fabric_bps: u64,
+    /// Scheme the switches run.
+    pub scheme: FabricScheme,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl FatTree {
+    /// Construct the fat-tree fabric.
+    pub fn build(&self) -> Topology {
+        let k = self.k;
+        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+        let half = k / 2;
+        let num_edge = k * half;
+        let num_agg = k * half;
+        let num_core = half * half;
+        let mut seed_gen = clove_sim::SimRng::new(self.seed ^ 0xFA7_7EE);
+
+        // Switch ids: edges [0, num_edge), aggs [num_edge, +num_agg),
+        // cores [num_edge+num_agg, +num_core).
+        let mut switches = Vec::new();
+        for i in 0..num_edge {
+            switches.push(Switch::new(SwitchId(i), seed_gen.u64(), true));
+        }
+        for i in 0..num_agg {
+            switches.push(Switch::new(SwitchId(num_edge + i), seed_gen.u64(), false));
+        }
+        for i in 0..num_core {
+            switches.push(Switch::new(SwitchId(num_edge + num_agg + i), seed_gen.u64(), false));
+        }
+
+        let mut links: Vec<Link> = Vec::new();
+        let mut cables = Vec::new();
+        let mut hosts = Vec::new();
+        let add_cable = |links: &mut Vec<Link>,
+                             switches: &mut Vec<Switch>,
+                             a: NodeId,
+                             b: NodeId,
+                             cfg: LinkConfig| {
+            let ab = LinkId(links.len() as u32);
+            links.push(Link::new(ab, a, b, cfg));
+            let ba = LinkId(links.len() as u32);
+            links.push(Link::new(ba, b, a, cfg));
+            links[ab.0 as usize].reverse = Some(ba);
+            links[ba.0 as usize].reverse = Some(ab);
+            if let NodeId::Switch(s) = a {
+                switches[s.0 as usize].ports.push(ab);
+            }
+            if let NodeId::Switch(s) = b {
+                switches[s.0 as usize].ports.push(ba);
+            }
+            (ab, ba)
+        };
+
+        let fcfg = LinkConfig { rate_bps: self.fabric_bps, ..LinkConfig::for_rate(self.fabric_bps) };
+        let acfg = LinkConfig { rate_bps: self.access_bps, ..LinkConfig::for_rate(self.access_bps) };
+
+        for pod in 0..k {
+            for e in 0..half {
+                let edge = SwitchId(pod * half + e);
+                for a in 0..half {
+                    let agg = SwitchId(num_edge + pod * half + a);
+                    cables.push(add_cable(&mut links, &mut switches, NodeId::Switch(edge), NodeId::Switch(agg), fcfg));
+                }
+            }
+            for a in 0..half {
+                let agg = SwitchId(num_edge + pod * half + a);
+                for c in 0..half {
+                    let core = SwitchId(num_edge + num_agg + a * half + c);
+                    cables.push(add_cable(&mut links, &mut switches, NodeId::Switch(agg), NodeId::Switch(core), fcfg));
+                }
+            }
+        }
+        for pod in 0..k {
+            for e in 0..half {
+                let edge = SwitchId(pod * half + e);
+                for h in 0..half {
+                    let host = HostId((pod * half + e) * half + h);
+                    let (up, down) = add_cable(&mut links, &mut switches, NodeId::Host(host), NodeId::Switch(edge), acfg);
+                    cables.push((up, down));
+                    hosts.push(HostAttachment { uplink: up, downlink: down, leaf: edge });
+                }
+            }
+        }
+
+        let num_hosts = hosts.len() as u32;
+        let mut fabric = Fabric::new(switches, links, hosts, self.scheme, self.seed);
+        recompute_routes(&mut fabric);
+        Topology {
+            fabric,
+            name: format!("fattree-k{k}"),
+            cables,
+            // Worst-case pod bisection: each of the k²/4 cores contributes
+            // k/2 links across any half-half pod cut.
+            bisection_bps: (num_core as u64) * (half as u64) * self.fabric_bps,
+            num_hosts,
+        }
+    }
+}
+
+/// Recompute every switch's ECMP route table from the live graph.
+///
+/// For each destination host, a reverse BFS over *up* links labels every
+/// switch with its hop distance; a switch's ECMP group toward the host is
+/// every local port whose up link leads one hop closer. Groups are kept in
+/// ascending port order for determinism.
+pub fn recompute_routes(fabric: &mut Fabric) {
+    let num_switches = fabric.switches.len();
+    // Adjacency (reverse): for node B, the links arriving at B.
+    // We walk *forward* from switches, so build: for each switch, its up
+    // egress links and their target nodes.
+    let num_hosts = fabric.hosts.len();
+    for sw in &mut fabric.switches {
+        sw.routes.clear();
+        sw.routes.resize(num_hosts, Vec::new());
+    }
+
+    for h in 0..fabric.hosts.len() {
+        let host = HostId(h as u32);
+        // dist[switch] = hops from switch to host (via up links).
+        let mut dist = vec![u32::MAX; num_switches];
+        let mut queue = VecDeque::new();
+        // Seed: the host's leaf, if its downlink is up.
+        let att = fabric.hosts[h];
+        if fabric.links[att.downlink.0 as usize].up {
+            dist[att.leaf.0 as usize] = 1;
+            queue.push_back(att.leaf.0 as usize);
+        }
+        // BFS over reversed fabric links: switch A is at dist d+1 if it has
+        // an up link to a switch at dist d.
+        // Build reverse adjacency on the fly: iterate all links each BFS
+        // level — fabrics are small (≤ a few hundred links), and this runs
+        // only on topology changes.
+        while let Some(b) = queue.pop_front() {
+            let db = dist[b];
+            for l in &fabric.links {
+                if !l.up {
+                    continue;
+                }
+                let (NodeId::Switch(from), NodeId::Switch(to)) = (l.from, l.to) else {
+                    continue;
+                };
+                if to.0 as usize == b && dist[from.0 as usize] == u32::MAX {
+                    dist[from.0 as usize] = db + 1;
+                    queue.push_back(from.0 as usize);
+                }
+            }
+        }
+        // Assign groups.
+        for (si, sw) in fabric.switches.iter_mut().enumerate() {
+            if dist[si] == u32::MAX {
+                continue;
+            }
+            let mut group = Vec::new();
+            for (pi, &lid) in sw.ports.iter().enumerate() {
+                let l = &fabric.links[lid.0 as usize];
+                if !l.up {
+                    continue;
+                }
+                let closer = match l.to {
+                    NodeId::Host(hh) => hh == host,
+                    NodeId::Switch(s) => dist[s.0 as usize] != u32::MAX && dist[s.0 as usize] + 1 == dist[si],
+                };
+                if closer {
+                    group.push(pi);
+                }
+            }
+            if !group.is_empty() {
+                sw.routes[host.0 as usize] = group;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbed() -> Topology {
+        LeafSpine::paper_testbed(0.1, 42).build()
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = testbed();
+        assert_eq!(t.num_hosts, 32);
+        assert_eq!(t.fabric.switches.len(), 4);
+        // 8 fabric cables (2 leaves × 2 spines × trunk 2) + 32 access = 40
+        // cables = 80 directed links.
+        assert_eq!(t.fabric.links.len(), 80);
+        assert_eq!(t.bisection_bps, 16_000_000_000);
+    }
+
+    #[test]
+    fn leaf_has_four_uplink_ecmp_paths_to_remote_host() {
+        let t = testbed();
+        // Host 16 lives on leaf 1; leaf 0's group toward it = 4 uplinks.
+        let leaf0 = &t.fabric.switches[0];
+        let group = leaf0.group(HostId(16)).expect("route exists");
+        assert_eq!(group.len(), 4);
+        // And toward a local host: exactly the single access port.
+        let local = leaf0.group(HostId(0)).expect("local route");
+        assert_eq!(local.len(), 1);
+    }
+
+    #[test]
+    fn spine_routes_to_both_leaves() {
+        let t = testbed();
+        let spine = &t.fabric.switches[2];
+        let g0 = spine.group(HostId(0)).unwrap();
+        let g16 = spine.group(HostId(16)).unwrap();
+        // trunk = 2 downlinks to each leaf.
+        assert_eq!(g0.len(), 2);
+        assert_eq!(g16.len(), 2);
+        assert_ne!(g0, g16);
+    }
+
+    #[test]
+    fn failing_a_fabric_cable_shrinks_groups() {
+        let mut t = testbed();
+        // Find a cable between spine 3 (S2) and leaf 1 (L2).
+        let cable = t
+            .cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3)))
+            .expect("fabric cable exists");
+        t.fail_cable(cable);
+        // Spine 3 now has 1 downlink to leaf 1.
+        let spine = &t.fabric.switches[3];
+        assert_eq!(spine.group(HostId(16)).unwrap().len(), 1);
+        // Leaf 0 still ECMPs over all 4 uplinks (asymmetry!).
+        assert_eq!(t.fabric.switches[0].group(HostId(16)).unwrap().len(), 4);
+        // Leaf 1's uplinks toward leaf-0 hosts drop to 3.
+        assert_eq!(t.fabric.switches[1].group(HostId(0)).unwrap().len(), 3);
+        // Restore brings it back.
+        t.restore_cable(cable);
+        assert_eq!(t.fabric.switches[1].group(HostId(0)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn isolated_host_unroutable() {
+        let mut t = testbed();
+        let att = t.fabric.hosts[0];
+        let cable = t
+            .cable_between(NodeId::Host(HostId(0)), NodeId::Switch(att.leaf))
+            .expect("access cable");
+        t.fail_cable(cable);
+        assert!(t.fabric.switches[0].group(HostId(0)).is_none());
+        assert!(t.fabric.switches[2].group(HostId(0)).is_none());
+    }
+
+    #[test]
+    fn fat_tree_k4_shape_and_routes() {
+        let ft = FatTree {
+            k: 4,
+            access_bps: 1_000_000_000,
+            fabric_bps: 1_000_000_000,
+            scheme: FabricScheme::Ecmp,
+            seed: 7,
+        }
+        .build();
+        assert_eq!(ft.num_hosts, 16);
+        assert_eq!(ft.fabric.switches.len(), 8 + 8 + 4);
+        // Edge switch of host 0 toward a host in another pod: 2 agg uplinks.
+        let edge0 = &ft.fabric.switches[0];
+        let group = edge0.group(HostId(15)).expect("cross-pod route");
+        assert_eq!(group.len(), 2);
+        // Aggregation toward another pod: 2 core uplinks.
+        let agg = &ft.fabric.switches[8];
+        assert_eq!(agg.group(HostId(15)).unwrap().len(), 2);
+        // Same-pod, different edge: route via aggs, not cores.
+        let g_same_pod = edge0.group(HostId(2)).unwrap();
+        assert_eq!(g_same_pod.len(), 2);
+    }
+
+    #[test]
+    fn routes_are_deterministic_across_builds() {
+        let a = testbed();
+        let b = testbed();
+        for (sa, sb) in a.fabric.switches.iter().zip(&b.fabric.switches) {
+            assert_eq!(sa.seed, sb.seed);
+            for h in 0..32 {
+                assert_eq!(sa.group(HostId(h)), sb.group(HostId(h)));
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Identifier newtypes and the five-tuple flow key.
+//!
+//! Everything in the simulator is addressed by dense small integers so that
+//! state lives in `Vec`s, not pointer graphs. Hosts double as L3 addresses:
+//! the reproduction gives each hypervisor one address and one guest VM,
+//! which is all the paper's workloads require (the vswitch multiplexes many
+//! flows per host).
+
+use std::fmt;
+
+/// A hypervisor / end host. Also used as its underlay IP address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostId(pub u32);
+
+/// A physical switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u32);
+
+/// A *directed* link (one direction of a cable). Duplex cables are two
+/// links; [`crate::topology`] tracks the pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// Either endpoint type a link can attach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    /// An end host (hypervisor).
+    Host(HostId),
+    /// A fabric switch.
+    Switch(SwitchId),
+}
+
+/// The IP protocol number for TCP, the only transport the workloads use.
+pub const PROTO_TCP: u8 = 6;
+
+/// The fixed destination port of the STT-like encapsulation (STT uses
+/// TCP port 7471).
+pub const STT_PORT: u16 = 7471;
+
+/// A transport five-tuple. Used both for inner (VM) flows and, with the
+/// fixed [`STT_PORT`] destination, for outer encapsulation headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source address (host ids double as addresses).
+    pub src: HostId,
+    /// Destination address.
+    pub dst: HostId,
+    /// Transport source port.
+    pub sport: u16,
+    /// Transport destination port.
+    pub dport: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+impl FlowKey {
+    /// A TCP flow key.
+    pub fn tcp(src: HostId, dst: HostId, sport: u16, dport: u16) -> FlowKey {
+        FlowKey { src, dst, sport, dport, proto: PROTO_TCP }
+    }
+
+    /// The key of traffic flowing the other way on the same connection.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey { src: self.dst, dst: self.src, sport: self.dport, dport: self.sport, proto: self.proto }
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}->{}:{}/{}", self.src, self.sport, self.dst, self.dport, self.proto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = FlowKey::tcp(HostId(1), HostId(2), 1000, 80);
+        let r = k.reversed();
+        assert_eq!(r.src, HostId(2));
+        assert_eq!(r.dst, HostId(1));
+        assert_eq!(r.sport, 80);
+        assert_eq!(r.dport, 1000);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn display_formats() {
+        let k = FlowKey::tcp(HostId(3), HostId(4), 5, 6);
+        assert_eq!(format!("{k}"), "h3:5->h4:6/6");
+    }
+}

@@ -1,0 +1,167 @@
+//! The deterministic event queue.
+//!
+//! A wrapper over [`std::collections::BinaryHeap`] holding
+//! [`ScheduledEvent`]s ordered by `(time, sequence)`. The sequence number is
+//! assigned at push time, so two events scheduled for the same instant pop in
+//! insertion order regardless of payload — this is the determinism anchor of
+//! the whole simulator.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event plus the instant it fires at.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: Time,
+    /// Monotone per-queue insertion counter; breaks same-instant ties.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+// Ordering is inverted (earliest first) because BinaryHeap is a max-heap.
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller (time, seq) is "greater" so it pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A future-event set with deterministic ordering.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    pushed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, pushed: 0 }
+    }
+
+    /// An empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, pushed: 0 }
+    }
+
+    /// Schedule `event` to fire at `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// Peek at the earliest event without removing it.
+    pub fn peek(&self) -> Option<&ScheduledEvent<E>> {
+        self.heap.peek()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed (for run statistics).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Drop all pending events (keeps the sequence counter so determinism of
+    /// later pushes relative to each other is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(30), "c");
+        q.push(Time::from_micros(10), "a");
+        q.push(Time::from_micros(20), "b");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.pop().unwrap().event, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_instant_pops_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_micros(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(10), 1);
+        q.push(Time::from_micros(5), 0);
+        assert_eq!(q.pop().unwrap().event, 0);
+        q.push(Time::from_micros(7), 2);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time::ZERO, ());
+        q.push(Time::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_pushed(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn zero_time_events_fire() {
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, 42);
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.at, Time::ZERO);
+        assert_eq!(ev.event, 42);
+    }
+}

@@ -1,0 +1,301 @@
+//! Summary statistics for simulation results.
+//!
+//! The experiments report average and tail (99th-percentile) flow completion
+//! times, size-class breakdowns, and full CDFs. [`Summary`] keeps a running
+//! Welford mean/variance plus all samples for exact percentiles — sample
+//! counts in this reproduction are small enough (tens of thousands) that
+//! exact percentiles are cheaper than the error analysis a sketch would need.
+
+/// Streaming summary plus retained samples for exact quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sorted: bool,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary { samples: Vec::new(), mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sorted: true }
+    }
+
+    /// Record one observation. Non-finite values are ignored (and should not
+    /// occur; they would indicate a simulator bug upstream).
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.sorted = false;
+        self.samples.push(x);
+        let n = self.samples.len() as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 if fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            (self.m2 / self.samples.len() as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact quantile by the nearest-rank method; `q` in `[0, 1]`.
+    /// Returns 0 for an empty summary.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+    /// 95th percentile.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+    /// 99th percentile — the paper's tail-latency metric.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The empirical CDF as `(value, cumulative_fraction)` pairs at up to
+    /// `points` evenly spaced ranks — what Figure 9 of the paper plots.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n.max(points) / points).max(1);
+        let mut out = Vec::with_capacity(points + 1);
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.samples[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(_, f)| f < 1.0).unwrap_or(true) {
+            out.push((self.samples[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// Merge another summary into this one (used when pooling seeds).
+    pub fn merge(&mut self, other: &Summary) {
+        for &x in &other.samples {
+            self.add(x);
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.sorted = true;
+        }
+    }
+}
+
+/// An exponentially weighted moving average, used by utilization estimators.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// `alpha` is the weight of each new observation, in `(0, 1]`.
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: 0.0, primed: false }
+    }
+
+    /// Fold in an observation.
+    pub fn update(&mut self, x: f64) {
+        if self.primed {
+            self.value += self.alpha * (x - self.value);
+        } else {
+            self.value = x;
+            self.primed = true;
+        }
+    }
+
+    /// Current smoothed value (0 before the first observation).
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Whether at least one observation has been folded in.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let mut s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = Summary::new();
+        for x in [4.0, 2.0, 6.0, 8.0] {
+            s.add(x);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 8.0);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = Summary::new();
+        for x in 1..=100 {
+            s.add(x as f64);
+        }
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut s = Summary::new();
+        s.add(7.0);
+        assert_eq!(s.p50(), 7.0);
+        assert_eq!(s.p99(), 7.0);
+    }
+
+    #[test]
+    fn add_after_quantile_keeps_working() {
+        let mut s = Summary::new();
+        s.add(1.0);
+        assert_eq!(s.p50(), 1.0);
+        s.add(100.0);
+        s.add(50.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn std_dev_matches_hand_calc() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut s = Summary::new();
+        for x in (0..1000).rev() {
+            s.add(x as f64);
+        }
+        let cdf = s.cdf(20);
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn merge_pools_samples() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for x in [1.0, 2.0] {
+            a.add(x);
+        }
+        for x in [3.0, 4.0] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.mean(), 2.5);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut s = Summary::new();
+        s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        s.add(3.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert!(!e.is_primed());
+        e.update(10.0);
+        assert_eq!(e.get(), 10.0);
+        for _ in 0..50 {
+            e.update(2.0);
+        }
+        assert!((e.get() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+}

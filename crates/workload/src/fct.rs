@@ -1,0 +1,203 @@
+//! Flow-completion-time collection and the paper's summary views.
+//!
+//! Every figure in the evaluation is some projection of the FCT sample
+//! set: overall average (Fig 4, 8), mice (<100 KB) and elephant (>10 MB)
+//! averages (Fig 5a/5b), the 99th percentile (Fig 5c), and mice-FCT CDFs
+//! (Fig 9). [`FctCollector`] gathers `(size, start, end)` records;
+//! [`FctSummary`] computes all of those projections.
+
+use clove_sim::stats::Summary;
+use clove_sim::Time;
+use std::collections::HashMap;
+
+/// The paper's mice-flow threshold (Figure 5a).
+pub const MICE_BYTES: u64 = 100_000;
+/// The paper's elephant-flow threshold (Figure 5b).
+pub const ELEPHANT_BYTES: u64 = 10_000_000;
+
+/// One completed flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRecord {
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Job arrival time (FCT includes connection queueing, as in the
+    /// paper's client model).
+    pub start: Time,
+    /// Completion (last byte acknowledged).
+    pub end: Time,
+}
+
+impl FlowRecord {
+    /// The flow completion time in seconds.
+    pub fn fct_secs(&self) -> f64 {
+        self.end.saturating_since(self.start).as_secs_f64()
+    }
+}
+
+/// Collects job starts and completions during a run.
+#[derive(Debug, Default)]
+pub struct FctCollector {
+    started: HashMap<u64, (u64, Time)>, // job id -> (bytes, start)
+    finished: Vec<FlowRecord>,
+}
+
+impl FctCollector {
+    /// An empty collector.
+    pub fn new() -> FctCollector {
+        FctCollector::default()
+    }
+
+    /// Record a job arrival.
+    pub fn job_started(&mut self, job_id: u64, bytes: u64, now: Time) {
+        self.started.insert(job_id, (bytes, now));
+    }
+
+    /// Record a job completion; unknown ids are ignored (defensive).
+    pub fn job_finished(&mut self, job_id: u64, now: Time) {
+        if let Some((bytes, start)) = self.started.remove(&job_id) {
+            self.finished.push(FlowRecord { bytes, start, end: now });
+        }
+    }
+
+    /// Completed flows.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.finished
+    }
+
+    /// Jobs still outstanding (did not complete before the horizon).
+    pub fn outstanding(&self) -> usize {
+        self.started.len()
+    }
+
+    /// Jobs completed.
+    pub fn completed(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Merge another collector's completed records (multi-host pooling).
+    pub fn merge(&mut self, other: &FctCollector) {
+        self.finished.extend_from_slice(&other.finished);
+    }
+
+    /// Summarize.
+    pub fn summarize(&self) -> FctSummary {
+        let mut all = Summary::new();
+        let mut mice = Summary::new();
+        let mut elephants = Summary::new();
+        for r in &self.finished {
+            let fct = r.fct_secs();
+            all.add(fct);
+            if r.bytes < MICE_BYTES {
+                mice.add(fct);
+            }
+            if r.bytes > ELEPHANT_BYTES {
+                elephants.add(fct);
+            }
+        }
+        FctSummary { all, mice, elephants, incomplete: self.started.len() }
+    }
+}
+
+/// The paper's FCT projections for one run.
+#[derive(Debug, Clone)]
+pub struct FctSummary {
+    /// Every completed flow.
+    pub all: Summary,
+    /// Flows under 100 KB (Figure 5a).
+    pub mice: Summary,
+    /// Flows over 10 MB (Figure 5b).
+    pub elephants: Summary,
+    /// Jobs that had not completed at the horizon.
+    pub incomplete: usize,
+}
+
+impl FctSummary {
+    /// Average FCT over all flows, seconds (Figures 4 and 8).
+    pub fn avg(&self) -> f64 {
+        self.all.mean()
+    }
+
+    /// 99th-percentile FCT, seconds (Figure 5c).
+    pub fn p99(&mut self) -> f64 {
+        self.all.p99()
+    }
+
+    /// Mice CDF (Figure 9).
+    pub fn mice_cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        self.mice.cdf(points)
+    }
+
+    /// Merge another summary (seed pooling).
+    pub fn merge(&mut self, other: &FctSummary) {
+        self.all.merge(&other.all);
+        self.mice.merge(&other.mice);
+        self.elephants.merge(&other.elephants);
+        self.incomplete += other.incomplete;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_finish_round_trip() {
+        let mut c = FctCollector::new();
+        c.job_started(1, 50_000, Time::from_millis(10));
+        c.job_started(2, 20_000_000, Time::from_millis(10));
+        c.job_finished(1, Time::from_millis(30));
+        assert_eq!(c.completed(), 1);
+        assert_eq!(c.outstanding(), 1);
+        c.job_finished(2, Time::from_millis(510));
+        let mut s = c.summarize();
+        assert_eq!(s.all.count(), 2);
+        assert!((s.avg() - 0.26).abs() < 1e-9);
+        assert_eq!(s.mice.count(), 1);
+        assert_eq!(s.elephants.count(), 1);
+        assert!((s.p99() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_sizes_classified_per_paper() {
+        let mut c = FctCollector::new();
+        // Exactly 100 KB is not "less than 100 KB".
+        c.job_started(1, MICE_BYTES, Time::ZERO);
+        c.job_finished(1, Time::from_millis(1));
+        // Exactly 10 MB is not "greater than 10 MB".
+        c.job_started(2, ELEPHANT_BYTES, Time::ZERO);
+        c.job_finished(2, Time::from_millis(1));
+        let s = c.summarize();
+        assert_eq!(s.mice.count(), 0);
+        assert_eq!(s.elephants.count(), 0);
+        assert_eq!(s.all.count(), 2);
+    }
+
+    #[test]
+    fn unknown_completion_ignored() {
+        let mut c = FctCollector::new();
+        c.job_finished(42, Time::from_millis(1));
+        assert_eq!(c.completed(), 0);
+    }
+
+    #[test]
+    fn incomplete_counted() {
+        let mut c = FctCollector::new();
+        c.job_started(1, 1000, Time::ZERO);
+        let s = c.summarize();
+        assert_eq!(s.incomplete, 1);
+    }
+
+    #[test]
+    fn merge_pools() {
+        let mut a = FctCollector::new();
+        a.job_started(1, 1000, Time::ZERO);
+        a.job_finished(1, Time::from_millis(2));
+        let mut b = FctCollector::new();
+        b.job_started(2, 1000, Time::ZERO);
+        b.job_finished(2, Time::from_millis(4));
+        a.merge(&b);
+        let s = a.summarize();
+        assert_eq!(s.all.count(), 2);
+        assert!((s.avg() - 0.003).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! The incast (partition-aggregate) workload of Figure 7.
+//!
+//! One client requests a 10 MB object split evenly over `n` servers; all
+//! `n` servers respond simultaneously, slamming the client's access-link
+//! queue. When every part arrives, the client immediately issues the next
+//! request to a fresh random server subset. The figure reports the
+//! client's average receive throughput versus the fan-in `n` — the
+//! workload where MPTCP's synchronized subflow ramp-up collapses.
+
+use clove_net::types::HostId;
+use clove_sim::SimRng;
+
+/// Parameters of the incast experiment.
+#[derive(Debug, Clone)]
+pub struct IncastSpec {
+    /// The aggregating client.
+    pub client: HostId,
+    /// The server pool requests draw from.
+    pub servers: Vec<HostId>,
+    /// Total object size per request (paper: 10 MB).
+    pub object_bytes: u64,
+    /// Fan-in: servers per request.
+    pub fanout: u32,
+    /// Number of requests to issue.
+    pub requests: u32,
+}
+
+impl IncastSpec {
+    /// Bytes each server contributes to one request.
+    pub fn bytes_per_server(&self) -> u64 {
+        (self.object_bytes / self.fanout as u64).max(1)
+    }
+
+    /// Choose the server subset for one request, uniformly without
+    /// replacement.
+    pub fn pick_servers(&self, rng: &mut SimRng) -> Vec<HostId> {
+        assert!(self.fanout as usize <= self.servers.len(), "fanout exceeds server pool");
+        let mut pool = self.servers.clone();
+        rng.shuffle(&mut pool);
+        pool.truncate(self.fanout as usize);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(fanout: u32) -> IncastSpec {
+        IncastSpec {
+            client: HostId(0),
+            servers: (16..32).map(HostId).collect(),
+            object_bytes: 10_000_000,
+            fanout,
+            requests: 100,
+        }
+    }
+
+    #[test]
+    fn bytes_split_evenly() {
+        assert_eq!(spec(10).bytes_per_server(), 1_000_000);
+        assert_eq!(spec(16).bytes_per_server(), 625_000);
+        assert_eq!(spec(1).bytes_per_server(), 10_000_000);
+    }
+
+    #[test]
+    fn picks_distinct_servers() {
+        let s = spec(10);
+        let mut rng = SimRng::new(1);
+        let servers = s.pick_servers(&mut rng);
+        assert_eq!(servers.len(), 10);
+        let mut d = servers.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+        assert!(servers.iter().all(|h| s.servers.contains(h)));
+    }
+
+    #[test]
+    fn different_requests_vary() {
+        let s = spec(8);
+        let mut rng = SimRng::new(1);
+        let a = s.pick_servers(&mut rng);
+        let b = s.pick_servers(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fanout_larger_than_pool_panics() {
+        let s = spec(17);
+        s.pick_servers(&mut SimRng::new(1));
+    }
+}

@@ -1,0 +1,192 @@
+//! Empirical flow-size distributions.
+//!
+//! [`web_search`] is the production web-search workload used by the paper
+//! (originating in the DCTCP measurement study): long-tailed, with ~60% of
+//! flows under 200 KB but the >1 MB tail carrying most of the bytes.
+//! [`enterprise`] and [`data_mining`] are the other two distributions that
+//! recur in this literature (CONGA, LetFlow, Presto), provided for extra
+//! experiments. Sampling interpolates the CDF in log-size space.
+
+use clove_sim::SimRng;
+
+/// An empirical flow-size distribution given as CDF points
+/// `(size_bytes, cumulative_probability)`.
+#[derive(Debug, Clone)]
+pub struct FlowSizeDist {
+    name: &'static str,
+    points: Vec<(f64, f64)>,
+}
+
+impl FlowSizeDist {
+    /// Build from CDF points; validates monotonicity and a final CDF of 1.
+    pub fn from_cdf(name: &'static str, points: &[(u64, f64)]) -> FlowSizeDist {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        let mut prev = (0.0f64, 0.0f64);
+        let mut out = Vec::with_capacity(points.len());
+        for &(size, p) in points {
+            let pt = (size as f64, p);
+            assert!(pt.0 > prev.0 || out.is_empty(), "sizes must increase");
+            assert!(pt.1 >= prev.1, "CDF must be non-decreasing");
+            assert!((0.0..=1.0).contains(&pt.1), "CDF out of range");
+            out.push(pt);
+            prev = pt;
+        }
+        assert!((out.last().unwrap().1 - 1.0).abs() < 1e-9, "CDF must end at 1");
+        FlowSizeDist { name, points: out }
+    }
+
+    /// Distribution name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Inverse-CDF sampling with log-linear interpolation between points.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u`.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let mut lo = (1.0f64, 0.0f64);
+        for &(size, p) in &self.points {
+            if u <= p {
+                if p - lo.1 < 1e-12 {
+                    return size as u64;
+                }
+                let frac = (u - lo.1) / (p - lo.1);
+                // Interpolate in log-size space: heavy tails span decades.
+                let ls = lo.0.max(1.0).ln() + frac * (size.ln() - lo.0.max(1.0).ln());
+                return ls.exp().round().max(1.0) as u64;
+            }
+            lo = (size, p);
+        }
+        self.points.last().unwrap().0 as u64
+    }
+
+    /// The distribution mean, computed by numeric integration of the
+    /// quantile function (used to tune arrival rates to a load target).
+    pub fn mean(&self) -> f64 {
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|i| self.quantile((i as f64 + 0.5) / n as f64) as f64).sum();
+        sum / n as f64
+    }
+}
+
+/// The web-search workload (DCTCP measurement study; used by the paper).
+pub fn web_search() -> FlowSizeDist {
+    FlowSizeDist::from_cdf(
+        "web-search",
+        &[
+            (6_000, 0.15),
+            (13_000, 0.20),
+            (19_000, 0.30),
+            (33_000, 0.40),
+            (53_000, 0.53),
+            (133_000, 0.60),
+            (667_000, 0.70),
+            (1_333_000, 0.80),
+            (3_333_000, 0.90),
+            (6_667_000, 0.97),
+            (20_000_000, 1.00),
+        ],
+    )
+}
+
+/// The enterprise workload (CONGA's second distribution): dominated by
+/// small flows.
+pub fn enterprise() -> FlowSizeDist {
+    FlowSizeDist::from_cdf(
+        "enterprise",
+        &[
+            (1_000, 0.15),
+            (2_000, 0.55),
+            (10_000, 0.80),
+            (100_000, 0.95),
+            (1_000_000, 0.99),
+            (10_000_000, 1.00),
+        ],
+    )
+}
+
+/// The data-mining workload (VL2 study): the most extreme tail.
+pub fn data_mining() -> FlowSizeDist {
+    FlowSizeDist::from_cdf(
+        "data-mining",
+        &[
+            (100, 0.30),
+            (1_000, 0.50),
+            (10_000, 0.60),
+            (100_000, 0.70),
+            (1_000_000, 0.80),
+            (10_000_000, 0.90),
+            (100_000_000, 1.00),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_hit_cdf_points() {
+        let d = web_search();
+        assert_eq!(d.quantile(0.15), 6_000);
+        assert_eq!(d.quantile(1.0), 20_000_000);
+        assert_eq!(d.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn interpolation_is_monotone() {
+        let d = web_search();
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = d.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "q({i}) = {q} < {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn samples_match_cdf_fractions() {
+        let d = web_search();
+        let mut rng = SimRng::new(99);
+        let n = 50_000;
+        let small = (0..n).filter(|_| d.sample(&mut rng) <= 133_000).count();
+        let frac = small as f64 / n as f64;
+        assert!((0.57..0.63).contains(&frac), "P(size<=133KB) = {frac}, want ~0.60");
+    }
+
+    #[test]
+    fn mean_is_dominated_by_tail() {
+        let d = web_search();
+        let m = d.mean();
+        // Long-tailed: mean around 1–2 MB despite 60% of flows < 200 KB.
+        assert!((500_000.0..3_000_000.0).contains(&m), "mean {m}");
+        // And far above the median.
+        assert!(m > d.quantile(0.5) as f64 * 10.0);
+    }
+
+    #[test]
+    fn all_distributions_construct() {
+        assert_eq!(web_search().name(), "web-search");
+        assert_eq!(enterprise().name(), "enterprise");
+        assert_eq!(data_mining().name(), "data-mining");
+        assert!(enterprise().mean() < web_search().mean());
+        assert!(data_mining().mean() > web_search().mean());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_decreasing_cdf() {
+        FlowSizeDist::from_cdf("bad", &[(10, 0.5), (20, 0.4), (30, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_cdf_not_ending_at_one() {
+        FlowSizeDist::from_cdf("bad", &[(10, 0.5), (20, 0.9)]);
+    }
+}

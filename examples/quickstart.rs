@@ -1,0 +1,37 @@
+//! Quickstart: ECMP vs Clove-ECN on the paper's asymmetric testbed.
+//!
+//! Builds the 2×2×16 leaf-spine topology, fails one 40G spine-leaf cable
+//! (the paper's asymmetry case), runs the web-search RPC workload at 60%
+//! load under both schemes, and prints the average / p99 flow completion
+//! times side by side.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clove::harness::{Scenario, Scheme, TopologyKind};
+use clove::sim::Time;
+use clove::workload::web_search;
+
+fn main() {
+    let dist = web_search();
+    println!("Clove quickstart — web-search workload, asymmetric leaf-spine, 60% load");
+    println!("{:<14} {:>10} {:>10} {:>8} {:>8}", "scheme", "avg FCT", "p99 FCT", "drops", "marks");
+    for scheme in [Scheme::Ecmp, Scheme::EdgeFlowlet, Scheme::CloveEcn] {
+        let mut scenario = Scenario::new(scheme.clone(), TopologyKind::Asymmetric, 0.6, 42);
+        scenario.jobs_per_conn = 80;
+        scenario.conns_per_client = 2;
+        scenario.horizon = Time::from_secs(30);
+        let out = scenario.run_rpc(&dist);
+        let mut fct = out.fct;
+        println!(
+            "{:<14} {:>9.4}s {:>9.4}s {:>8} {:>8}",
+            scheme.label(),
+            fct.avg(),
+            fct.p99(),
+            out.drops,
+            out.ecn_marks
+        );
+    }
+    println!("\nClove-ECN steers flowlets away from the congested spine using ECN");
+    println!("feedback relayed by the destination hypervisor — no guest or switch");
+    println!("changes. See EXPERIMENTS.md for the full figure reproductions.");
+}

@@ -1,0 +1,94 @@
+//! Stability analysis of Clove-ECN's control loop (paper §7 "Stability").
+//!
+//! The paper argues — without a dedicated experiment — that fine-timescale
+//! dataplane feedback keeps flowlet-weight adaptation stable in practice.
+//! This example probes that claim directly on the policy: drive Clove-ECN
+//! with synthetic ECN feedback patterns and report the weight trajectories
+//! and an oscillation metric (mean absolute per-step weight change).
+//!
+//! Three regimes:
+//! 1. **One persistently congested path** — weights should converge and
+//!    stay put (stable fixed point).
+//! 2. **Alternating congestion** between two paths at the relay timescale
+//!    — the worst case for flapping; bounded oscillation expected.
+//! 3. **All paths congested** — weights should freeze (the policy defers
+//!    to end-host congestion control, §3.2).
+//!
+//! Run with: `cargo run --release --example stability`
+
+use clove::algo::{CloveEcnConfig, CloveEcnPolicy};
+use clove::net::packet::Feedback;
+use clove::net::types::HostId;
+use clove::overlay::EdgePolicy;
+use clove::sim::{Duration, Time};
+
+const PORTS: [u16; 4] = [10, 20, 30, 40];
+const DST: HostId = HostId(1);
+
+fn fresh_policy() -> CloveEcnPolicy {
+    let mut p = CloveEcnPolicy::new(CloveEcnConfig::for_rtt(Duration::from_micros(100)));
+    p.on_paths_updated(Time::ZERO, DST, &PORTS);
+    p
+}
+
+fn weights(p: &CloveEcnPolicy) -> Vec<f64> {
+    p.debug_weights(DST)
+        .expect("clove-ecn exposes weights")
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect()
+}
+
+/// Mean absolute per-step change of the weight vector (flap metric).
+fn run_pattern(name: &str, feedback: impl Fn(u64) -> Vec<(u16, bool)>) {
+    let mut p = fresh_policy();
+    let mut prev = weights(&p);
+    let mut flap = 0.0;
+    let steps = 200u64;
+    let mut trajectory = Vec::new();
+    for step in 0..steps {
+        let now = Time::from_micros(step * 50); // one relay interval per step
+        for (port, congested) in feedback(step) {
+            p.on_feedback(now, DST, &Feedback::Ecn { sport: port, congested });
+        }
+        let w = weights(&p);
+        flap += w.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        prev = w.clone();
+        if step % 40 == 0 {
+            trajectory.push((step, w));
+        }
+    }
+    println!("-- {name} --");
+    for (step, w) in &trajectory {
+        let cells: Vec<String> = w.iter().map(|x| format!("{x:.3}")).collect();
+        println!("  step {step:>3}: weights [{}]", cells.join(", "));
+    }
+    println!("  flap metric (mean |dw| per step): {:.5}\n", flap / steps as f64);
+}
+
+fn main() {
+    println!("Clove-ECN control-loop stability (paper section 7)\n");
+
+    run_pattern("regime 1: port 10 persistently congested", |_| {
+        vec![(10, true), (20, false), (30, false), (40, false)]
+    });
+
+    run_pattern("regime 2: congestion alternates between ports 10 and 20", |step| {
+        if step % 2 == 0 {
+            vec![(10, true), (20, false)]
+        } else {
+            vec![(10, false), (20, true)]
+        }
+    });
+
+    run_pattern("regime 3: every path congested", |_| {
+        PORTS.iter().map(|&p| (p, true)).collect()
+    });
+
+    println!("Reading: regime 1 converges (the congested path is pinned near the");
+    println!("weight floor and stays there). Regime 2 parks both flapping paths");
+    println!("at the floor and serves traffic on the clean ones - bounded, not");
+    println!("divergent. Regime 3 drifts to uniform weights: with nowhere better");
+    println!("to shift traffic, Clove stops steering and lets the guests' own");
+    println!("congestion control do its job, exactly as section 3.2 specifies.");
+}

@@ -1,0 +1,227 @@
+//! Property tests pinning the wire formats (smoltcp-style round trips).
+
+use clove::net::wire::{checksum16, ipv4, probe, stt, tcp};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ipv4_round_trips(
+        ecn in 0u8..4,
+        ttl in 0u8..=255,
+        protocol in 0u8..=255,
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        total_len in 20u16..=9000,
+    ) {
+        let mut buf = [0u8; ipv4::LEN];
+        let mut h = ipv4::HeaderView::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_ecn(ecn);
+        h.set_ttl(ttl);
+        h.set_protocol(protocol);
+        h.set_src(src);
+        h.set_dst(dst);
+        h.set_total_len(total_len);
+        h.fill_checksum();
+        let h = ipv4::HeaderView::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(h.ecn(), ecn & 0b11);
+        prop_assert_eq!(h.ttl(), ttl);
+        prop_assert_eq!(h.protocol(), protocol);
+        prop_assert_eq!(h.src(), src);
+        prop_assert_eq!(h.dst(), dst);
+        prop_assert_eq!(h.total_len(), total_len);
+        prop_assert!(h.checksum_ok());
+    }
+
+    #[test]
+    fn ipv4_checksum_detects_any_single_bit_flip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        bit in 0usize..(ipv4::LEN * 8),
+    ) {
+        let mut buf = [0u8; ipv4::LEN];
+        let mut h = ipv4::HeaderView::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_src(src);
+        h.set_dst(dst);
+        h.fill_checksum();
+        buf[bit / 8] ^= 1 << (bit % 8);
+        // A single flipped bit must break the checksum (one's complement
+        // sums detect all single-bit errors).
+        if let Ok(h) = ipv4::HeaderView::new_checked(&buf[..]) {
+            prop_assert!(!h.checksum_ok());
+        }
+    }
+
+    #[test]
+    fn tcp_round_trips(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in any::<u8>(),
+    ) {
+        let mut buf = [0u8; tcp::LEN];
+        let mut h = tcp::HeaderView::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_sport(sport);
+        h.set_dport(dport);
+        h.set_seq(seq);
+        h.set_ack(ack);
+        h.set_flags(flags);
+        let h = tcp::HeaderView::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(h.sport(), sport);
+        prop_assert_eq!(h.dport(), dport);
+        prop_assert_eq!(h.seq(), seq);
+        prop_assert_eq!(h.ack(), ack);
+        prop_assert_eq!(h.flags(), flags);
+    }
+
+    #[test]
+    fn stt_ecn_feedback_round_trips(sport in any::<u16>(), set in any::<bool>()) {
+        let mut buf = [0u8; stt::LEN];
+        let mut h = stt::HeaderView::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_fb_ecn(sport, set);
+        let h = stt::HeaderView::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(h.fb_kind(), stt::FB_ECN);
+        prop_assert_eq!(h.fb_sport(), sport);
+        prop_assert_eq!(h.fb_ecn_set(), set);
+    }
+
+    #[test]
+    fn stt_util_feedback_round_trips(sport in any::<u16>(), util in 0u16..=2000) {
+        let mut buf = [0u8; stt::LEN];
+        let mut h = stt::HeaderView::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_fb_util(sport, util);
+        let h = stt::HeaderView::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(h.fb_kind(), stt::FB_UTIL);
+        prop_assert_eq!(h.fb_sport(), sport);
+        prop_assert_eq!(h.fb_util_pm(), util);
+    }
+
+    #[test]
+    fn stt_latency_feedback_round_trips_to_64ns(sport in any::<u16>(), ns in 0u64..10_000_000_000) {
+        let mut buf = [0u8; stt::LEN];
+        let mut h = stt::HeaderView::new_unchecked(&mut buf[..]);
+        h.init();
+        h.set_fb_latency(sport, ns);
+        let h = stt::HeaderView::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(h.fb_kind(), stt::FB_LATENCY);
+        prop_assert_eq!(h.fb_sport(), sport);
+        // Quantized to 64 ns units.
+        prop_assert_eq!(h.fb_latency_ns(), (ns / 64) * 64);
+    }
+
+    #[test]
+    fn probe_payload_round_trips(
+        kind in prop::sample::select(vec![probe::KIND_PROBE, probe::KIND_REPLY]),
+        ttl in any::<u8>(),
+        id in any::<u64>(),
+        switch in any::<u32>(),
+        ingress in any::<u16>(),
+    ) {
+        let p = probe::ProbePayload { kind, ttl_sent: ttl, probe_id: id, switch, ingress };
+        let mut buf = [0u8; probe::LEN];
+        p.emit(&mut buf).unwrap();
+        prop_assert_eq!(probe::ProbePayload::parse(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn checksum_with_itself_is_zero(data in prop::collection::vec(any::<u8>(), 2..128)) {
+        let mut d = data.clone();
+        if d.len() % 2 == 1 {
+            d.push(0);
+        }
+        let c = checksum16(&d);
+        d.extend_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(checksum16(&d), 0);
+    }
+}
+
+mod codec_props {
+    use clove::net::codec::{decode, encode};
+    use clove::net::packet::{Encap, Feedback, Packet, PacketKind};
+    use clove::net::types::{FlowKey, HostId};
+    use clove::sim::Duration;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn overlay_data_round_trips_all_fields(
+            src in 0u32..1000, dst in 0u32..1000,
+            sport in 1024u16..u16::MAX, dport in 1u16..1024,
+            osport in 49152u16..u16::MAX,
+            seq in 0u64..u32::MAX as u64, len in 1u32..9000,
+            ttl in 2u8..64,
+            ect in any::<bool>(),
+            ce in any::<bool>(),
+        ) {
+            let mut p = Packet::new(
+                1, 0,
+                FlowKey::tcp(HostId(src), HostId(dst), sport, dport),
+                PacketKind::Data { seq, len, dsn: seq },
+            );
+            p.outer = Some(Encap { src: HostId(src), dst: HostId(dst), sport: osport });
+            p.ttl = ttl;
+            p.ect = ect || ce; // CE implies ECT on the wire
+            p.ce = ce;
+            let back = decode(&encode(&p).unwrap(), 1).unwrap();
+            prop_assert_eq!(back.flow, p.flow);
+            prop_assert_eq!(back.outer, p.outer);
+            prop_assert_eq!(back.ttl, ttl);
+            prop_assert_eq!(back.ce, ce);
+            match back.kind {
+                PacketKind::Data { seq: s2, len: l2, .. } => {
+                    prop_assert_eq!(s2, seq);
+                    prop_assert_eq!(l2, len);
+                }
+                _ => prop_assert!(false, "kind changed"),
+            }
+        }
+
+        #[test]
+        fn feedback_round_trips(
+            sport in any::<u16>(),
+            variant in 0u8..3,
+            util in 0u16..2000,
+            lat_us in 0u64..100_000,
+            congested in any::<bool>(),
+        ) {
+            let fb = match variant {
+                0 => Feedback::Ecn { sport, congested },
+                1 => Feedback::Util { sport, util_pm: util },
+                _ => Feedback::Latency { sport, one_way: Duration::from_nanos((lat_us * 1000 / 64) * 64) },
+            };
+            let mut p = Packet::new(
+                1, 0,
+                FlowKey::tcp(HostId(1), HostId(2), 10, 20),
+                PacketKind::Data { seq: 0, len: 64, dsn: 0 },
+            );
+            p.outer = Some(Encap { src: HostId(1), dst: HostId(2), sport: 40_000 });
+            p.feedback = Some(fb);
+            let back = decode(&encode(&p).unwrap(), 1).unwrap();
+            prop_assert_eq!(back.feedback, Some(fb));
+        }
+
+        #[test]
+        fn random_corruption_never_panics(
+            flip in prop::collection::vec((0usize..200, 0u8..8), 1..8),
+        ) {
+            let mut p = Packet::new(
+                1, 0,
+                FlowKey::tcp(HostId(1), HostId(2), 10, 20),
+                PacketKind::Data { seq: 5, len: 100, dsn: 5 },
+            );
+            p.outer = Some(Encap { src: HostId(1), dst: HostId(2), sport: 40_000 });
+            let mut bytes = encode(&p).unwrap();
+            for (pos, bit) in flip {
+                let i = pos % bytes.len();
+                bytes[i] ^= 1 << bit;
+            }
+            // Must either decode to something or error — never panic.
+            let _ = decode(&bytes, 1);
+        }
+    }
+}
