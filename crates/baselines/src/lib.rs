@@ -35,11 +35,7 @@ pub mod fabric_schemes {
 
     /// CONGA with the given flowlet gap (CONGA uses ~500 µs at 10/40G).
     pub fn conga(flowlet_gap: Duration) -> FabricScheme {
-        FabricScheme::Conga(CongaConfig {
-            flowlet_gap,
-            quant_bits: 3,
-            metric_age: flowlet_gap * 20,
-        })
+        FabricScheme::Conga(CongaConfig { flowlet_gap, quant_bits: 3, metric_age: flowlet_gap * 20 })
     }
 
     /// LetFlow with the given flowlet gap.
@@ -49,10 +45,6 @@ pub mod fabric_schemes {
 
     /// HULA with the given probe interval and flowlet gap (paper §8).
     pub fn hula(probe_interval: Duration, flowlet_gap: Duration) -> FabricScheme {
-        FabricScheme::Hula(HulaConfig {
-            probe_interval,
-            flowlet_gap,
-            entry_age: probe_interval * 20,
-        })
+        FabricScheme::Hula(HulaConfig { probe_interval, flowlet_gap, entry_age: probe_interval * 20 })
     }
 }

@@ -106,12 +106,7 @@ mod tests {
     use clove_net::packet::PacketKind;
 
     fn pkt(sport: u16, seq: u64) -> Packet {
-        Packet::new(
-            seq,
-            1500,
-            FlowKey::tcp(HostId(0), HostId(1), sport, 80),
-            PacketKind::Data { seq, len: 1400, dsn: seq },
-        )
+        Packet::new(seq, 1500, FlowKey::tcp(HostId(0), HostId(1), sport, 80), PacketKind::Data { seq, len: 1400, dsn: seq })
     }
 
     fn policy() -> PrestoPolicy {

@@ -2,10 +2,10 @@
 //! (<100 KB, Fig 5a), elephants (>10 MB, Fig 5b), and p99 (Fig 5c) — all
 //! computed from one run per scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use clove_harness::experiments::{rpc_point, ExpConfig};
 use clove_harness::scenario::TopologyKind;
 use clove_harness::Scheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig5_breakdowns(c: &mut Criterion) {
     let cfg = ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10 };

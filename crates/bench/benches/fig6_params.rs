@@ -1,19 +1,14 @@
 //! Figure 6 bench: Clove-ECN parameter sensitivity — (flowlet gap, ECN
 //! threshold) variants on the asymmetric testbed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use clove_harness::scenario::{Scenario, TopologyKind};
 use clove_harness::Scheme;
 use clove_sim::{Duration, Time};
 use clove_workload::web_search;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig6_sensitivity(c: &mut Criterion) {
-    let variants: [(&str, f64, u32); 4] = [
-        ("1xRTT_20pkts", 1.0, 20),
-        ("0.2xRTT_20pkts", 0.2, 20),
-        ("5xRTT_20pkts", 5.0, 20),
-        ("1xRTT_40pkts", 1.0, 40),
-    ];
+    let variants: [(&str, f64, u32); 4] = [("1xRTT_20pkts", 1.0, 20), ("0.2xRTT_20pkts", 0.2, 20), ("5xRTT_20pkts", 5.0, 20), ("1xRTT_40pkts", 1.0, 40)];
     let dist = web_search();
     let mut g = c.benchmark_group("fig6_clove_param_sensitivity");
     for (name, gap_mult, ecn_pkts) in variants {

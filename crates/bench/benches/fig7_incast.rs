@@ -1,10 +1,10 @@
 //! Figure 7 bench: incast goodput vs request fan-in for Clove-ECN,
 //! Edge-Flowlet and MPTCP.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use clove_harness::scenario::{Scenario, TopologyKind};
 use clove_harness::Scheme;
 use clove_sim::Time;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig7_incast(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_incast_goodput");

@@ -2,10 +2,10 @@
 //! Clove-ECN, Clove-INT, CONGA) on symmetric (8a) and asymmetric (8b)
 //! topologies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use clove_harness::experiments::{rpc_point, ExpConfig};
 use clove_harness::scenario::TopologyKind;
 use clove_harness::Scheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_cfg() -> ExpConfig {
     ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10 }
@@ -15,9 +15,7 @@ fn fig8a_symmetric(c: &mut Criterion) {
     let cfg = bench_cfg();
     let mut g = c.benchmark_group("fig8a_sim_symmetric");
     for scheme in [Scheme::CloveInt, Scheme::Conga] {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| {
-            b.iter(|| rpc_point(s, TopologyKind::Symmetric, 0.5, &cfg).avg())
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| b.iter(|| rpc_point(s, TopologyKind::Symmetric, 0.5, &cfg).avg()));
     }
     g.finish();
 }
@@ -26,9 +24,7 @@ fn fig8b_asymmetric(c: &mut Criterion) {
     let cfg = bench_cfg();
     let mut g = c.benchmark_group("fig8b_sim_asymmetric");
     for scheme in [Scheme::CloveInt, Scheme::Conga, Scheme::LetFlow] {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| {
-            b.iter(|| rpc_point(s, TopologyKind::Asymmetric, 0.5, &cfg).avg())
-        });
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| b.iter(|| rpc_point(s, TopologyKind::Asymmetric, 0.5, &cfg).avg()));
     }
     g.finish();
 }

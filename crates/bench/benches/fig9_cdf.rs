@@ -1,10 +1,10 @@
 //! Figure 9 bench: mice-FCT CDFs at 70% load on the asymmetric topology
 //! for ECMP / Clove-ECN / CONGA.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use clove_harness::experiments::{rpc_point, ExpConfig};
 use clove_harness::scenario::TopologyKind;
 use clove_harness::Scheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig9_cdfs(c: &mut Criterion) {
     let cfg = ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10 };

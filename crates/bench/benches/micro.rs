@@ -14,12 +14,8 @@ use clove_sim::{Duration, EventQueue, SimRng, Time};
 
 fn bench_ecmp_hash(c: &mut Criterion) {
     let key = FlowKey::tcp(HostId(3), HostId(17), 49_321, 7471);
-    c.bench_function("ecmp_hash_tuple", |b| {
-        b.iter(|| hash_tuple(black_box(&key), black_box(0xDEAD_BEEF)))
-    });
-    c.bench_function("ecmp_select_of_4", |b| {
-        b.iter(|| ecmp_select(black_box(&key), black_box(0xDEAD_BEEF), black_box(4)))
-    });
+    c.bench_function("ecmp_hash_tuple", |b| b.iter(|| hash_tuple(black_box(&key), black_box(0xDEAD_BEEF))));
+    c.bench_function("ecmp_select_of_4", |b| b.iter(|| ecmp_select(black_box(&key), black_box(0xDEAD_BEEF), black_box(4))));
 }
 
 fn bench_flowlet_table(c: &mut Criterion) {
@@ -29,19 +25,17 @@ fn bench_flowlet_table(c: &mut Criterion) {
         let mut now = Time::ZERO;
         table.on_packet(now, flow, |_| 42);
         b.iter(|| {
-            now = now + Duration::from_nanos(500);
+            now += Duration::from_nanos(500);
             table.on_packet(black_box(now), black_box(flow), |_| 42)
         })
     });
     c.bench_function("flowlet_table_1k_flows", |b| {
         let mut table = FlowletTable::new(FlowletConfig::with_gap(Duration::from_micros(100)));
         let mut rng = SimRng::new(5);
-        let flows: Vec<FlowKey> = (0..1000)
-            .map(|i| FlowKey::tcp(HostId(i % 16), HostId(16 + i % 16), 1000 + i as u16, 80))
-            .collect();
+        let flows: Vec<FlowKey> = (0..1000).map(|i| FlowKey::tcp(HostId(i % 16), HostId(16 + i % 16), 1000 + i as u16, 80)).collect();
         let mut now = Time::ZERO;
         b.iter(|| {
-            now = now + Duration::from_nanos(200);
+            now += Duration::from_nanos(200);
             let f = flows[rng.below(1000) as usize];
             table.on_packet(now, f, |_| 7)
         })
@@ -60,7 +54,7 @@ fn bench_wrr_and_policy(c: &mut Criterion) {
         let mut pkt = Packet::new(1, 1500, FlowKey::tcp(HostId(0), HostId(1), 5, 80), PacketKind::Data { seq: 0, len: 1400, dsn: 0 });
         let mut now = Time::ZERO;
         b.iter(|| {
-            now = now + Duration::from_nanos(700);
+            now += Duration::from_nanos(700);
             p.select_port(now, HostId(1), &mut pkt)
         })
     });
@@ -70,10 +64,10 @@ fn bench_wrr_and_policy(c: &mut Criterion) {
         let mut now = Time::ZERO;
         let mut i = 0u16;
         b.iter(|| {
-            now = now + Duration::from_nanos(900);
+            now += Duration::from_nanos(900);
             i = i.wrapping_add(1);
             let port = [10u16, 20, 30, 40][(i % 4) as usize];
-            p.on_feedback(now, HostId(1), &Feedback::Ecn { sport: port, congested: i % 3 == 0 });
+            p.on_feedback(now, HostId(1), &Feedback::Ecn { sport: port, congested: i.is_multiple_of(3) });
         })
     });
 }

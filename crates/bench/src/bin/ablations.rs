@@ -18,7 +18,7 @@
 //!    its traceroute component (ports no longer map to disjoint paths).
 
 use clove_harness::scenario::{Scenario, TopologyKind};
-use clove_harness::{Profile, Scheme};
+use clove_harness::Scheme;
 use clove_sim::{Duration, Time};
 use clove_workload::web_search;
 
@@ -32,7 +32,10 @@ fn run(label: &str, tweak: impl Fn(&mut Scenario), jobs: u32) {
     println!(
         "{label:<34} avg={:.4}s p99={:.4}s rtx={} undo={} timeouts={}",
         out.fct.avg(),
-        { let mut f = out.fct.clone(); f.p99() },
+        {
+            let mut f = out.fct.clone();
+            f.p99()
+        },
         out.retransmits,
         out.spurious_undos,
         out.timeouts,

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|headline|all] [--quick]
+//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|headline|all] [--quick]
 //! ```
 //!
 //! `--quick` uses the small experiment configuration (fast, noisier);
@@ -79,6 +79,14 @@ fn main() {
             }
         }
         println!();
+    }
+    if run_fig("resilience") {
+        let table = experiments::resilience(&experiments::resilience_schemes(), &cfg);
+        println!("{}", table.render());
+        if std::env::var_os("CLOVE_SAVE_CSV").is_some() {
+            let _ = std::fs::create_dir_all("results");
+            let _ = std::fs::write("results/resilience.csv", table.to_csv());
+        }
     }
     if run_fig("headline") {
         headline(&cfg);

@@ -1,4 +1,4 @@
-use clove_harness::experiments::{rpc_point, presto_oracle_weights, ExpConfig};
+use clove_harness::experiments::{presto_oracle_weights, rpc_point, ExpConfig};
 use clove_harness::scenario::TopologyKind;
 use clove_harness::Scheme;
 
@@ -8,11 +8,18 @@ fn main() {
     for (topo, loads) in [(TopologyKind::Asymmetric, vec![0.5, 0.7, 0.8]), (TopologyKind::Symmetric, vec![0.5, 0.8])] {
         println!("== {topo:?} ==");
         for load in loads {
-            for scheme in [Scheme::Ecmp, Scheme::EdgeFlowlet, Scheme::CloveEcn, Scheme::CloveInt,
-                           Scheme::Presto { oracle_weights: presto_oracle_weights(topo) },
-                           Scheme::Mptcp { subflows: 4 }, Scheme::Conga, Scheme::LetFlow] {
+            for scheme in [
+                Scheme::Ecmp,
+                Scheme::EdgeFlowlet,
+                Scheme::CloveEcn,
+                Scheme::CloveInt,
+                Scheme::Presto { oracle_weights: presto_oracle_weights(topo) },
+                Scheme::Mptcp { subflows: 4 },
+                Scheme::Conga,
+                Scheme::LetFlow,
+            ] {
                 let mut s = rpc_point(&scheme, topo, load, &cfg);
-                println!("load {:.0}% {:<14} avg={:.4}s p99={:.4}s", load*100.0, scheme.label(), s.avg(), s.p99());
+                println!("load {:.0}% {:<14} avg={:.4}s p99={:.4}s", load * 100.0, scheme.label(), s.avg(), s.p99());
             }
             println!();
         }

@@ -43,12 +43,7 @@ impl CloveEcnConfig {
     /// Defaults scaled for a base RTT: gap = 1×RTT (the paper's best
     /// testbed setting, Figure 6), window = 2×RTT.
     pub fn for_rtt(rtt: Duration) -> CloveEcnConfig {
-        CloveEcnConfig {
-            flowlet: FlowletConfig::with_gap(rtt),
-            weight_cut: 1.0 / 3.0,
-            congested_window: rtt * 2,
-            recovery_rho: 0.01,
-        }
+        CloveEcnConfig { flowlet: FlowletConfig::with_gap(rtt), weight_cut: 1.0 / 3.0, congested_window: rtt * 2, recovery_rho: 0.01 }
     }
 }
 
@@ -67,6 +62,8 @@ pub struct CloveEcnStats {
     pub weight_cuts: u64,
     /// Feedback arriving while all paths were congested (no cut applied).
     pub all_congested_events: u64,
+    /// Paths dropped on a black-hole eviction from discovery.
+    pub paths_dropped: u64,
 }
 
 /// The Clove-ECN edge policy. See module docs.
@@ -81,12 +78,7 @@ pub struct CloveEcnPolicy {
 impl CloveEcnPolicy {
     /// Build the policy.
     pub fn new(cfg: CloveEcnConfig) -> CloveEcnPolicy {
-        CloveEcnPolicy {
-            flowlets: FlowletTable::new(cfg.flowlet),
-            dsts: HashMap::new(),
-            stats: CloveEcnStats::default(),
-            cfg,
-        }
+        CloveEcnPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: HashMap::new(), stats: CloveEcnStats::default(), cfg }
     }
 
     /// Fallback port (pre-discovery): hash-spread like plain ECMP.
@@ -109,8 +101,7 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
         let dst = self.dsts.entry(dst_hv).or_default();
         let wrr = &mut dst.wrr;
         let flow = pkt.flow;
-        self.flowlets
-            .on_packet(now, flow, |flowlet_id| wrr.pick().unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id)))
+        self.flowlets.on_packet(now, flow, |flowlet_id| wrr.pick().unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id)))
     }
 
     fn on_feedback(&mut self, now: Time, dst_hv: HostId, fb: &Feedback) {
@@ -140,25 +131,37 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
 
     fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
         let dst = self.dsts.entry(dst_hv).or_default();
-        dst.paths.set_ports(ports);
-        dst.wrr.set_ports(ports);
+        // Diff against the current set instead of rebuilding: surviving
+        // paths keep their learned weights *and* their smooth-WRR rotation
+        // state, so a refresh that changes nothing is a true no-op and a
+        // re-added path slots in at a uniform share.
+        for port in dst.wrr.ports() {
+            if !ports.contains(&port) {
+                dst.wrr.remove_port(port);
+                dst.paths.remove_port(port);
+            }
+        }
+        for &port in ports {
+            dst.wrr.add_port(port);
+            dst.paths.add_port(port);
+        }
+    }
+
+    fn on_path_dead(&mut self, _now: Time, dst_hv: HostId, port: u16) {
+        let Some(dst) = self.dsts.get_mut(&dst_hv) else {
+            return;
+        };
+        dst.paths.remove_port(port);
+        dst.wrr.remove_port(port);
+        self.stats.paths_dropped += 1;
     }
 
     fn all_paths_congested(&self, now: Time, dst_hv: HostId) -> bool {
-        self.dsts
-            .get(&dst_hv)
-            .map(|d| d.paths.all_congested(now, self.cfg.congested_window))
-            .unwrap_or(false)
+        self.dsts.get(&dst_hv).map(|d| d.paths.all_congested(now, self.cfg.congested_window)).unwrap_or(false)
     }
 
     fn debug_weights(&self, dst_hv: HostId) -> Option<Vec<(u16, f64)>> {
-        self.dsts.get(&dst_hv).map(|d| {
-            d.wrr
-                .ports()
-                .into_iter()
-                .map(|p| (p, d.wrr.weight(p).unwrap_or(0.0)))
-                .collect()
-        })
+        self.dsts.get(&dst_hv).map(|d| d.wrr.ports().into_iter().map(|p| (p, d.wrr.weight(p).unwrap_or(0.0))).collect())
     }
 }
 
@@ -187,7 +190,7 @@ mod tests {
         for i in 0..n {
             let mut a = pkt(5000 + i as u16);
             *m.entry(p.select_port(t, HostId(1), &mut a)).or_insert(0) += 1;
-            t = t + Duration::from_micros(1);
+            t += Duration::from_micros(1);
         }
         m
     }
@@ -272,6 +275,52 @@ mod tests {
         // with weight < 0.05 across 100 new flows, expect ≈ a few.
         let m = spread(&mut p, 200, Time::from_micros(30));
         assert!(m.get(&port0).copied().unwrap_or(0) < 30);
+    }
+
+    #[test]
+    fn path_death_evicts_immediately_without_resetting_survivors() {
+        let mut p = policy();
+        let t = Time::from_micros(5);
+        // Learn an asymmetry first: port 20 is congested.
+        for _ in 0..4 {
+            p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: 20, congested: true });
+        }
+        let w20 = p.weight(HostId(1), 20).unwrap();
+        let w30 = p.weight(HostId(1), 30).unwrap();
+        assert!(w20 < w30);
+        p.on_path_dead(t, HostId(1), 10);
+        assert_eq!(p.stats.paths_dropped, 1);
+        assert!(p.weight(HostId(1), 10).is_none(), "dead path dropped");
+        // Survivors keep their learned *relative* weights.
+        let r_before = w20 / w30;
+        let r_after = p.weight(HostId(1), 20).unwrap() / p.weight(HostId(1), 30).unwrap();
+        assert!((r_before - r_after).abs() < 1e-9, "{r_before} vs {r_after}");
+        // New flowlets never land on the dead port.
+        let m = spread(&mut p, 300, Time::from_micros(10));
+        assert_eq!(m.get(&10), None, "flowlets on evicted path: {m:?}");
+        // Unknown destinations are ignored.
+        p.on_path_dead(t, HostId(99), 10);
+        assert_eq!(p.stats.paths_dropped, 1);
+    }
+
+    #[test]
+    fn readded_path_joins_at_uniform_share() {
+        let mut p = policy();
+        let t = Time::from_micros(5);
+        for _ in 0..4 {
+            p.on_feedback(t, HostId(1), &Feedback::Ecn { sport: 20, congested: true });
+        }
+        p.on_path_dead(t, HostId(1), 10);
+        let w20 = p.weight(HostId(1), 20).unwrap();
+        let w30 = p.weight(HostId(1), 30).unwrap();
+        // Discovery re-adopts the recovered path.
+        p.on_paths_updated(Time::from_micros(50), HostId(1), &[10, 20, 30, 40]);
+        let w10 = p.weight(HostId(1), 10).unwrap();
+        assert!(w10 > 0.0);
+        // Port 20's learned deficit against 30 survives the refresh.
+        let r_before = w20 / w30;
+        let r_after = p.weight(HostId(1), 20).unwrap() / p.weight(HostId(1), 30).unwrap();
+        assert!((r_before - r_after).abs() < 1e-9, "{r_before} vs {r_after}");
     }
 
     #[test]

@@ -36,11 +36,7 @@ pub struct CloveUtilConfig {
 impl CloveUtilConfig {
     /// Defaults scaled for a base RTT.
     pub fn for_rtt(rtt: Duration) -> CloveUtilConfig {
-        CloveUtilConfig {
-            flowlet: FlowletConfig::with_gap(rtt),
-            stale_after: rtt * 8,
-            adaptive_gap: false,
-        }
+        CloveUtilConfig { flowlet: FlowletConfig::with_gap(rtt), stale_after: rtt * 8, adaptive_gap: false }
     }
 }
 
@@ -85,9 +81,7 @@ impl clove_overlay::EdgePolicy for CloveIntPolicy {
         let stats = &mut self.stats;
         self.flowlets.on_packet(now, flow, |flowlet_id| {
             stats.flowlets_routed += 1;
-            paths
-                .least_utilized(now, stale)
-                .unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id))
+            paths.least_utilized(now, stale).unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id))
         })
     }
 
@@ -119,13 +113,7 @@ pub struct CloveLatencyPolicy {
 impl CloveLatencyPolicy {
     /// Build the policy.
     pub fn new(cfg: CloveUtilConfig) -> CloveLatencyPolicy {
-        CloveLatencyPolicy {
-            base_gap: cfg.flowlet.gap,
-            flowlets: FlowletTable::new(cfg.flowlet),
-            dsts: HashMap::new(),
-            stats: CloveUtilStats::default(),
-            cfg,
-        }
+        CloveLatencyPolicy { base_gap: cfg.flowlet.gap, flowlets: FlowletTable::new(cfg.flowlet), dsts: HashMap::new(), stats: CloveUtilStats::default(), cfg }
     }
 
     /// The flowlet gap currently in force (tests the adaptive extension).
@@ -145,9 +133,7 @@ impl clove_overlay::EdgePolicy for CloveLatencyPolicy {
         let stats = &mut self.stats;
         self.flowlets.on_packet(now, flow, |flowlet_id| {
             stats.flowlets_routed += 1;
-            paths
-                .least_latency()
-                .unwrap_or_else(|| 49152 + (clove_net::hash::hash_tuple(&flow, flowlet_id ^ 0x1A7) % 64) as u16)
+            paths.least_latency().unwrap_or_else(|| 49152 + (clove_net::hash::hash_tuple(&flow, flowlet_id ^ 0x1A7) % 64) as u16)
         })
     }
 

@@ -44,6 +44,9 @@ pub struct DiscoveryConfig {
     pub port_base: u16,
     /// Size of the ephemeral port range.
     pub port_span: u16,
+    /// Consecutive rounds a *selected* port may yield a truncated (or
+    /// absent) trace before it is declared black-holed and evicted.
+    pub blackhole_rounds: u32,
 }
 
 impl Default for DiscoveryConfig {
@@ -56,7 +59,48 @@ impl Default for DiscoveryConfig {
             round_timeout: Duration::from_millis(2),
             port_base: 49152,
             port_span: 16000,
+            blackhole_rounds: 3,
         }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Check the configuration for internally-inconsistent settings that
+    /// would make the daemon misbehave silently. Called by the harness
+    /// when loading scenario configs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.round_timeout >= self.probe_interval {
+            return Err(format!(
+                "round_timeout ({} ns) must be shorter than probe_interval ({} ns): \
+                 a probing round must close before the next one opens",
+                self.round_timeout.0, self.probe_interval.0
+            ));
+        }
+        if self.k_paths > self.candidates {
+            return Err(format!(
+                "k_paths ({}) cannot exceed candidates ({}): the selection is drawn \
+                 from the candidate ports probed each round",
+                self.k_paths, self.candidates
+            ));
+        }
+        if self.port_span == 0 {
+            return Err("port_span must be nonzero: probes draw candidate source ports \
+                        from [port_base, port_base + port_span)"
+                .to_string());
+        }
+        if self.candidates > self.port_span as usize {
+            return Err(format!(
+                "candidates ({}) cannot exceed port_span ({}): each round needs that \
+                 many distinct source ports",
+                self.candidates, self.port_span
+            ));
+        }
+        if self.blackhole_rounds == 0 {
+            return Err("blackhole_rounds must be at least 1: zero would evict every \
+                        selected port on any single lost trace"
+                .to_string());
+        }
+        Ok(())
     }
 }
 
@@ -82,6 +126,15 @@ pub enum DiscoveryEvent {
         /// Selected outer source ports, one per distinct path.
         ports: Vec<u16>,
     },
+    /// A selected port was declared black-holed (its traces stayed
+    /// truncated for `blackhole_rounds` consecutive rounds): the policy
+    /// must stop scheduling flowlets onto it immediately.
+    PathDead {
+        /// Destination hypervisor.
+        dst: HostId,
+        /// The evicted outer source port.
+        port: u16,
+    },
 }
 
 /// Daemon counters.
@@ -93,6 +146,8 @@ pub struct DiscoveryStats {
     pub replies: u64,
     /// Rounds completed.
     pub rounds: u64,
+    /// Selected ports evicted as black-holed.
+    pub paths_evicted: u64,
 }
 
 /// The per-hypervisor traceroute daemon. See module docs.
@@ -104,6 +159,8 @@ pub struct ProbeDaemon {
     rounds: HashMap<HostId, Round>,
     /// Last selection per destination (inspection / idempotent updates).
     selections: HashMap<HostId, Vec<u16>>,
+    /// Consecutive truncated-trace rounds per selected (dst, port).
+    silence: HashMap<(HostId, u16), u32>,
     next_probe_id: u64,
     uid_counter: u64,
     /// Counters.
@@ -119,6 +176,7 @@ impl ProbeDaemon {
             rng: SimRng::new(seed ^ ((host.0 as u64) << 32) ^ 0xD15C),
             rounds: HashMap::new(),
             selections: HashMap::new(),
+            silence: HashMap::new(),
             next_probe_id: (host.0 as u64) << 40,
             uid_counter: 0,
             stats: DiscoveryStats::default(),
@@ -141,14 +199,18 @@ impl ProbeDaemon {
     }
 
     /// Open a probing round toward `dst`: returns the probe packets to
-    /// transmit (candidates × max_ttl of them).
+    /// transmit (candidates × max_ttl of them). The currently-selected
+    /// ports are always among the candidates — re-probing them is what
+    /// lets [`ProbeDaemon::finish_round`] detect a selected port that has
+    /// started black-holing traffic.
     pub fn start_round(&mut self, now: Time, dst: HostId) -> Vec<Packet> {
         let round = self.rounds.entry(dst).or_default();
         round.probes.clear();
         round.traces.clear();
         round.open = true;
-        // Distinct random candidate ports.
-        let mut ports = Vec::with_capacity(self.cfg.candidates);
+        // Current selection first, then distinct random candidate ports.
+        let mut ports: Vec<u16> = self.selections.get(&dst).cloned().unwrap_or_default();
+        ports.truncate(self.cfg.candidates);
         while ports.len() < self.cfg.candidates {
             let p = self.cfg.port_base + self.rng.below(self.cfg.port_span as u64) as u16;
             if !ports.contains(&p) {
@@ -195,47 +257,111 @@ impl ProbeDaemon {
     }
 
     /// Close the round for `dst` and compute the port selection from the
-    /// replies gathered so far. Returns `None` if no round was open or no
-    /// usable trace arrived (e.g. destination unreachable).
-    pub fn finish_round(&mut self, _now: Time, dst: HostId) -> Option<DiscoveryEvent> {
-        let round = self.rounds.get_mut(&dst)?;
+    /// replies gathered so far. Returns the events the caller must act on,
+    /// in order: first any [`DiscoveryEvent::PathDead`] evictions, then at
+    /// most one [`DiscoveryEvent::PathsUpdated`] with the new selection.
+    /// Empty if no round was open or nothing changed and no trace arrived.
+    ///
+    /// Black-hole detection: a probe whose path crosses a silently-dead
+    /// link still gets its early-TTL replies (the first switches are
+    /// reachable), then nothing — so a black-holed port shows up as a
+    /// *truncated* trace, shorter than the longest trace observed in the
+    /// same round. A selected port that stays truncated (or yields no
+    /// trace at all) for `blackhole_rounds` consecutive rounds is evicted.
+    ///
+    /// Selection is *sticky*: selected ports that traced healthily stay
+    /// selected (so policy state learned about them survives), and the
+    /// greedy-disjoint heuristic only tops the set back up to `k_paths`.
+    pub fn finish_round(&mut self, _now: Time, dst: HostId) -> Vec<DiscoveryEvent> {
+        let mut events = Vec::new();
+        let Some(round) = self.rounds.get_mut(&dst) else {
+            return events;
+        };
         if !round.open {
-            return None;
+            return events;
         }
         round.open = false;
         self.stats.rounds += 1;
         // Build signatures: ordered hop list per candidate port.
-        let mut candidates: Vec<(u16, Vec<Hop>)> = round
-            .traces
-            .iter()
-            .map(|(&sport, hops)| (sport, hops.values().copied().collect()))
-            .filter(|(_, sig): &(u16, Vec<Hop>)| !sig.is_empty())
-            .collect();
-        if candidates.is_empty() {
-            return None;
-        }
+        let mut candidates: Vec<(u16, Vec<Hop>)> =
+            round.traces.iter().map(|(&sport, hops)| (sport, hops.values().copied().collect())).filter(|(_, sig): &(u16, Vec<Hop>)| !sig.is_empty()).collect();
         candidates.sort_by_key(|&(sport, _)| sport); // determinism
-        let ports = greedy_disjoint(&candidates, self.cfg.k_paths);
+        let full_len = candidates.iter().map(|(_, sig)| sig.len()).max().unwrap_or(0);
+        let healthy: Vec<(u16, Vec<Hop>)> = candidates.iter().filter(|(_, sig)| sig.len() == full_len).cloned().collect();
+        // Silence bookkeeping for the current selection: healthy traces
+        // clear the counter, truncated/missing ones advance it; a port at
+        // the threshold is evicted, the rest stay on benefit of the doubt.
+        let prev = self.selections.get(&dst).cloned().unwrap_or_default();
+        let mut kept: Vec<u16> = Vec::new();
+        for &port in &prev {
+            if healthy.iter().any(|&(p, _)| p == port) {
+                self.silence.remove(&(dst, port));
+                kept.push(port);
+                continue;
+            }
+            let n = self.silence.entry((dst, port)).or_insert(0);
+            *n += 1;
+            if *n >= self.cfg.blackhole_rounds {
+                self.silence.remove(&(dst, port));
+                self.stats.paths_evicted += 1;
+                events.push(DiscoveryEvent::PathDead { dst, port });
+            } else {
+                kept.push(port);
+            }
+        }
+        if candidates.is_empty() {
+            // Destination unreachable this round (or startup race): no new
+            // selection, but evictions above still shrink the current one.
+            if kept != prev {
+                self.selections.insert(dst, kept);
+            }
+            return events;
+        }
+        let ports = greedy_disjoint_keeping(&healthy, self.cfg.k_paths, &kept);
+        self.silence.retain(|&(d, p), _| d != dst || ports.contains(&p));
         self.selections.insert(dst, ports.clone());
-        Some(DiscoveryEvent::PathsUpdated { dst, ports })
+        events.push(DiscoveryEvent::PathsUpdated { dst, ports });
+        events
     }
 }
 
 /// The paper's heuristic: greedily add the candidate whose path shares the
 /// fewest links with the union of already-picked paths; skip candidates
 /// whose signature duplicates a picked one unless nothing else remains.
+#[cfg(test)]
 fn greedy_disjoint(candidates: &[(u16, Vec<Hop>)], k: usize) -> Vec<u16> {
+    greedy_disjoint_keeping(candidates, k, &[])
+}
+
+/// [`greedy_disjoint`] seeded with an already-selected `keep` set (sticky
+/// selection across rounds). Kept ports enter the selection first — even
+/// when absent from this round's candidates (a suspect port still on
+/// benefit of the doubt) — and their signatures count toward the
+/// shared-link penalty of new picks, so top-ups steer away from them.
+fn greedy_disjoint_keeping(candidates: &[(u16, Vec<Hop>)], k: usize, keep: &[u16]) -> Vec<u16> {
+    let mut out: Vec<u16> = Vec::new();
     let mut picked: Vec<usize> = Vec::new();
     let mut picked_links: Vec<Hop> = Vec::new();
     let mut picked_sigs: Vec<&Vec<Hop>> = Vec::new();
-    while picked.len() < k && picked.len() < candidates.len() {
+    for &port in keep {
+        if out.len() >= k {
+            break;
+        }
+        out.push(port);
+        if let Some(idx) = candidates.iter().position(|&(p, _)| p == port) {
+            picked.push(idx);
+            picked_links.extend(candidates[idx].1.iter().copied());
+            picked_sigs.push(&candidates[idx].1);
+        }
+    }
+    while out.len() < k && picked.len() < candidates.len() {
         let mut best: Option<(usize, usize, bool)> = None; // (idx, shared, dup)
-        for (idx, (_, sig)) in candidates.iter().enumerate() {
-            if picked.contains(&idx) {
+        for (idx, (port, sig)) in candidates.iter().enumerate() {
+            if picked.contains(&idx) || out.contains(port) {
                 continue;
             }
             let shared = sig.iter().filter(|h| picked_links.contains(h)).count();
-            let dup = picked_sigs.iter().any(|s| *s == sig);
+            let dup = picked_sigs.contains(&sig);
             let better = match best {
                 None => true,
                 // Prefer non-duplicates, then fewest shared links.
@@ -248,14 +374,15 @@ fn greedy_disjoint(candidates: &[(u16, Vec<Hop>)], k: usize) -> Vec<u16> {
         let Some((idx, _, dup)) = best else { break };
         // Stop adding once only duplicate paths remain and we already have
         // at least one path: more ports on the same path add nothing.
-        if dup && !picked.is_empty() {
+        if dup && !out.is_empty() {
             break;
         }
         picked.push(idx);
         picked_links.extend(candidates[idx].1.iter().copied());
         picked_sigs.push(&candidates[idx].1);
+        out.push(candidates[idx].0);
     }
-    picked.into_iter().map(|i| candidates[i].0).collect()
+    out
 }
 
 #[cfg(test)]
@@ -268,6 +395,39 @@ mod tests {
 
     fn sig(hops: &[(u32, u32)]) -> Vec<Hop> {
         hops.iter().map(|&(s, l)| (SwitchId(s), LinkId(l))).collect()
+    }
+
+    /// Drive a complete round: every probe is answered (or not) by
+    /// `reply(sport, ttl)`, mimicking the fabric.
+    fn run_round(d: &mut ProbeDaemon, dst: HostId, t: Time, reply: impl Fn(u16, u8) -> Option<Hop>) -> Vec<DiscoveryEvent> {
+        let probes = d.start_round(t, dst);
+        for p in &probes {
+            let PacketKind::Probe { probe_id, ttl_sent } = p.kind else { unreachable!() };
+            let sport = p.outer.unwrap().sport;
+            if let Some((sw, link)) = reply(sport, ttl_sent) {
+                d.on_reply(probe_id, ttl_sent, sw, Some(link));
+            }
+        }
+        d.finish_round(t + Duration::from_millis(2), dst)
+    }
+
+    /// A two-spine fabric: sport parity picks the spine. The first hop
+    /// (source leaf) is shared by every path, like a real leaf-spine pod.
+    /// `dead_parity` makes that spine's leaf→spine link a silent black
+    /// hole: replies stop after the first hop.
+    fn parity_fabric(dead_parity: Option<u16>) -> impl Fn(u16, u8) -> Option<Hop> {
+        move |sport, ttl| {
+            let q = (sport % 2) as u32;
+            if Some(sport % 2) == dead_parity && ttl >= 2 {
+                return None; // probe died entering the dead spine
+            }
+            match ttl {
+                1 => Some((SwitchId(1), LinkId(1))),
+                2 => Some((SwitchId(10 + q), LinkId(100 + q))),
+                3 => Some((SwitchId(2), LinkId(200 + q))),
+                _ => None,
+            }
+        }
     }
 
     #[test]
@@ -303,8 +463,9 @@ mod tests {
             // Hop identities depend on path and ttl.
             d.on_reply(probe_id, ttl_sent, SwitchId(path * 10 + ttl_sent as u32), Some(LinkId(path * 100 + ttl_sent as u32)));
         }
-        let ev = d.finish_round(Time::from_millis(2), HostId(1)).expect("event");
-        let DiscoveryEvent::PathsUpdated { dst, ports } = ev;
+        let evs = d.finish_round(Time::from_millis(2), HostId(1));
+        assert_eq!(evs.len(), 1);
+        let DiscoveryEvent::PathsUpdated { dst, ports } = evs.into_iter().next().unwrap() else { panic!("expected PathsUpdated") };
         assert_eq!(dst, HostId(1));
         // Only two distinct paths exist: selection stops at 2.
         assert_eq!(ports.len(), 2);
@@ -316,13 +477,13 @@ mod tests {
     fn no_replies_yields_none() {
         let mut d = daemon();
         d.start_round(Time::ZERO, HostId(1));
-        assert!(d.finish_round(Time::from_millis(2), HostId(1)).is_none());
+        assert!(d.finish_round(Time::from_millis(2), HostId(1)).is_empty());
     }
 
     #[test]
     fn finish_without_round_is_none() {
         let mut d = daemon();
-        assert!(d.finish_round(Time::ZERO, HostId(9)).is_none());
+        assert!(d.finish_round(Time::ZERO, HostId(9)).is_empty());
     }
 
     #[test]
@@ -333,7 +494,7 @@ mod tests {
         let PacketKind::Probe { probe_id, ttl_sent } = probes[0].kind else { unreachable!() };
         d.on_reply(probe_id, ttl_sent, SwitchId(1), Some(LinkId(1)));
         // The reply landed after close: no new selection appears.
-        assert!(d.finish_round(Time::from_millis(3), HostId(1)).is_none());
+        assert!(d.finish_round(Time::from_millis(3), HostId(1)).is_empty());
     }
 
     #[test]
@@ -355,19 +516,14 @@ mod tests {
 
     #[test]
     fn greedy_stops_at_duplicates() {
-        let candidates = vec![
-            (100u16, sig(&[(1, 1)])),
-            (101, sig(&[(1, 1)])),
-            (102, sig(&[(1, 1)])),
-        ];
+        let candidates = vec![(100u16, sig(&[(1, 1)])), (101, sig(&[(1, 1)])), (102, sig(&[(1, 1)]))];
         let picked = greedy_disjoint(&candidates, 4);
         assert_eq!(picked, vec![100], "identical paths add nothing");
     }
 
     #[test]
     fn greedy_respects_k() {
-        let candidates: Vec<(u16, Vec<Hop>)> =
-            (0..10).map(|i| (100 + i as u16, sig(&[(i, i), (i + 50, i + 50)]))).collect();
+        let candidates: Vec<(u16, Vec<Hop>)> = (0..10).map(|i| (100 + i as u16, sig(&[(i, i), (i + 50, i + 50)]))).collect();
         assert_eq!(greedy_disjoint(&candidates, 4).len(), 4);
     }
 
@@ -379,6 +535,104 @@ mod tests {
         d.on_reply(probe_id, ttl_sent, SwitchId(1), Some(LinkId(1)));
         // Restart before finishing: old replies are discarded.
         d.start_round(Time::from_millis(10), HostId(1));
-        assert!(d.finish_round(Time::from_millis(12), HostId(1)).is_none());
+        assert!(d.finish_round(Time::from_millis(12), HostId(1)).is_empty());
+    }
+
+    #[test]
+    fn selection_is_reprobed_and_sticky() {
+        let mut d = daemon();
+        let dst = HostId(1);
+        let evs = run_round(&mut d, dst, Time::ZERO, parity_fabric(None));
+        let DiscoveryEvent::PathsUpdated { ports, .. } = evs[0].clone() else { panic!() };
+        assert_eq!(ports.len(), 2);
+        // The next round re-probes the selected ports...
+        let probes = d.start_round(Time::from_millis(50), dst);
+        let sports: Vec<u16> = probes.iter().map(|p| p.outer.unwrap().sport).collect();
+        for &p in &ports {
+            assert!(sports.contains(&p), "selected port {p} not re-probed");
+        }
+        // ...and a healthy round keeps the same selection (sticky).
+        for p in &probes {
+            let PacketKind::Probe { probe_id, ttl_sent } = p.kind else { unreachable!() };
+            if let Some((sw, link)) = parity_fabric(None)(p.outer.unwrap().sport, ttl_sent) {
+                d.on_reply(probe_id, ttl_sent, sw, Some(link));
+            }
+        }
+        let evs = d.finish_round(Time::from_millis(52), dst);
+        let DiscoveryEvent::PathsUpdated { ports: again, .. } = evs[0].clone() else { panic!() };
+        assert_eq!(again, ports, "healthy selection must not churn");
+    }
+
+    #[test]
+    fn blackholed_port_evicted_after_n_rounds() {
+        let mut d = daemon();
+        let dst = HostId(1);
+        run_round(&mut d, dst, Time::ZERO, parity_fabric(None));
+        let sel = d.selection(dst).unwrap().to_vec();
+        let dead = *sel.iter().find(|p| *p % 2 == 0).expect("an even-parity port selected");
+        // The even spine silently dies: its traces truncate at hop 1.
+        let mut evicted_at = None;
+        for round in 1..=4u64 {
+            let t = Time::from_millis(50 * round);
+            let evs = run_round(&mut d, dst, t, parity_fabric(Some(0)));
+            if evs.contains(&DiscoveryEvent::PathDead { dst, port: dead }) {
+                evicted_at = Some(round);
+                break;
+            }
+            // Until eviction, the suspect port stays selected (sticky).
+            assert!(d.selection(dst).unwrap().contains(&dead));
+        }
+        assert_eq!(evicted_at, Some(3), "evicted exactly at blackhole_rounds");
+        assert!(!d.selection(dst).unwrap().contains(&dead));
+        assert_eq!(d.stats.paths_evicted, 1);
+        // Every port now selected is on the live parity.
+        assert!(d.selection(dst).unwrap().iter().all(|p| p % 2 == 1));
+    }
+
+    #[test]
+    fn healthy_round_resets_silence() {
+        let mut d = daemon();
+        let dst = HostId(1);
+        run_round(&mut d, dst, Time::ZERO, parity_fabric(None));
+        let dead = *d.selection(dst).unwrap().iter().find(|p| *p % 2 == 0).unwrap();
+        // Two truncated rounds (one short of the threshold), then recovery.
+        run_round(&mut d, dst, Time::from_millis(50), parity_fabric(Some(0)));
+        run_round(&mut d, dst, Time::from_millis(100), parity_fabric(Some(0)));
+        run_round(&mut d, dst, Time::from_millis(150), parity_fabric(None));
+        // Two more truncated rounds must NOT evict: the counter restarted.
+        run_round(&mut d, dst, Time::from_millis(200), parity_fabric(Some(0)));
+        let evs = run_round(&mut d, dst, Time::from_millis(250), parity_fabric(Some(0)));
+        assert!(evs.iter().all(|e| !matches!(e, DiscoveryEvent::PathDead { .. })));
+        assert!(d.selection(dst).unwrap().contains(&dead));
+        assert_eq!(d.stats.paths_evicted, 0);
+    }
+
+    #[test]
+    fn evicted_path_readopted_after_recovery() {
+        let mut d = daemon();
+        let dst = HostId(1);
+        run_round(&mut d, dst, Time::ZERO, parity_fabric(None));
+        for round in 1..=3u64 {
+            run_round(&mut d, dst, Time::from_millis(50 * round), parity_fabric(Some(0)));
+        }
+        assert!(d.selection(dst).unwrap().iter().all(|p| p % 2 == 1));
+        // The spine comes back: the next healthy round re-adopts the path.
+        run_round(&mut d, dst, Time::from_millis(400), parity_fabric(None));
+        assert!(d.selection(dst).unwrap().iter().any(|p| p % 2 == 0), "recovered path re-adopted: {:?}", d.selection(dst));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_configs() {
+        assert!(DiscoveryConfig::default().validate().is_ok());
+        let bad_timeout = DiscoveryConfig { round_timeout: Duration::from_millis(50), probe_interval: Duration::from_millis(50), ..DiscoveryConfig::default() };
+        assert!(bad_timeout.validate().unwrap_err().contains("round_timeout"));
+        let bad_k = DiscoveryConfig { k_paths: 25, ..DiscoveryConfig::default() };
+        assert!(bad_k.validate().unwrap_err().contains("k_paths"));
+        let bad_span = DiscoveryConfig { port_span: 0, ..DiscoveryConfig::default() };
+        assert!(bad_span.validate().unwrap_err().contains("port_span"));
+        let bad_cand = DiscoveryConfig { port_span: 8, ..DiscoveryConfig::default() };
+        assert!(bad_cand.validate().unwrap_err().contains("candidates"));
+        let bad_bh = DiscoveryConfig { blackhole_rounds: 0, ..DiscoveryConfig::default() };
+        assert!(bad_bh.validate().unwrap_err().contains("blackhole_rounds"));
     }
 }

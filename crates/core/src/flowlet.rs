@@ -112,10 +112,7 @@ impl FlowletTable {
 
     /// The port the current flowlet of `flow` is pinned to, if fresh.
     pub fn current_port(&self, now: Time, flow: &FlowKey) -> Option<u16> {
-        self.entries
-            .get(flow)
-            .filter(|e| now.saturating_since(e.last_seen) <= self.cfg.gap)
-            .map(|e| e.port)
+        self.entries.get(flow).filter(|e| now.saturating_since(e.last_seen) <= self.cfg.gap).map(|e| e.port)
     }
 
     /// The id of the current flowlet of `flow`, if tracked.
@@ -221,11 +218,7 @@ mod tests {
 
     #[test]
     fn eviction_sweep_trims_idle_flows() {
-        let mut t = FlowletTable::new(FlowletConfig {
-            gap: Duration::from_micros(100),
-            idle_evict: Duration::from_micros(1000),
-            max_entries: 10,
-        });
+        let mut t = FlowletTable::new(FlowletConfig { gap: Duration::from_micros(100), idle_evict: Duration::from_micros(1000), max_entries: 10 });
         for s in 0..11 {
             t.on_packet(Time::ZERO, flow(s), |_| 1);
         }

@@ -62,12 +62,7 @@ pub struct EdgeFlowletPolicy {
 impl EdgeFlowletPolicy {
     /// Create with the given flowlet gap configuration and RNG seed.
     pub fn new(flowlet: FlowletConfig, seed: u64) -> EdgeFlowletPolicy {
-        EdgeFlowletPolicy {
-            flowlets: FlowletTable::new(flowlet),
-            paths: std::collections::HashMap::new(),
-            rng: SimRng::new(seed ^ 0xED6E),
-            fallback_span: 64,
-        }
+        EdgeFlowletPolicy { flowlets: FlowletTable::new(flowlet), paths: std::collections::HashMap::new(), rng: SimRng::new(seed ^ 0xED6E), fallback_span: 64 }
     }
 
     fn fallback_port(flow: &FlowKey, flowlet_id: u64, span: u16) -> u16 {
@@ -105,12 +100,7 @@ mod tests {
     use clove_sim::Duration;
 
     fn pkt(sport: u16) -> Packet {
-        Packet::new(
-            1,
-            1500,
-            FlowKey::tcp(HostId(0), HostId(1), sport, 80),
-            PacketKind::Data { seq: 0, len: 1400, dsn: 0 },
-        )
+        Packet::new(1, 1500, FlowKey::tcp(HostId(0), HostId(1), sport, 80), PacketKind::Data { seq: 0, len: 1400, dsn: 0 })
     }
 
     #[test]
@@ -133,7 +123,7 @@ mod tests {
         let mut t = Time::ZERO;
         for _ in 0..64 {
             seen.insert(p.select_port(t, HostId(1), &mut a));
-            t = t + Duration::from_micros(500); // always a new flowlet
+            t += Duration::from_micros(500); // always a new flowlet
         }
         assert!(seen.len() >= 3, "flowlets should explore ports, saw {seen:?}");
     }

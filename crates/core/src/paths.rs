@@ -47,15 +47,24 @@ impl PathSet {
     /// transition" when only the port→path mapping changes (§3.1).
     pub fn set_ports(&mut self, ports: &[u16]) {
         let old = std::mem::take(&mut self.paths);
-        self.paths = ports
-            .iter()
-            .map(|&p| old.iter().find(|i| i.port == p).copied().unwrap_or_else(|| PathInfo::new(p)))
-            .collect();
+        self.paths = ports.iter().map(|&p| old.iter().find(|i| i.port == p).copied().unwrap_or_else(|| PathInfo::new(p))).collect();
     }
 
     /// All ports.
     pub fn ports(&self) -> Vec<u16> {
         self.paths.iter().map(|p| p.port).collect()
+    }
+
+    /// Drop `port` (path eviction); state for the other paths is untouched.
+    pub fn remove_port(&mut self, port: u16) {
+        self.paths.retain(|p| p.port != port);
+    }
+
+    /// Add `port` with fresh (unknown) state; no-op if already present.
+    pub fn add_port(&mut self, port: u16) {
+        if self.get(port).is_none() {
+            self.paths.push(PathInfo::new(port));
+        }
     }
 
     /// Number of paths.
@@ -111,23 +120,12 @@ impl PathSet {
 
     /// Is `port` considered congested at `now` (ECN within `window`)?
     pub fn is_congested(&self, now: Time, port: u16, window: Duration) -> bool {
-        self.get(port)
-            .and_then(|p| p.last_congested)
-            .map(|t| now.saturating_since(t) <= window)
-            .unwrap_or(false)
+        self.get(port).and_then(|p| p.last_congested).map(|t| now.saturating_since(t) <= window).unwrap_or(false)
     }
 
     /// Ports *not* congested at `now`.
     pub fn uncongested_ports(&self, now: Time, window: Duration) -> Vec<u16> {
-        self.paths
-            .iter()
-            .filter(|p| {
-                p.last_congested
-                    .map(|t| now.saturating_since(t) > window)
-                    .unwrap_or(true)
-            })
-            .map(|p| p.port)
-            .collect()
+        self.paths.iter().filter(|p| p.last_congested.map(|t| now.saturating_since(t) > window).unwrap_or(true)).map(|p| p.port).collect()
     }
 
     /// True when every path is congested (paper: the only case where ECN
@@ -155,11 +153,7 @@ impl PathSet {
 
     /// The port with the least one-way latency (unknown = zero).
     pub fn least_latency(&self) -> Option<u16> {
-        self.paths
-            .iter()
-            .map(|p| (p.latency.unwrap_or(Duration::ZERO), p.port))
-            .min()
-            .map(|(_, port)| port)
+        self.paths.iter().map(|p| (p.latency.unwrap_or(Duration::ZERO), p.port)).min().map(|(_, port)| port)
     }
 
     /// Latency spread across paths (adaptive flowlet-gap extension §7):
@@ -265,6 +259,21 @@ mod tests {
         assert!(s.is_congested(Time::from_micros(150), 20, W));
         assert!(!s.is_congested(Time::from_micros(150), 50, W));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_add_port() {
+        let mut s = set();
+        s.record_ecn(Time::from_micros(100), 20, true);
+        s.remove_port(10);
+        assert_eq!(s.ports(), vec![20, 30, 40]);
+        assert!(s.is_congested(Time::from_micros(150), 20, W));
+        s.add_port(10);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_congested(Time::from_micros(150), 10, W));
+        // Idempotent.
+        s.add_port(10);
+        assert_eq!(s.len(), 4);
     }
 
     #[test]

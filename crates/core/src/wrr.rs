@@ -28,18 +28,38 @@ impl Wrr {
     /// Replace the port set, giving every port the same weight. Existing
     /// weights of surviving ports are preserved.
     pub fn set_ports(&mut self, ports: &[u16]) {
-        let old: std::collections::HashMap<u16, f64> =
-            self.items.iter().map(|i| (i.port, i.weight)).collect();
-        self.items = ports
-            .iter()
-            .map(|&p| WrrItem { port: p, weight: *old.get(&p).unwrap_or(&1.0), current: 0.0 })
-            .collect();
+        let old: std::collections::HashMap<u16, f64> = self.items.iter().map(|i| (i.port, i.weight)).collect();
+        self.items = ports.iter().map(|&p| WrrItem { port: p, weight: *old.get(&p).unwrap_or(&1.0), current: 0.0 }).collect();
         self.normalize();
     }
 
     /// All ports currently scheduled.
     pub fn ports(&self) -> Vec<u16> {
         self.items.iter().map(|i| i.port).collect()
+    }
+
+    /// Remove `port` from the rotation (path eviction). The removed weight
+    /// mass redistributes *proportionally* across the survivors via
+    /// normalization, so their learned relative weights — and their smooth
+    /// round-robin positions — are untouched. No-op if absent.
+    pub fn remove_port(&mut self, port: u16) {
+        let before = self.items.len();
+        self.items.retain(|i| i.port != port);
+        if self.items.len() != before {
+            self.normalize();
+        }
+    }
+
+    /// Add `port` back into the rotation with a uniform share (the mean of
+    /// the surviving weights), leaving the survivors' learned relative
+    /// weights intact. No-op if already present.
+    pub fn add_port(&mut self, port: u16) {
+        if self.items.iter().any(|i| i.port == port) {
+            return;
+        }
+        let mean = if self.items.is_empty() { 1.0 } else { self.items.iter().map(|i| i.weight).sum::<f64>() / self.items.len() as f64 };
+        self.items.push(WrrItem { port, weight: mean, current: 0.0 });
+        self.normalize();
     }
 
     /// The weight of `port`, if present.
@@ -245,6 +265,46 @@ mod tests {
         // Port 1 keeps its (normalized) dominance over the newcomer.
         assert!(w.weight(1).unwrap() > w.weight(3).unwrap());
         assert!(w.weight(2).is_none());
+    }
+
+    #[test]
+    fn remove_port_redistributes_proportionally() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2, 3]);
+        w.set_weight(1, 4.0);
+        w.set_weight(2, 2.0);
+        w.set_weight(3, 2.0);
+        w.remove_port(3);
+        assert_eq!(w.ports(), vec![1, 2]);
+        let total: f64 = w.weight(1).unwrap() + w.weight(2).unwrap();
+        assert!((total - 1.0).abs() < 1e-9);
+        // 4:2 relative learned weights survive the eviction.
+        let ratio = w.weight(1).unwrap() / w.weight(2).unwrap();
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+        // Removing the last ports leaves an empty (None-picking) scheduler.
+        w.remove_port(1);
+        w.remove_port(2);
+        assert!(w.pick().is_none());
+    }
+
+    #[test]
+    fn add_port_gets_uniform_share() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2]);
+        w.set_weight(1, 3.0);
+        w.set_weight(2, 1.0);
+        w.add_port(3);
+        // Newcomer gets the mean share; 3:1 between survivors holds.
+        let ratio = w.weight(1).unwrap() / w.weight(2).unwrap();
+        assert!((ratio - 3.0).abs() < 1e-9, "ratio {ratio}");
+        let w3 = w.weight(3).unwrap();
+        assert!((w3 - 1.0 / 3.0).abs() < 0.01, "w3 {w3}");
+        // Re-adding is a no-op; adding to empty gives full weight.
+        w.add_port(3);
+        assert_eq!(w.ports().len(), 3);
+        let mut fresh = Wrr::new();
+        fresh.add_port(9);
+        assert_eq!(fresh.weight(9), Some(1.0));
     }
 
     #[test]

@@ -12,17 +12,16 @@ fn main() {
     if arg == "--example" || arg.is_empty() {
         eprintln!("usage: clove-run <spec.json> | --example");
         println!(
-            "{}",
-            r#"{
-  "scheme": { "name": "clove-ecn" },
-  "topology": { "kind": "asymmetric" },
-  "load": 0.7,
-  "workload": "web-search",
-  "jobs_per_conn": 100,
-  "conns_per_client": 2,
-  "seed": 42,
-  "horizon_secs": 30
-}"#
+            "{{
+  \"scheme\": {{ \"name\": \"clove-ecn\" }},
+  \"topology\": {{ \"kind\": \"asymmetric\" }},
+  \"load\": 0.7,
+  \"workload\": \"web-search\",
+  \"jobs_per_conn\": 100,
+  \"conns_per_client\": 2,
+  \"seed\": 42,
+  \"horizon_secs\": 30
+}}"
         );
         std::process::exit(if arg.is_empty() { 2 } else { 0 });
     }
@@ -33,7 +32,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let spec: ScenarioSpec = match serde_json::from_str(&text) {
+    let spec: ScenarioSpec = match ScenarioSpec::from_json_str(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("clove-run: bad spec: {e}");
@@ -41,7 +40,7 @@ fn main() {
         }
     };
     match spec.run() {
-        Ok(report) => println!("{}", serde_json::to_string_pretty(&report).expect("serializable")),
+        Ok(report) => println!("{}", report.to_json().render_pretty()),
         Err(e) => {
             eprintln!("clove-run: {e}");
             std::process::exit(1);

@@ -3,18 +3,18 @@
 //! [`ScenarioSpec`] is the on-disk form of a [`Scenario`]: a JSON file a
 //! user can write without touching Rust, consumed by the `clove-run`
 //! binary. [`RunReport`] is its JSON output (summary numbers only; full
-//! CDFs via the `cdf_points` knob).
+//! CDFs via the `cdf_points` knob). Parsing and rendering go through the
+//! in-tree [`crate::json`] module so the workspace builds fully offline.
 
+use crate::json::Json;
 use crate::profile::Profile;
 use crate::scenario::{Scenario, TopologyKind};
 use crate::scheme::Scheme;
 use clove_sim::{Duration, Time};
 use clove_workload::{data_mining, enterprise, web_search, FlowSizeDist};
-use serde::{Deserialize, Serialize};
 
-/// JSON-facing scheme name.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(rename_all = "kebab-case", tag = "name")]
+/// JSON-facing scheme name (`{"name": "clove-ecn", ...}`).
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchemeSpec {
     /// Static flow hashing.
     Ecmp,
@@ -27,13 +27,11 @@ pub enum SchemeSpec {
     /// Clove with latency feedback.
     CloveLatency {
         /// Enable the adaptive flowlet gap.
-        #[serde(default)]
         adaptive_gap: bool,
     },
     /// Presto with optional static path weights.
     Presto {
         /// Oracle weights per discovered path.
-        #[serde(default)]
         weights: Option<Vec<f64>>,
     },
     /// MPTCP with k subflows.
@@ -54,6 +52,82 @@ pub enum SchemeSpec {
     },
 }
 
+impl SchemeSpec {
+    /// Parse from the tagged-object form, e.g. `{"name":"mptcp","subflows":4}`.
+    pub fn from_json(v: &Json) -> Result<SchemeSpec, String> {
+        let name = v.get("name").and_then(Json::as_str).ok_or_else(|| "scheme: missing string field 'name'".to_string())?;
+        match name {
+            "ecmp" => Ok(SchemeSpec::Ecmp),
+            "edge-flowlet" => Ok(SchemeSpec::EdgeFlowlet),
+            "clove-ecn" => Ok(SchemeSpec::CloveEcn),
+            "clove-int" => Ok(SchemeSpec::CloveInt),
+            "clove-latency" => Ok(SchemeSpec::CloveLatency { adaptive_gap: v.get("adaptive_gap").and_then(Json::as_bool).unwrap_or(false) }),
+            "presto" => {
+                let weights = match v.get("weights") {
+                    None | Some(Json::Null) => None,
+                    Some(w) => Some(
+                        w.as_array()
+                            .ok_or_else(|| "presto: 'weights' must be an array".to_string())?
+                            .iter()
+                            .map(|x| x.as_f64().ok_or_else(|| "presto: weights must be numbers".to_string()))
+                            .collect::<Result<Vec<f64>, String>>()?,
+                    ),
+                };
+                Ok(SchemeSpec::Presto { weights })
+            }
+            "mptcp" => Ok(SchemeSpec::Mptcp {
+                subflows: v.get("subflows").and_then(Json::as_u64).ok_or_else(|| "mptcp: missing integer field 'subflows'".to_string())? as usize,
+            }),
+            "conga" => Ok(SchemeSpec::Conga),
+            "let-flow" => Ok(SchemeSpec::LetFlow),
+            "hula" => Ok(SchemeSpec::Hula),
+            "incremental" => Ok(SchemeSpec::Incremental {
+                clove_hosts: v.get("clove_hosts").and_then(Json::as_u64).ok_or_else(|| "incremental: missing integer field 'clove_hosts'".to_string())? as u32,
+            }),
+            other => Err(format!("unknown scheme name '{other}'")),
+        }
+    }
+
+    /// Render back to the tagged-object form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        let name = match self {
+            SchemeSpec::Ecmp => "ecmp",
+            SchemeSpec::EdgeFlowlet => "edge-flowlet",
+            SchemeSpec::CloveEcn => "clove-ecn",
+            SchemeSpec::CloveInt => "clove-int",
+            SchemeSpec::CloveLatency { .. } => "clove-latency",
+            SchemeSpec::Presto { .. } => "presto",
+            SchemeSpec::Mptcp { .. } => "mptcp",
+            SchemeSpec::Conga => "conga",
+            SchemeSpec::LetFlow => "let-flow",
+            SchemeSpec::Hula => "hula",
+            SchemeSpec::Incremental { .. } => "incremental",
+        };
+        fields.push(("name".to_string(), Json::Str(name.to_string())));
+        match self {
+            SchemeSpec::CloveLatency { adaptive_gap } => {
+                fields.push(("adaptive_gap".to_string(), Json::Bool(*adaptive_gap)));
+            }
+            SchemeSpec::Presto { weights } => {
+                let w = match weights {
+                    Some(ws) => Json::Arr(ws.iter().map(|&x| Json::Num(x)).collect()),
+                    None => Json::Null,
+                };
+                fields.push(("weights".to_string(), w));
+            }
+            SchemeSpec::Mptcp { subflows } => {
+                fields.push(("subflows".to_string(), Json::Num(*subflows as f64)));
+            }
+            SchemeSpec::Incremental { clove_hosts } => {
+                fields.push(("clove_hosts".to_string(), Json::Num(*clove_hosts as f64)));
+            }
+            _ => {}
+        }
+        Json::Obj(fields)
+    }
+}
+
 impl From<SchemeSpec> for Scheme {
     fn from(s: SchemeSpec) -> Scheme {
         match s {
@@ -72,9 +146,8 @@ impl From<SchemeSpec> for Scheme {
     }
 }
 
-/// JSON-facing topology.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
-#[serde(rename_all = "kebab-case", tag = "kind")]
+/// JSON-facing topology (`{"kind": "asymmetric"}`).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TopologySpec {
     /// Healthy 2×2×16 leaf-spine.
     Symmetric,
@@ -85,6 +158,30 @@ pub enum TopologySpec {
         /// Pod arity (even, ≥ 4).
         k: u32,
     },
+}
+
+impl TopologySpec {
+    /// Parse from the tagged-object form, e.g. `{"kind":"fat-tree","k":4}`.
+    pub fn from_json(v: &Json) -> Result<TopologySpec, String> {
+        let kind = v.get("kind").and_then(Json::as_str).ok_or_else(|| "topology: missing string field 'kind'".to_string())?;
+        match kind {
+            "symmetric" => Ok(TopologySpec::Symmetric),
+            "asymmetric" => Ok(TopologySpec::Asymmetric),
+            "fat-tree" => {
+                Ok(TopologySpec::FatTree { k: v.get("k").and_then(Json::as_u64).ok_or_else(|| "fat-tree: missing integer field 'k'".to_string())? as u32 })
+            }
+            other => Err(format!("unknown topology kind '{other}'")),
+        }
+    }
+
+    /// Render back to the tagged-object form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            TopologySpec::Symmetric => Json::Obj(vec![("kind".to_string(), Json::Str("symmetric".to_string()))]),
+            TopologySpec::Asymmetric => Json::Obj(vec![("kind".to_string(), Json::Str("asymmetric".to_string()))]),
+            TopologySpec::FatTree { k } => Json::Obj(vec![("kind".to_string(), Json::Str("fat-tree".to_string())), ("k".to_string(), Json::Num(*k as f64))]),
+        }
+    }
 }
 
 impl From<TopologySpec> for TopologyKind {
@@ -98,7 +195,7 @@ impl From<TopologySpec> for TopologyKind {
 }
 
 /// A complete experiment specification.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioSpec {
     /// Load balancer under test.
     pub scheme: SchemeSpec,
@@ -107,45 +204,75 @@ pub struct ScenarioSpec {
     /// Offered load as a fraction of bisection bandwidth.
     pub load: f64,
     /// Flow-size distribution: "web-search", "enterprise", "data-mining".
-    #[serde(default = "default_workload")]
     pub workload: String,
     /// Jobs per client connection.
-    #[serde(default = "default_jobs")]
     pub jobs_per_conn: u32,
     /// Persistent connections per client.
-    #[serde(default = "default_conns")]
     pub conns_per_client: u32,
     /// RNG seed.
-    #[serde(default)]
     pub seed: u64,
     /// Simulated-time ceiling in seconds.
-    #[serde(default = "default_horizon")]
     pub horizon_secs: u64,
     /// Optional mid-run S2–L2 failure time in milliseconds.
-    #[serde(default)]
     pub fail_at_ms: Option<u64>,
     /// Flowlet gap override in microseconds.
-    #[serde(default)]
     pub flowlet_gap_us: Option<u64>,
     /// ECN threshold override in MTU packets.
-    #[serde(default)]
     pub ecn_threshold_pkts: Option<u32>,
 }
 
-fn default_workload() -> String {
-    "web-search".into()
-}
-fn default_jobs() -> u32 {
-    60
-}
-fn default_conns() -> u32 {
-    2
-}
-fn default_horizon() -> u64 {
-    30
-}
-
 impl ScenarioSpec {
+    /// Parse a spec from JSON text, applying defaults for omitted fields.
+    pub fn from_json_str(text: &str) -> Result<ScenarioSpec, String> {
+        let v = Json::parse(text)?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("spec must be a JSON object".to_string());
+        }
+        let scheme = SchemeSpec::from_json(v.get("scheme").ok_or_else(|| "missing field 'scheme'".to_string())?)?;
+        let topology = TopologySpec::from_json(v.get("topology").ok_or_else(|| "missing field 'topology'".to_string())?)?;
+        let load = v.get("load").and_then(Json::as_f64).ok_or_else(|| "missing numeric field 'load'".to_string())?;
+        let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => x.as_u64().map(Some).ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+            }
+        };
+        Ok(ScenarioSpec {
+            scheme,
+            topology,
+            load,
+            workload: match v.get("workload") {
+                None => "web-search".to_string(),
+                Some(w) => w.as_str().ok_or_else(|| "'workload' must be a string".to_string())?.to_string(),
+            },
+            jobs_per_conn: opt_u64("jobs_per_conn")?.unwrap_or(60) as u32,
+            conns_per_client: opt_u64("conns_per_client")?.unwrap_or(2) as u32,
+            seed: opt_u64("seed")?.unwrap_or(0),
+            horizon_secs: opt_u64("horizon_secs")?.unwrap_or(30),
+            fail_at_ms: opt_u64("fail_at_ms")?,
+            flowlet_gap_us: opt_u64("flowlet_gap_us")?,
+            ecn_threshold_pkts: opt_u64("ecn_threshold_pkts")?.map(|x| x as u32),
+        })
+    }
+
+    /// Render back to JSON (all fields explicit).
+    pub fn to_json(&self) -> Json {
+        let opt = |o: Option<u64>| o.map(|x| Json::Num(x as f64)).unwrap_or(Json::Null);
+        Json::Obj(vec![
+            ("scheme".to_string(), self.scheme.to_json()),
+            ("topology".to_string(), self.topology.to_json()),
+            ("load".to_string(), Json::Num(self.load)),
+            ("workload".to_string(), Json::Str(self.workload.clone())),
+            ("jobs_per_conn".to_string(), Json::Num(self.jobs_per_conn as f64)),
+            ("conns_per_client".to_string(), Json::Num(self.conns_per_client as f64)),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            ("horizon_secs".to_string(), Json::Num(self.horizon_secs as f64)),
+            ("fail_at_ms".to_string(), opt(self.fail_at_ms)),
+            ("flowlet_gap_us".to_string(), opt(self.flowlet_gap_us)),
+            ("ecn_threshold_pkts".to_string(), opt(self.ecn_threshold_pkts.map(u64::from))),
+        ])
+    }
+
     /// Resolve the named workload distribution.
     pub fn distribution(&self) -> Result<FlowSizeDist, String> {
         match self.workload.as_str() {
@@ -162,7 +289,9 @@ impl ScenarioSpec {
         s.jobs_per_conn = self.jobs_per_conn;
         s.conns_per_client = self.conns_per_client;
         s.horizon = Time::from_secs(self.horizon_secs);
-        s.fail_at = self.fail_at_ms.map(Time::from_millis);
+        if let Some(ms) = self.fail_at_ms {
+            s.fail_at(Time::from_millis(ms));
+        }
         let mut profile = Profile::default();
         if let Some(us) = self.flowlet_gap_us {
             profile.flowlet_gap = Duration::from_micros(us);
@@ -178,6 +307,7 @@ impl ScenarioSpec {
     pub fn run(&self) -> Result<RunReport, String> {
         let dist = self.distribution()?;
         let scenario = self.to_scenario();
+        scenario.profile.discovery_config().validate().map_err(|e| format!("invalid discovery configuration: {e}"))?;
         let out = scenario.run_rpc(&dist);
         let mut fct = out.fct;
         Ok(RunReport {
@@ -201,7 +331,7 @@ impl ScenarioSpec {
 }
 
 /// JSON result summary of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Scheme descriptor.
     pub scheme: String,
@@ -235,6 +365,29 @@ pub struct RunReport {
     pub retransmits: u64,
 }
 
+impl RunReport {
+    /// Render as a JSON object, keys in declaration order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scheme".to_string(), Json::Str(self.scheme.clone())),
+            ("load".to_string(), Json::Num(self.load)),
+            ("flows_completed".to_string(), Json::Num(self.flows_completed as f64)),
+            ("flows_incomplete".to_string(), Json::Num(self.flows_incomplete as f64)),
+            ("avg_fct_s".to_string(), Json::Num(self.avg_fct_s)),
+            ("p50_fct_s".to_string(), Json::Num(self.p50_fct_s)),
+            ("p99_fct_s".to_string(), Json::Num(self.p99_fct_s)),
+            ("mice_avg_fct_s".to_string(), Json::Num(self.mice_avg_fct_s)),
+            ("elephant_avg_fct_s".to_string(), Json::Num(self.elephant_avg_fct_s)),
+            ("sim_time_s".to_string(), Json::Num(self.sim_time_s)),
+            ("events".to_string(), Json::Num(self.events as f64)),
+            ("drops".to_string(), Json::Num(self.drops as f64)),
+            ("ecn_marks".to_string(), Json::Num(self.ecn_marks as f64)),
+            ("timeouts".to_string(), Json::Num(self.timeouts as f64)),
+            ("retransmits".to_string(), Json::Num(self.retransmits as f64)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,8 +407,8 @@ mod tests {
             flowlet_gap_us: Some(150),
             ecn_threshold_pkts: Some(30),
         };
-        let json = serde_json::to_string_pretty(&spec).unwrap();
-        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json().render_pretty();
+        let back = ScenarioSpec::from_json_str(&json).unwrap();
         assert_eq!(back.load, 0.7);
         assert_eq!(back.scheme, SchemeSpec::CloveEcn);
         assert_eq!(back.fail_at_ms, Some(100));
@@ -264,7 +417,7 @@ mod tests {
     #[test]
     fn minimal_json_uses_defaults() {
         let json = r#"{"scheme":{"name":"ecmp"},"topology":{"kind":"symmetric"},"load":0.5}"#;
-        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
         assert_eq!(spec.jobs_per_conn, 60);
         assert_eq!(spec.workload, "web-search");
         assert!(spec.fail_at_ms.is_none());
@@ -277,16 +430,23 @@ mod tests {
         assert_eq!(Scheme::from(SchemeSpec::Mptcp { subflows: 4 }).label(), "MPTCP");
         assert_eq!(Scheme::from(SchemeSpec::Hula).label(), "HULA");
         assert_eq!(Scheme::from(SchemeSpec::Presto { weights: None }).label(), "Presto");
-        assert_eq!(
-            Scheme::from(SchemeSpec::Incremental { clove_hosts: 8 }).label(),
-            "Clove-ECN (partial)"
-        );
+        assert_eq!(Scheme::from(SchemeSpec::Incremental { clove_hosts: 8 }).label(), "Clove-ECN (partial)");
+    }
+
+    #[test]
+    fn tagged_scheme_variants_parse() {
+        let m = SchemeSpec::from_json(&Json::parse(r#"{"name":"mptcp","subflows":4}"#).unwrap());
+        assert_eq!(m.unwrap(), SchemeSpec::Mptcp { subflows: 4 });
+        let p = SchemeSpec::from_json(&Json::parse(r#"{"name":"presto","weights":[0.5,0.5]}"#).unwrap());
+        assert_eq!(p.unwrap(), SchemeSpec::Presto { weights: Some(vec![0.5, 0.5]) });
+        assert!(SchemeSpec::from_json(&Json::parse(r#"{"name":"nope"}"#).unwrap()).is_err());
+        assert!(SchemeSpec::from_json(&Json::parse(r#"{"name":"mptcp"}"#).unwrap()).is_err());
     }
 
     #[test]
     fn unknown_workload_is_an_error() {
         let json = r#"{"scheme":{"name":"ecmp"},"topology":{"kind":"symmetric"},"load":0.5,"workload":"nope"}"#;
-        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
         assert!(spec.distribution().is_err());
     }
 
@@ -294,10 +454,10 @@ mod tests {
     fn tiny_spec_runs_end_to_end() {
         let json = r#"{"scheme":{"name":"clove-ecn"},"topology":{"kind":"asymmetric"},
                        "load":0.3,"jobs_per_conn":2,"conns_per_client":1,"horizon_secs":10}"#;
-        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
         let report = spec.run().unwrap();
         assert!(report.flows_completed > 0);
-        let out_json = serde_json::to_string(&report).unwrap();
+        let out_json = report.to_json().render();
         assert!(out_json.contains("avg_fct_s"));
     }
 }

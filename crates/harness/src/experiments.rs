@@ -8,9 +8,10 @@
 //! qualitative ordering, as EXPERIMENTS.md documents). Benches use tiny
 //! scales.
 
-use crate::report::FigureTable;
+use crate::report::{FigureTable, ResilienceRow, ResilienceTable};
 use crate::scenario::{Scenario, TopologyKind};
 use crate::scheme::Scheme;
+use clove_net::fault::{CableSelector, FaultPlan, FaultStats};
 use clove_sim::{Duration, Time};
 use clove_workload::{web_search, FctSummary};
 
@@ -88,27 +89,14 @@ impl PointCache {
 
     /// Fetch or compute a point.
     pub fn point(&mut self, scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> FctSummary {
-        let key = (
-            scheme.label().to_string(),
-            topology == TopologyKind::Asymmetric,
-            (load * 1000.0).round() as u64,
-        );
-        self.entries
-            .entry(key)
-            .or_insert_with(|| rpc_point(scheme, topology, load, cfg))
-            .clone()
+        let key = (scheme.label().to_string(), topology == TopologyKind::Asymmetric, (load * 1000.0).round() as u64);
+        self.entries.entry(key).or_insert_with(|| rpc_point(scheme, topology, load, cfg)).clone()
     }
 }
 
 /// The paper's testbed scheme set (Figures 4–6).
 pub fn testbed_schemes(topology: TopologyKind) -> Vec<Scheme> {
-    vec![
-        Scheme::Ecmp,
-        Scheme::EdgeFlowlet,
-        Scheme::CloveEcn,
-        Scheme::Mptcp { subflows: 4 },
-        Scheme::Presto { oracle_weights: presto_oracle_weights(topology) },
-    ]
+    vec![Scheme::Ecmp, Scheme::EdgeFlowlet, Scheme::CloveEcn, Scheme::Mptcp { subflows: 4 }, Scheme::Presto { oracle_weights: presto_oracle_weights(topology) }]
 }
 
 /// The paper's simulation scheme set (Figures 8–9).
@@ -133,7 +121,9 @@ pub fn fig4c(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
 
 /// [`fig4c`] reusing a shared run cache.
 pub fn fig4c_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
-    rpc_figure("Fig 4c — testbed asymmetric, avg FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| s.avg())
+    rpc_figure("Fig 4c — testbed asymmetric, avg FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| {
+        s.avg()
+    })
 }
 
 /// Figure 5a: asymmetric, average FCT of mice (<100 KB) vs load.
@@ -143,7 +133,15 @@ pub fn fig5a(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
 
 /// [`fig5a`] reusing a shared run cache.
 pub fn fig5a_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
-    rpc_figure("Fig 5a — asymmetric, mice (<100KB) avg FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| s.mice.mean())
+    rpc_figure(
+        "Fig 5a — asymmetric, mice (<100KB) avg FCT (s)",
+        TopologyKind::Asymmetric,
+        &testbed_schemes(TopologyKind::Asymmetric),
+        loads,
+        cfg,
+        cache,
+        |s| s.mice.mean(),
+    )
 }
 
 /// Figure 5b: asymmetric, average FCT of elephants (>10 MB) vs load.
@@ -153,7 +151,15 @@ pub fn fig5b(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
 
 /// [`fig5b`] reusing a shared run cache.
 pub fn fig5b_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> FigureTable {
-    rpc_figure("Fig 5b — asymmetric, elephants (>10MB) avg FCT (s)", TopologyKind::Asymmetric, &testbed_schemes(TopologyKind::Asymmetric), loads, cfg, cache, |s| s.elephants.mean())
+    rpc_figure(
+        "Fig 5b — asymmetric, elephants (>10MB) avg FCT (s)",
+        TopologyKind::Asymmetric,
+        &testbed_schemes(TopologyKind::Asymmetric),
+        loads,
+        cfg,
+        cache,
+        |s| s.elephants.mean(),
+    )
 }
 
 /// Figure 5c: asymmetric, 99th-percentile FCT vs load.
@@ -169,18 +175,10 @@ pub fn fig5c_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> F
 /// Figure 6: Clove-ECN parameter sensitivity on the asymmetric topology.
 /// Series: (flowlet-gap multiplier × RTT, ECN threshold in packets).
 pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
-    let variants: [(&str, f64, u32); 4] = [
-        ("Clove-best (1*RTT, 20pkts)", 1.0, 20),
-        ("Clove (0.2*RTT, 20pkts)", 0.2, 20),
-        ("Clove (5*RTT, 20pkts)", 5.0, 20),
-        ("Clove (1*RTT, 40pkts)", 1.0, 40),
-    ];
+    let variants: [(&str, f64, u32); 4] =
+        [("Clove-best (1*RTT, 20pkts)", 1.0, 20), ("Clove (0.2*RTT, 20pkts)", 0.2, 20), ("Clove (5*RTT, 20pkts)", 5.0, 20), ("Clove (1*RTT, 40pkts)", 1.0, 40)];
     let dist = web_search();
-    let mut table = FigureTable::new(
-        "Fig 6 — Clove-ECN parameter sensitivity, asymmetric, avg FCT (s)",
-        "load %",
-        loads.iter().map(|l| l * 100.0).collect(),
-    );
+    let mut table = FigureTable::new("Fig 6 — Clove-ECN parameter sensitivity, asymmetric, avg FCT (s)", "load %", loads.iter().map(|l| l * 100.0).collect());
     for (name, gap_mult, ecn_pkts) in variants {
         let mut ys = Vec::new();
         for &load in loads {
@@ -207,11 +205,7 @@ pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
 /// Figure 7: incast — client goodput (Gbps) vs request fan-in.
 pub fn fig7(fanouts: &[u32], requests: u32, cfg: &ExpConfig) -> FigureTable {
     let schemes = [Scheme::CloveEcn, Scheme::EdgeFlowlet, Scheme::Mptcp { subflows: 4 }];
-    let mut table = FigureTable::new(
-        "Fig 7 — incast: client goodput (Gbps) vs request fan-in",
-        "fan-in",
-        fanouts.iter().map(|&f| f as f64).collect(),
-    );
+    let mut table = FigureTable::new("Fig 7 — incast: client goodput (Gbps) vs request fan-in", "fan-in", fanouts.iter().map(|&f| f as f64).collect());
     for scheme in schemes {
         let mut ys = Vec::new();
         for &fanout in fanouts {
@@ -265,6 +259,124 @@ pub fn fig9_cached(cfg: &ExpConfig, cache: &mut PointCache) -> Vec<(String, Vec<
             (label, s.mice_cdf(40))
         })
         .collect()
+}
+
+/// One fault case of the resilience sweep. Every case hits the paper's
+/// S2–L2 cable ([`CableSelector::S2_L2`]) mid-run on the otherwise
+/// symmetric testbed topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCase {
+    /// No fault — the per-scheme baseline the others are normalized to.
+    Clean,
+    /// One announced cut, never restored (the paper's asymmetry, but
+    /// arriving mid-run).
+    SingleCut,
+    /// A silent flap: repeated down/up cycles the control plane never
+    /// sees — the gray failure edge probing exists for.
+    Flapping,
+    /// Line rate silently halved.
+    Degraded,
+    /// 1% silent stochastic packet loss.
+    RandomLoss,
+}
+
+impl FaultCase {
+    /// Every case, clean first (the sweep relies on that ordering to have
+    /// the baseline before computing degradations).
+    pub const ALL: [FaultCase; 5] = [FaultCase::Clean, FaultCase::SingleCut, FaultCase::Flapping, FaultCase::Degraded, FaultCase::RandomLoss];
+
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultCase::Clean => "clean",
+            FaultCase::SingleCut => "single-cut",
+            FaultCase::Flapping => "flapping",
+            FaultCase::Degraded => "50%-degraded",
+            FaultCase::RandomLoss => "1%-loss",
+        }
+    }
+
+    /// The fault timeline for this case, anchored at `at`. Flap cycles are
+    /// sized in probe intervals so the detection race (blackhole_rounds
+    /// consecutive truncated rounds vs. the down span) scales with the
+    /// profile: down for 4 intervals, up for 2, twice.
+    pub fn plan(self, at: Time, probe_interval: Duration) -> FaultPlan {
+        let cable = CableSelector::S2_L2;
+        match self {
+            FaultCase::Clean => FaultPlan::none(),
+            FaultCase::SingleCut => FaultPlan::cut(at, cable),
+            FaultCase::Flapping => FaultPlan::flap(at, cable, probe_interval * 6, 2.0 / 3.0, 2),
+            FaultCase::Degraded => FaultPlan::degrade(at, cable, 0.5),
+            FaultCase::RandomLoss => FaultPlan::loss(at, cable, 0.01),
+        }
+    }
+}
+
+/// The schemes the resilience sweep covers: the union of the testbed and
+/// simulation sets (every scheme the figures exercise, each once).
+pub fn resilience_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Ecmp,
+        Scheme::EdgeFlowlet,
+        Scheme::CloveEcn,
+        Scheme::Mptcp { subflows: 4 },
+        Scheme::Presto { oracle_weights: None },
+        Scheme::CloveInt,
+        Scheme::Conga,
+    ]
+}
+
+/// When the resilience faults land: late enough for a pre-fault FCT
+/// baseline, early enough that plenty of traffic runs under the fault.
+pub const RESILIENCE_FAULT_AT: Time = Time(20_000_000); // 20 ms
+
+/// The resilience sweep: `{clean, single-cut, flapping, 50%-degraded,
+/// 1%-loss}` × `schemes` at 60% load on the symmetric testbed topology,
+/// reporting average FCT, degradation vs. the scheme's clean run, recovery
+/// time and the fabric's fault damage. Probing is tightened to 5 ms rounds
+/// so detection happens on the timescale of the faults.
+pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
+    let dist = web_search();
+    let load = 0.6;
+    let mut table =
+        ResilienceTable::new(format!("Resilience — S2-L2 faults at {} ms, symmetric, {:.0}% load", RESILIENCE_FAULT_AT.0 / 1_000_000, load * 100.0));
+    for scheme in schemes {
+        let mut clean_avg = None;
+        for case in FaultCase::ALL {
+            let mut pooled: Option<FctSummary> = None;
+            let mut evictions = 0u64;
+            let mut stats = FaultStats::default();
+            let mut recovered_ms = Vec::new();
+            for seed in 0..cfg.seeds {
+                let mut s = scenario(scheme.clone(), TopologyKind::Symmetric, load, 4000 + seed as u64, cfg);
+                s.profile.probe_interval = Duration::from_millis(5);
+                s.faults = case.plan(RESILIENCE_FAULT_AT, s.profile.probe_interval);
+                let out = s.run_rpc(&dist);
+                evictions += out.path_evictions;
+                stats.absorb(&out.fault_stats);
+                if let Some(r) = out.recovery {
+                    recovered_ms.push(r.as_secs_f64() * 1e3);
+                }
+                match pooled.as_mut() {
+                    None => pooled = Some(out.fct),
+                    Some(p) => p.merge(&out.fct),
+                }
+            }
+            let fct = pooled.expect("at least one seed");
+            let avg = fct.avg();
+            let clean = *clean_avg.get_or_insert(avg);
+            table.rows.push(ResilienceRow {
+                case: case.label().into(),
+                scheme: scheme.label().to_string(),
+                avg_fct_s: avg,
+                degradation: if clean > 0.0 { avg / clean } else { 1.0 },
+                recovery_ms: if recovered_ms.is_empty() { None } else { Some(recovered_ms.iter().sum::<f64>() / recovered_ms.len() as f64) },
+                path_evictions: evictions,
+                stats,
+            });
+        }
+    }
+    table
 }
 
 /// Shared driver for FCT-vs-load figures.

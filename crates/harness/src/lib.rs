@@ -21,6 +21,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod json;
 pub mod profile;
 pub mod report;
 pub mod scenario;

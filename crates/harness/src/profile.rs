@@ -9,6 +9,7 @@
 //! jobs, so the floor is 2 ms — still ≫ RTT, preserving the qualitative
 //! cost of a timeout (documented in DESIGN.md).
 
+use clove_core::DiscoveryConfig;
 use clove_net::link::LinkConfig;
 use clove_sim::Duration;
 use clove_tcp::TcpConfig;
@@ -61,6 +62,9 @@ pub struct Profile {
     pub probe_candidates: usize,
     /// Paths selected per destination (testbed: 4 disjoint paths).
     pub k_paths: usize,
+    /// Consecutive truncated-trace rounds before a selected path is
+    /// declared black-holed and evicted.
+    pub blackhole_rounds: u32,
     /// Presto receive-side reassembly poll period.
     pub presto_poll: Duration,
     /// Warm-up before application traffic starts (lets the first probe
@@ -96,6 +100,7 @@ impl Default for Profile {
             round_timeout: Duration::from_millis(1),
             probe_candidates: 24,
             k_paths: 4,
+            blackhole_rounds: 3,
             presto_poll: Duration::from_micros(250),
             warmup: Duration::from_millis(3),
             dsack_undo: true,
@@ -139,24 +144,29 @@ impl Profile {
         }
     }
 
+    /// The probe-daemon configuration this profile implies. Callers
+    /// loading external configs should `validate()` the result.
+    pub fn discovery_config(&self) -> DiscoveryConfig {
+        DiscoveryConfig {
+            candidates: self.probe_candidates,
+            k_paths: self.k_paths,
+            max_ttl: 4,
+            probe_interval: self.probe_interval,
+            round_timeout: self.round_timeout,
+            blackhole_rounds: self.blackhole_rounds,
+            ..DiscoveryConfig::default()
+        }
+    }
+
     /// TCP configuration with this profile's RTO floors.
     pub fn tcp_config(&self) -> TcpConfig {
-        TcpConfig {
-            min_rto: self.min_rto,
-            init_rto: self.init_rto,
-            dsack_undo: self.dsack_undo,
-            ..TcpConfig::default()
-        }
+        TcpConfig { min_rto: self.min_rto, init_rto: self.init_rto, dsack_undo: self.dsack_undo, ..TcpConfig::default() }
     }
 
     /// A cheaper profile for CI / criterion benches: identical shape,
     /// shorter probes and warmup.
     pub fn quick() -> Profile {
-        Profile {
-            probe_interval: Duration::from_millis(10),
-            warmup: Duration::from_millis(2),
-            ..Profile::default()
-        }
+        Profile { probe_interval: Duration::from_millis(10), warmup: Duration::from_millis(2), ..Profile::default() }
     }
 }
 

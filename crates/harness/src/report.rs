@@ -1,5 +1,6 @@
 //! Plain-text rendering of experiment tables (the figures, as text).
 
+use clove_net::fault::FaultStats;
 use std::fmt::Write as _;
 
 /// A table of `series × x-points`, e.g. average FCT per scheme per load.
@@ -72,6 +73,111 @@ impl FigureTable {
     }
 }
 
+/// One (fault case, scheme) row of the resilience report.
+#[derive(Debug, Clone)]
+pub struct ResilienceRow {
+    /// Fault case label, e.g. "single-cut".
+    pub case: String,
+    /// Scheme label, e.g. "Clove-ECN".
+    pub scheme: String,
+    /// Pooled average FCT in seconds.
+    pub avg_fct_s: f64,
+    /// Average FCT relative to the same scheme's clean run (1.0 = no
+    /// degradation).
+    pub degradation: f64,
+    /// Mean recovery time in milliseconds over the seeds that recovered;
+    /// `None` when no mid-run fault was injected or no seed recovered.
+    pub recovery_ms: Option<f64>,
+    /// Black-holed paths evicted by discovery (summed over seeds).
+    pub path_evictions: u64,
+    /// Fabric fault damage (summed over seeds).
+    pub stats: FaultStats,
+}
+
+/// The resilience sweep as a flat `case × scheme` table.
+#[derive(Debug, Clone)]
+pub struct ResilienceTable {
+    /// Caption, e.g. "Resilience — S2–L2 faults at 20 ms".
+    pub title: String,
+    /// One row per (fault case, scheme) pair.
+    pub rows: Vec<ResilienceRow>,
+}
+
+impl ResilienceTable {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>) -> ResilienceTable {
+        ResilienceTable { title: title.into(), rows: Vec::new() }
+    }
+
+    /// The row for `(case, scheme)`, if present.
+    pub fn row(&self, case: &str, scheme: &str) -> Option<&ResilienceRow> {
+        self.rows.iter().find(|r| r.case == case && r.scheme == scheme)
+    }
+
+    /// Render as an aligned text table (FCT, degradation, recovery and the
+    /// per-cause fault damage side by side).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let case_w = self.rows.iter().map(|r| r.case.len()).max().unwrap_or(4).max("case".len());
+        let scheme_w = self.rows.iter().map(|r| r.scheme.len()).max().unwrap_or(6).max("scheme".len());
+        let _ = writeln!(
+            out,
+            "{:<case_w$} {:<scheme_w$} {:>10} {:>8} {:>9} {:>6} {:>8} {:>8} {:>8} {:>9} {:>6}",
+            "case", "scheme", "avgFCT(s)", "degr(x)", "recov(ms)", "evict", "dDown", "dLoss", "down(ms)", "degrd(ms)", "faults",
+        );
+        for r in &self.rows {
+            let recov = r.recovery_ms.map_or("-".to_string(), |ms| format!("{ms:.1}"));
+            let _ = writeln!(
+                out,
+                "{:<case_w$} {:<scheme_w$} {:>10} {:>8} {:>9} {:>6} {:>8} {:>8} {:>8} {:>9} {:>6}",
+                r.case,
+                r.scheme,
+                format_num(r.avg_fct_s),
+                format!("{:.2}", r.degradation),
+                recov,
+                r.path_evictions,
+                r.stats.drops_down,
+                r.stats.drops_loss,
+                format!("{:.1}", r.stats.down_time.as_secs_f64() * 1e3),
+                format!("{:.1}", r.stats.degraded_time.as_secs_f64() * 1e3),
+                r.stats.faults_applied,
+            );
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "case,scheme,avg_fct_s,degradation,recovery_ms,path_evictions,\
+             drops_down,drops_loss,drops_overflow,drops_no_route,\
+             down_time_ms,degraded_time_ms,faults_applied\n",
+        );
+        for r in &self.rows {
+            let recov = r.recovery_ms.map_or(String::new(), |ms| format!("{ms}"));
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.case,
+                r.scheme,
+                r.avg_fct_s,
+                r.degradation,
+                recov,
+                r.path_evictions,
+                r.stats.drops_down,
+                r.stats.drops_loss,
+                r.stats.drops_overflow,
+                r.stats.drops_no_route,
+                r.stats.down_time.as_secs_f64() * 1e3,
+                r.stats.degraded_time.as_secs_f64() * 1e3,
+                r.stats.faults_applied,
+            );
+        }
+        out
+    }
+}
+
 fn format_num(v: f64) -> String {
     if v == 0.0 {
         "0".into()
@@ -127,5 +233,51 @@ mod tests {
     fn mismatched_series_rejected() {
         let mut t = FigureTable::new("t", "x", vec![1.0]);
         t.push_series("s", vec![1.0, 2.0]);
+    }
+
+    fn resilience_table() -> ResilienceTable {
+        let mut t = ResilienceTable::new("Resilience");
+        t.rows.push(ResilienceRow {
+            case: "clean".into(),
+            scheme: "ECMP".into(),
+            avg_fct_s: 0.1,
+            degradation: 1.0,
+            recovery_ms: None,
+            path_evictions: 0,
+            stats: FaultStats::default(),
+        });
+        t.rows.push(ResilienceRow {
+            case: "single-cut".into(),
+            scheme: "ECMP".into(),
+            avg_fct_s: 0.3,
+            degradation: 3.0,
+            recovery_ms: Some(12.5),
+            path_evictions: 2,
+            stats: FaultStats { drops_down: 9, faults_applied: 2, ..FaultStats::default() },
+        });
+        t
+    }
+
+    #[test]
+    fn resilience_render_and_lookup() {
+        let t = resilience_table();
+        let s = t.render();
+        assert!(s.contains("Resilience"));
+        assert!(s.contains("single-cut"));
+        assert!(s.contains("12.5"));
+        assert!(s.contains("recov(ms)"));
+        assert_eq!(t.row("single-cut", "ECMP").unwrap().path_evictions, 2);
+        assert!(t.row("flapping", "ECMP").is_none());
+    }
+
+    #[test]
+    fn resilience_csv_shape() {
+        let csv = resilience_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("case,scheme,avg_fct_s"));
+        // A never-recovered row leaves the recovery cell empty.
+        assert!(lines[1].contains(",,"));
+        assert!(lines[2].starts_with("single-cut,ECMP,0.3,3,12.5,2,9,"));
     }
 }

@@ -11,10 +11,12 @@ use crate::profile::Profile;
 use crate::scheme::Scheme;
 use crate::stack::HostStack;
 use clove_net::fabric::Event;
+use clove_net::fault::{CableSelector, FaultPlan, FaultStats};
 use clove_net::topology::{LeafSpine, Topology};
-use clove_net::types::{HostId, NodeId, SwitchId};
+use clove_net::types::{HostId, NodeId};
 use clove_net::Network;
 use clove_sim::{Duration, EventQueue, SimRng, Time};
+use clove_workload::fct::FlowRecord;
 use clove_workload::{load_to_rate, FctSummary, FlowSizeDist, IncastSpec, RpcModel};
 use std::collections::HashMap;
 
@@ -53,10 +55,10 @@ pub struct Scenario {
     pub profile: Profile,
     /// Hard wall on simulated time.
     pub horizon: Time,
-    /// Fail one S2–L2 cable *mid-run* at this instant (dynamic failure —
-    /// exercises on-line re-discovery; independent of `topology`, which
-    /// fails the cable before traffic starts).
-    pub fail_at: Option<Time>,
+    /// Fault timeline injected during the run (cuts, flaps, degrades,
+    /// stochastic loss — see [`clove_net::fault`]). Cables are named by
+    /// [`CableSelector`], resolved against the built topology at run time.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -71,7 +73,41 @@ impl Scenario {
             seed,
             profile: Profile::default(),
             horizon: Time::from_secs(30),
-            fail_at: None,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Back-compat constructor for the classic dynamic-failure experiment:
+    /// an announced, never-restored cut of one S2–L2 cable at `at`.
+    pub fn fail_at(&mut self, at: Time) -> &mut Self {
+        self.faults.extend(FaultPlan::cut(at, CableSelector::S2_L2));
+        self
+    }
+
+    /// The full fault timeline for this run: the `Asymmetric` topology is
+    /// itself expressed as an announced cut at t=0 (same named cable the
+    /// paper fails), merged ahead of any scenario-specific faults.
+    fn effective_faults(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        if self.topology == TopologyKind::Asymmetric {
+            plan.extend(FaultPlan::cut(Time::ZERO, CableSelector::S2_L2));
+        }
+        plan.extend(self.faults.clone());
+        plan
+    }
+
+    /// Schedule every expanded fault action against both directions of its
+    /// resolved cable. Panics (with the offending selector) when the plan
+    /// names a cable the topology cannot resolve — a mis-written scenario,
+    /// not a runtime condition.
+    fn schedule_faults(&self, topo: &Topology, queue: &mut EventQueue<Event>) {
+        for action in self.effective_faults().expand() {
+            let (a, b) = topo
+                .resolve_cable(action.cable)
+                .unwrap_or_else(|| panic!("fault plan names cable {:?}, which does not resolve in topology '{}'", action.cable, topo.name));
+            for link in [a, b] {
+                queue.push(action.at, Event::Fault { link, action: action.action, announced: action.announced });
+            }
         }
     }
 
@@ -92,15 +128,10 @@ impl Scenario {
         spec.access_cfg = self.profile.access_link(self.scheme.int_enabled());
         spec.fabric_cfg = self.profile.fabric_link(self.scheme.int_enabled());
         spec.scheme = self.scheme.fabric_scheme(&self.profile);
-        let mut topo = spec.build();
-        if self.topology == TopologyKind::Asymmetric {
-            // Fail one S2–L2 cable: spine index 1 (switch id 3) to leaf 1.
-            let cable = topo
-                .cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3)))
-                .expect("fabric cable exists");
-            topo.fail_cable(cable);
-        }
-        topo
+        // The Asymmetric variant is no longer special-cased here: it is an
+        // announced S2–L2 cut at t=0 in `effective_faults`, scheduled like
+        // any other fault.
+        spec.build()
     }
 
     /// Run the web-search RPC workload.
@@ -133,17 +164,10 @@ impl Scenario {
         if matches!(self.scheme, Scheme::Hula) {
             queue.push(Time::ZERO, Event::HulaTick);
         }
-        if let Some(at) = self.fail_at {
-            assert!(
-                !matches!(self.topology, TopologyKind::FatTree { .. }),
-                "mid-run failure injection targets the leaf-spine cable"
-            );
-            let cable = topo
-                .cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3)))
-                .expect("fabric cable exists");
-            queue.push(at, Event::LinkAdmin { link: cable.0, up: false });
-            queue.push(at, Event::LinkAdmin { link: cable.1, up: false });
-        }
+        self.schedule_faults(&topo, &mut queue);
+        // Recovery is measured against the first *mid-run* fault (a t=0
+        // cut is a static asymmetry, not an incident to recover from).
+        let first_fault = self.effective_faults().expand().into_iter().map(|a| a.at).find(|&at| at > Time::ZERO);
 
         let mut net = Network::new(topo.fabric, stack);
         let summary = run_to_completion(&mut net, &mut queue, self.horizon);
@@ -153,6 +177,10 @@ impl Scenario {
         let drops: u64 = net.fabric.links.iter().map(|l| l.stats.drops_overflow + l.stats.drops_down).sum();
         let marks: u64 = net.fabric.links.iter().map(|l| l.stats.ecn_marks).sum();
         net.hosts.aggregate_transport_stats();
+        let window = fct_window_for(self.profile.probe_interval);
+        let (rate, base) = (self.profile.access_bps, self.profile.loaded_rtt);
+        let windows = fct_windows(net.hosts.fct.records(), window, rate, base);
+        let recovery = first_fault.and_then(|at| recovery_time(net.hosts.fct.records(), at, window, RECOVERY_FACTOR, rate, base));
         RpcOutcome {
             fct: net.hosts.fct.summarize(),
             sim_time: end,
@@ -164,6 +192,10 @@ impl Scenario {
             fast_retransmits: net.hosts.stats.fast_retransmits,
             spurious_undos: net.hosts.stats.spurious_undos,
             path_updates: net.hosts.stats.path_updates,
+            path_evictions: net.hosts.stats.path_evictions,
+            fault_stats: net.fabric.fault_stats(end),
+            fct_windows: windows,
+            recovery,
             stalled: net.hosts.stalled_report(),
             link_report: link_report(&net.fabric),
         }
@@ -203,32 +235,19 @@ impl Scenario {
         if matches!(self.scheme, Scheme::Hula) {
             queue.push(Time::ZERO, Event::HulaTick);
         }
+        self.schedule_faults(&topo, &mut queue);
 
         let mut net = Network::new(topo.fabric, stack);
         let summary = run_to_completion(&mut net, &mut queue, self.horizon);
         let (rounds, elapsed) = net.hosts.incast_result().expect("incast configured");
         let bytes = rounds as u64 * object_bytes;
-        let goodput_bps = if elapsed.is_zero() {
-            0.0
-        } else {
-            bytes as f64 * 8.0 / elapsed.as_secs_f64()
-        };
-        IncastOutcome {
-            goodput_bps,
-            rounds,
-            sim_time: summary.end_time,
-            events: summary.events,
-            timeouts: net.hosts.stats.timeouts,
-        }
+        let goodput_bps = if elapsed.is_zero() { 0.0 } else { bytes as f64 * 8.0 / elapsed.as_secs_f64() };
+        IncastOutcome { goodput_bps, rounds, sim_time: summary.end_time, events: summary.events, timeouts: net.hosts.stats.timeouts }
     }
 }
 
 /// Drive the network until all jobs complete or the horizon passes.
-fn run_to_completion(
-    net: &mut Network<HostStack>,
-    queue: &mut EventQueue<Event>,
-    horizon: Time,
-) -> clove_sim::RunSummary {
+fn run_to_completion(net: &mut Network<HostStack>, queue: &mut EventQueue<Event>, horizon: Time) -> clove_sim::RunSummary {
     let chunk = Duration::from_millis(50);
     let mut upto = Time::ZERO + chunk;
     let mut total = clove_sim::RunSummary { events: 0, end_time: Time::ZERO, hit_horizon: false };
@@ -241,7 +260,7 @@ fn run_to_completion(
         if done || !s.hit_horizon || upto >= horizon {
             return total;
         }
-        upto = upto + chunk;
+        upto += chunk;
     }
 }
 
@@ -268,10 +287,81 @@ pub struct RpcOutcome {
     pub spurious_undos: u64,
     /// Discovery updates installed.
     pub path_updates: u64,
+    /// Black-holed paths evicted by discovery and dropped from policies.
+    pub path_evictions: u64,
+    /// Aggregated fault damage: drops by cause, down/degraded link-time.
+    pub fault_stats: FaultStats,
+    /// Mean FCT slowdown (FCT over the flow's unloaded ideal) per window
+    /// of completion time — the resilience experiments' time series.
+    pub fct_windows: Vec<(Time, f64)>,
+    /// Time from the first mid-run fault until the windowed slowdown
+    /// returned within [`RECOVERY_FACTOR`]× of the pre-fault mean; `None`
+    /// when no mid-run fault was injected or it never came back within
+    /// bound.
+    pub recovery: Option<Duration>,
     /// Diagnostic lines for connections that never drained.
     pub stalled: Vec<String>,
     /// Per-fabric-link utilization diagnostics.
     pub link_report: Vec<String>,
+}
+
+/// Recovery bound: the run counts as recovered once the per-window mean
+/// FCT is back within this factor of the pre-fault mean.
+pub const RECOVERY_FACTOR: f64 = 1.5;
+
+/// Window for the FCT time series: the probing interval (the cadence at
+/// which the edge can react), floored so degenerate profiles don't produce
+/// thousands of empty windows.
+fn fct_window_for(probe_interval: Duration) -> Duration {
+    probe_interval.max(Duration::from_millis(1))
+}
+
+/// The unloaded ideal FCT a flow of `bytes` could hope for: a base latency
+/// plus serialization at the access rate. Used to turn raw FCTs into
+/// size-independent slowdowns, so a window isn't judged "degraded" merely
+/// because an elephant happened to finish in it.
+fn ideal_fct_secs(bytes: u64, rate_bps: u64, base: Duration) -> f64 {
+    base.as_secs_f64() + bytes as f64 * 8.0 / rate_bps as f64
+}
+
+/// Mean FCT slowdown (FCT over the flow's unloaded ideal at `rate_bps`
+/// with `base` latency) of flows grouped by completion-time window.
+/// Windows with no completions are omitted.
+pub fn fct_windows(records: &[FlowRecord], window: Duration, rate_bps: u64, base: Duration) -> Vec<(Time, f64)> {
+    if records.is_empty() || window.is_zero() {
+        return Vec::new();
+    }
+    let mut sums: HashMap<u64, (f64, u64)> = HashMap::new();
+    for r in records {
+        let idx = r.end.0 / window.0;
+        let e = sums.entry(idx).or_insert((0.0, 0));
+        e.0 += r.fct_secs() / ideal_fct_secs(r.bytes, rate_bps, base);
+        e.1 += 1;
+    }
+    let mut out: Vec<(Time, f64)> = sums.into_iter().map(|(i, (s, c))| (Time(i * window.0), s / c as f64)).collect();
+    out.sort_by_key(|&(t, _)| t);
+    out
+}
+
+/// Time from `fault_at` until the windowed mean slowdown first returns
+/// within `factor`× the pre-fault mean (measured to the end of the
+/// recovering window). `None` when there is no pre-fault baseline or the
+/// slowdown never comes back within bound.
+pub fn recovery_time(records: &[FlowRecord], fault_at: Time, window: Duration, factor: f64, rate_bps: u64, base: Duration) -> Option<Duration> {
+    let pre: Vec<f64> = records.iter().filter(|r| r.end <= fault_at).map(|r| r.fct_secs() / ideal_fct_secs(r.bytes, rate_bps, base)).collect();
+    if pre.is_empty() {
+        return None;
+    }
+    let bound = factor * pre.iter().sum::<f64>() / pre.len() as f64;
+    for (start, mean) in fct_windows(records, window, rate_bps, base) {
+        if start < fault_at {
+            continue;
+        }
+        if mean <= bound {
+            return Some((start + window).saturating_since(fault_at));
+        }
+    }
+    None
 }
 
 /// Summarize switch-to-switch link usage (diagnostics).

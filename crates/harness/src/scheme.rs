@@ -174,13 +174,8 @@ impl Scheme {
     pub fn build_policy(&self, profile: &Profile, seed: u64) -> Box<dyn EdgePolicy> {
         let gap = profile.flowlet_gap;
         match self {
-            Scheme::Ecmp | Scheme::EcmpDctcp | Scheme::Mptcp { .. } | Scheme::Conga | Scheme::LetFlow | Scheme::Hula => {
-                Box::new(EcmpPolicy::default())
-            }
-            Scheme::EdgeFlowlet => Box::new(EdgeFlowletPolicy::new(
-                clove_core::FlowletConfig::with_gap(gap),
-                seed,
-            )),
+            Scheme::Ecmp | Scheme::EcmpDctcp | Scheme::Mptcp { .. } | Scheme::Conga | Scheme::LetFlow | Scheme::Hula => Box::new(EcmpPolicy::default()),
+            Scheme::EdgeFlowlet => Box::new(EdgeFlowletPolicy::new(clove_core::FlowletConfig::with_gap(gap), seed)),
             Scheme::CloveEcn | Scheme::CloveEcnDctcp | Scheme::CloveEcnNonOverlay => {
                 let mut cfg = CloveEcnConfig::for_rtt(profile.loaded_rtt);
                 cfg.flowlet = clove_core::FlowletConfig::with_gap(gap);
@@ -198,10 +193,7 @@ impl Scheme {
                 cfg.adaptive_gap = *adaptive_gap;
                 Box::new(CloveLatencyPolicy::new(cfg))
             }
-            Scheme::Presto { oracle_weights } => Box::new(PrestoPolicy::new(PrestoConfig {
-                weights: oracle_weights.clone(),
-                ..PrestoConfig::default()
-            })),
+            Scheme::Presto { oracle_weights } => Box::new(PrestoPolicy::new(PrestoConfig { weights: oracle_weights.clone(), ..PrestoConfig::default() })),
             // Uniform call sites never reach here for Incremental (the
             // harness uses the *_for variants), but default to Clove-ECN.
             Scheme::Incremental { .. } => Scheme::CloveEcn.build_policy(profile, seed),

@@ -20,7 +20,7 @@
 
 use crate::profile::Profile;
 use crate::scheme::Scheme;
-use clove_core::{DiscoveryConfig, DiscoveryEvent, ProbeDaemon};
+use clove_core::{DiscoveryEvent, ProbeDaemon};
 use clove_net::packet::{Packet, PacketKind};
 use clove_net::types::{FlowKey, HostId};
 use clove_net::{HostCtx, HostLogic};
@@ -116,6 +116,8 @@ pub struct StackStats {
     pub probes_reached_host: u64,
     /// Path updates installed into policies.
     pub path_updates: u64,
+    /// Black-holed paths evicted by discovery and dropped from policies.
+    pub path_evictions: u64,
     /// Total TCP retransmissions across hosts.
     pub retransmits: u64,
     /// Total TCP timeouts across hosts.
@@ -154,32 +156,10 @@ impl HostStack {
             let vcfg = scheme.vswitch_config_for(&profile, host);
             let policy = scheme.build_policy_for(&profile, host, seed ^ ((h as u64) << 16));
             let vswitch = VSwitch::new(host, vcfg, policy);
-            let daemon = scheme.host_needs_discovery(host).then(|| {
-                ProbeDaemon::new(
-                    host,
-                    DiscoveryConfig {
-                        candidates: profile.probe_candidates,
-                        k_paths: profile.k_paths,
-                        max_ttl: 4,
-                        probe_interval: profile.probe_interval,
-                        round_timeout: profile.round_timeout,
-                        ..DiscoveryConfig::default()
-                    },
-                    seed,
-                )
-            });
+            let daemon = scheme.host_needs_discovery(host).then(|| ProbeDaemon::new(host, profile.discovery_config(), seed));
             hosts.push(Host::new(host, vswitch, daemon));
         }
-        HostStack {
-            hosts,
-            profile,
-            tcp_cfg,
-            fct: FctCollector::new(),
-            stats: StackStats::default(),
-            incast: None,
-            next_job_id: 1,
-            total_jobs: 0,
-        }
+        HostStack { hosts, profile, tcp_cfg, fct: FctCollector::new(), stats: StackStats::default(), incast: None, next_job_id: 1, total_jobs: 0 }
     }
 
     /// Register a client→server connection (sender at client, receiver
@@ -275,8 +255,8 @@ impl HostStack {
         }
         // Incast: the first request fires after warmup (driven through the
         // client's serve-timers).
-        if self.incast.is_some() {
-            let client = self.incast.as_ref().unwrap().spec.client;
+        if let Some(inc) = &self.incast {
+            let client = inc.spec.client;
             ctx_builder(client, token(T_INCAST_SERVE, 0), Time::from_nanos(self.profile.warmup.as_nanos()));
         }
     }
@@ -316,19 +296,24 @@ impl HostStack {
                 if !s.idle() {
                     out.push(format!(
                         "{} conn{} flight={} backlog={} una={} nxt={} cwnd={} rto={} deadline={:?} armed={} rtx={} to={}",
-                        host.id, i, s.flight(), s.backlog(), s.snd_una(), s.snd_nxt(),
-                        s.cwnd(), s.rto(), s.rto_deadline(), host.rto_armed[i],
-                        s.stats.retransmits, s.stats.acks_beyond_nxt,
+                        host.id,
+                        i,
+                        s.flight(),
+                        s.backlog(),
+                        s.snd_una(),
+                        s.snd_nxt(),
+                        s.cwnd(),
+                        s.rto(),
+                        s.rto_deadline(),
+                        host.rto_armed[i],
+                        s.stats.retransmits,
+                        s.stats.acks_beyond_nxt,
                     ));
                 }
             }
             for (ci, c) in host.mptcp.iter().enumerate() {
                 if !c.idle() {
-                    let subs: Vec<String> = c
-                        .subflows
-                        .iter()
-                        .map(|sf| format!("[una={} cwnd={} dl={:?}]", sf.snd_una(), sf.cwnd(), sf.rto_deadline))
-                        .collect();
+                    let subs: Vec<String> = c.subflows.iter().map(|sf| format!("[una={} cwnd={} dl={:?}]", sf.snd_una(), sf.cwnd(), sf.rto_deadline)).collect();
                     out.push(format!(
                         "{} mptcp{} data_una={} to={} rtxfail={} subs={}",
                         host.id,
@@ -428,10 +413,7 @@ impl HostStack {
                     return;
                 }
                 let cfg = self.tcp_cfg;
-                let rx = host
-                    .receivers
-                    .entry(pkt.flow)
-                    .or_insert_with(|| TcpReceiver::new(pkt.flow, cfg));
+                let rx = host.receivers.entry(pkt.flow).or_insert_with(|| TcpReceiver::new(pkt.flow, cfg));
                 let ack = rx.on_data(now, seq, len, ce_visible);
                 Self::ship(host, now, vec![ack], ctx);
             }
@@ -441,10 +423,7 @@ impl HostStack {
                 // DCTCP masking rule (§3.2): the sender-side vswitch relays
                 // congestion to its guest only when all paths to the peer
                 // are congested.
-                let ece_for_vm = ece
-                    || host
-                        .vswitch
-                        .should_relay_ecn_to_guest(now, data_key.dst);
+                let ece_for_vm = ece || host.vswitch.should_relay_ecn_to_guest(now, data_key.dst);
                 if let Some(&(conn, _sub)) = host.mptcp_sub_idx.get(&data_key) {
                     let mut out = Vec::new();
                     let completions = host.mptcp[conn].on_ack(now, pkt.flow, ackno, dack, &mut out);
@@ -589,15 +568,23 @@ impl HostLogic for HostStack {
                 let host_state = &mut self.hosts[hi];
                 let Some(daemon) = host_state.daemon.as_mut() else { return };
                 let peers = host_state.peers.clone();
-                let mut updates = Vec::new();
+                let mut events = Vec::new();
                 for dst in peers {
-                    if let Some(DiscoveryEvent::PathsUpdated { dst, ports }) = daemon.finish_round(now, dst) {
-                        updates.push((dst, ports));
-                    }
+                    events.extend(daemon.finish_round(now, dst));
                 }
-                for (dst, ports) in updates {
-                    self.stats.path_updates += 1;
-                    host_state.vswitch.policy_mut().on_paths_updated(now, dst, &ports);
+                for ev in events {
+                    match ev {
+                        DiscoveryEvent::PathsUpdated { dst, ports } => {
+                            self.stats.path_updates += 1;
+                            host_state.vswitch.policy_mut().on_paths_updated(now, dst, &ports);
+                        }
+                        // A black-holed path: the policy drops it at once
+                        // instead of waiting for the next full refresh.
+                        DiscoveryEvent::PathDead { dst, port } => {
+                            self.stats.path_evictions += 1;
+                            host_state.vswitch.policy_mut().on_path_dead(now, dst, port);
+                        }
+                    }
                 }
             }
             T_PRESTO_POLL => {

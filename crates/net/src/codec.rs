@@ -205,20 +205,10 @@ fn encode_probe(pkt: &Packet) -> Result<Vec<u8>, CodecError> {
     t.set_sport(sport);
     t.set_dport(STT_PORT);
     let payload = match pkt.kind {
-        PacketKind::Probe { probe_id, ttl_sent } => probe::ProbePayload {
-            kind: probe::KIND_PROBE,
-            ttl_sent,
-            probe_id,
-            switch: 0,
-            ingress: 0,
-        },
-        PacketKind::ProbeReply { probe_id, ttl_sent, switch, ingress } => probe::ProbePayload {
-            kind: probe::KIND_REPLY,
-            ttl_sent,
-            probe_id,
-            switch: switch.0,
-            ingress: ingress.map(|l| l.0 as u16).unwrap_or(u16::MAX),
-        },
+        PacketKind::Probe { probe_id, ttl_sent } => probe::ProbePayload { kind: probe::KIND_PROBE, ttl_sent, probe_id, switch: 0, ingress: 0 },
+        PacketKind::ProbeReply { probe_id, ttl_sent, switch, ingress } => {
+            probe::ProbePayload { kind: probe::KIND_REPLY, ttl_sent, probe_id, switch: switch.0, ingress: ingress.map(|l| l.0 as u16).unwrap_or(u16::MAX) }
+        }
         _ => return Err(CodecError::Layout),
     };
     payload.emit(&mut buf[ipv4::LEN + tcp::LEN..])?;
@@ -252,29 +242,18 @@ pub fn decode(buf: &[u8], uid: u64) -> Result<Packet, CodecError> {
     }
 }
 
-fn decode_probe(
-    ip: &ipv4::HeaderView<&[u8]>,
-    t: &tcp::HeaderView<&[u8]>,
-    p: probe::ProbePayload,
-    uid: u64,
-    wire_len: usize,
-) -> Result<Packet, CodecError> {
+fn decode_probe(ip: &ipv4::HeaderView<&[u8]>, t: &tcp::HeaderView<&[u8]>, p: probe::ProbePayload, uid: u64, wire_len: usize) -> Result<Packet, CodecError> {
     let kind = match p.kind {
         probe::KIND_PROBE => PacketKind::Probe { probe_id: p.probe_id, ttl_sent: p.ttl_sent },
         probe::KIND_REPLY => PacketKind::ProbeReply {
             probe_id: p.probe_id,
             ttl_sent: p.ttl_sent,
             switch: SwitchId(p.switch),
-            ingress: (p.ingress != u16::MAX).then(|| LinkId(p.ingress as u32)),
+            ingress: (p.ingress != u16::MAX).then_some(LinkId(p.ingress as u32)),
         },
         _ => return Err(CodecError::Wire(WireError::Malformed)),
     };
-    let mut pkt = Packet::new(
-        uid,
-        wire_len as u32,
-        FlowKey::tcp(host_of(ip.src()), host_of(ip.dst()), t.sport(), STT_PORT),
-        kind,
-    );
+    let mut pkt = Packet::new(uid, wire_len as u32, FlowKey::tcp(host_of(ip.src()), host_of(ip.dst()), t.sport(), STT_PORT), kind);
     pkt.outer = Some(Encap { src: host_of(ip.src()), dst: host_of(ip.dst()), sport: t.sport() });
     pkt.ttl = ip.ttl();
     Ok(pkt)
@@ -293,10 +272,7 @@ fn decode_overlay(buf: &[u8], uid: u64) -> Result<Packet, CodecError> {
     pkt.feedback = match hstt.fb_kind() {
         stt::FB_ECN => Some(Feedback::Ecn { sport: hstt.fb_sport(), congested: hstt.fb_ecn_set() }),
         stt::FB_UTIL => Some(Feedback::Util { sport: hstt.fb_sport(), util_pm: hstt.fb_util_pm() }),
-        stt::FB_LATENCY => Some(Feedback::Latency {
-            sport: hstt.fb_sport(),
-            one_way: Duration::from_nanos(hstt.fb_latency_ns()),
-        }),
+        stt::FB_LATENCY => Some(Feedback::Latency { sport: hstt.fb_sport(), one_way: Duration::from_nanos(hstt.fb_latency_ns()) }),
         _ => None,
     };
     pkt.size = buf.len() as u32;
@@ -312,25 +288,14 @@ fn decode_native(buf: &[u8], uid: u64) -> Result<Packet, CodecError> {
     let payload_len = buf.len().checked_sub(INNER).ok_or(CodecError::Layout)?;
     let flags = t.flags();
     let kind = if flags & F_ACK != 0 && payload_len == 0 {
-        PacketKind::Ack {
-            ackno: t.ack() as u64,
-            dack: t.ack() as u64,
-            ece: flags & F_ECE != 0,
-            dup: (flags & F_DUP != 0).then(|| t.seq() as u64),
-        }
+        PacketKind::Ack { ackno: t.ack() as u64, dack: t.ack() as u64, ece: flags & F_ECE != 0, dup: (flags & F_DUP != 0).then(|| t.seq() as u64) }
     } else {
         PacketKind::Data { seq: t.seq() as u64, len: payload_len as u32, dsn: t.seq() as u64 }
     };
     let mut pkt = Packet::new(
         uid,
         buf.len() as u32,
-        FlowKey {
-            src: host_of(ip.src()),
-            dst: host_of(ip.dst()),
-            sport: t.sport(),
-            dport: t.dport(),
-            proto: ip.protocol(),
-        },
+        FlowKey { src: host_of(ip.src()), dst: host_of(ip.dst()), sport: t.sport(), dport: t.dport(), proto: ip.protocol() },
         kind,
     );
     pkt.ttl = ip.ttl();
@@ -345,12 +310,7 @@ mod tests {
     use super::*;
 
     fn data_pkt() -> Packet {
-        let mut p = Packet::new(
-            7,
-            0,
-            FlowKey::tcp(HostId(3), HostId(19), 10_123, 5201),
-            PacketKind::Data { seq: 28_000, len: 1400, dsn: 28_000 },
-        );
+        let mut p = Packet::new(7, 0, FlowKey::tcp(HostId(3), HostId(19), 10_123, 5201), PacketKind::Data { seq: 28_000, len: 1400, dsn: 28_000 });
         p.outer = Some(Encap { src: HostId(3), dst: HostId(19), sport: 51_234 });
         p.ect = true;
         p.ttl = 61;
@@ -386,12 +346,8 @@ mod tests {
 
     #[test]
     fn ack_with_feedback_round_trips() {
-        let mut p = Packet::new(
-            9,
-            0,
-            FlowKey::tcp(HostId(19), HostId(3), 5201, 10_123),
-            PacketKind::Ack { ackno: 99_400, dack: 99_400, ece: true, dup: Some(98_000) },
-        );
+        let mut p =
+            Packet::new(9, 0, FlowKey::tcp(HostId(19), HostId(3), 5201, 10_123), PacketKind::Ack { ackno: 99_400, dack: 99_400, ece: true, dup: Some(98_000) });
         p.outer = Some(Encap { src: HostId(19), dst: HostId(3), sport: 40_001 });
         p.feedback = Some(Feedback::Ecn { sport: 51_234, congested: true });
         let back = decode(&encode(&p).unwrap(), 9).unwrap();
@@ -408,10 +364,7 @@ mod tests {
 
     #[test]
     fn util_and_latency_feedback_round_trip() {
-        for fb in [
-            Feedback::Util { sport: 44_000, util_pm: 913 },
-            Feedback::Latency { sport: 44_001, one_way: Duration::from_nanos(128_000) },
-        ] {
+        for fb in [Feedback::Util { sport: 44_000, util_pm: 913 }, Feedback::Latency { sport: 44_001, one_way: Duration::from_nanos(128_000) }] {
             let mut p = data_pkt();
             p.feedback = Some(fb);
             let back = decode(&encode(&p).unwrap(), 2).unwrap();
@@ -421,12 +374,7 @@ mod tests {
 
     #[test]
     fn native_packet_round_trips() {
-        let mut p = Packet::new(
-            5,
-            0,
-            FlowKey::tcp(HostId(1), HostId(2), 7000, 5201),
-            PacketKind::Data { seq: 0, len: 512, dsn: 0 },
-        );
+        let mut p = Packet::new(5, 0, FlowKey::tcp(HostId(1), HostId(2), 7000, 5201), PacketKind::Data { seq: 0, len: 512, dsn: 0 });
         p.ttl = 60;
         let bytes = encode(&p).unwrap();
         assert_eq!(bytes.len(), INNER + 512);
@@ -445,7 +393,12 @@ mod tests {
         assert_eq!(back.kind, PacketKind::Probe { probe_id: 0xABCD, ttl_sent: 2 });
         assert_eq!(back.outer.unwrap().sport, 50_555);
 
-        let mut r = Packet::new(4, 0, FlowKey::tcp(HostId(99), HostId(0), 0, STT_PORT), PacketKind::ProbeReply { probe_id: 0xABCD, ttl_sent: 2, switch: SwitchId(3), ingress: Some(LinkId(17)) });
+        let mut r = Packet::new(
+            4,
+            0,
+            FlowKey::tcp(HostId(99), HostId(0), 0, STT_PORT),
+            PacketKind::ProbeReply { probe_id: 0xABCD, ttl_sent: 2, switch: SwitchId(3), ingress: Some(LinkId(17)) },
+        );
         r.outer = Some(Encap { src: HostId(99), dst: HostId(0), sport: 0 });
         let back = decode(&encode(&r).unwrap(), 4).unwrap();
         match back.kind {

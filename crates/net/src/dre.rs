@@ -48,7 +48,7 @@ impl Dre {
         } else {
             self.x_bytes *= (1.0 - self.alpha).powi(steps as i32);
         }
-        self.last_decay = self.last_decay + Duration::from_nanos(steps * self.period.as_nanos());
+        self.last_decay += Duration::from_nanos(steps * self.period.as_nanos());
     }
 
     /// Account `bytes` transmitted at `now`.
@@ -98,7 +98,7 @@ mod tests {
         let mut t = Time::ZERO;
         for _ in 0..100 {
             d.on_transmit(t, 12_500);
-            t = t + Duration::from_micros(100);
+            t += Duration::from_micros(100);
         }
         let u = d.utilization(t);
         assert!((0.8..1.2).contains(&u), "utilization {u}");
@@ -128,7 +128,7 @@ mod tests {
         for _ in 0..200 {
             full.on_transmit(t, 12_500);
             half.on_transmit(t, 6_250);
-            t = t + Duration::from_micros(100);
+            t += Duration::from_micros(100);
         }
         let r = half.utilization(t) / full.utilization(t);
         assert!((r - 0.5).abs() < 0.01, "ratio {r}");
@@ -140,7 +140,7 @@ mod tests {
         let mut t = Time::ZERO;
         for _ in 0..200 {
             d.on_transmit(t, 12_500);
-            t = t + Duration::from_micros(100);
+            t += Duration::from_micros(100);
         }
         let pm = d.utilization_pm(t);
         assert!((900..=1100).contains(&pm), "pm {pm}");

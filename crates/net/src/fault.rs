@@ -1,0 +1,337 @@
+//! Fault injection: declarative timelines of link faults.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultSpec`]s — "at time T, do X
+//! to cable C". Cables are named by a topology-level [`CableSelector`]
+//! (e.g. "the first trunk cable between leaf 1 and spine 1") rather than by
+//! raw link ids, so scenarios stay readable and re-usable across topology
+//! scales. [`FaultPlan::expand`] lowers the plan into a timestamp-sorted
+//! list of atomic [`FaultAction`]s — in particular a [`FaultKind::Flap`]
+//! becomes its individual down/up pairs — which the harness resolves
+//! against a built [`crate::topology::Topology`] and schedules as
+//! [`crate::fabric::Event::Fault`] events.
+//!
+//! Faults come in two flavours, controlled by [`FaultSpec::announced`]:
+//!
+//! * **announced** — the network control plane notices and recomputes ECMP
+//!   routes around the fault (planned maintenance, a routing protocol
+//!   converging). This is what the pre-existing `Event::LinkAdmin` models.
+//! * **silent** — the data plane keeps hashing packets onto the dead link
+//!   (gray failure). Only the virtual edge can detect this, by probing —
+//!   the failure mode Clove's path discovery exists for (paper §3.1).
+//!
+//! [`FaultStats`] aggregates the damage for reports: drops by cause and
+//! cumulative down/degraded link-time.
+
+use clove_sim::{Duration, Time};
+
+/// Names a cable (a duplex link pair) in topology-level terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CableSelector {
+    /// The `which`-th parallel trunk cable between a leaf and a spine,
+    /// both by tier-local index (leaf-spine topologies only).
+    LeafSpine {
+        /// Leaf index, 0-based.
+        leaf: u32,
+        /// Spine index, 0-based.
+        spine: u32,
+        /// Which of the `trunk` parallel cables, 0-based.
+        which: u32,
+    },
+    /// The access cable of a host.
+    Access {
+        /// Host index.
+        host: u32,
+    },
+    /// A cable by its raw index into `Topology::cables` (escape hatch for
+    /// topologies without named tiers, e.g. fat-trees).
+    Index(usize),
+}
+
+impl CableSelector {
+    /// The paper's asymmetry: the first cable between leaf 1 (L2) and
+    /// spine 1 (S2) — the cable every failure experiment in the paper cuts.
+    pub const S2_L2: CableSelector = CableSelector::LeafSpine { leaf: 1, spine: 1, which: 0 };
+}
+
+/// What happens to the selected cable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Both directions go down (queues flush, subsequent packets drop).
+    LinkDown,
+    /// Both directions come back up.
+    LinkUp,
+    /// Line rate drops to `fraction` of nominal (0 < fraction ≤ 1;
+    /// 1.0 restores full rate). Models a flapping optic renegotiating a
+    /// lower speed or a mis-seated cable.
+    RateDegrade {
+        /// Fraction of nominal line rate that remains.
+        fraction: f64,
+    },
+    /// Independent per-packet stochastic drop at `rate` (0 ≤ rate < 1;
+    /// 0.0 turns loss back off). Models a dirty optic / failing laser.
+    RandomLoss {
+        /// Probability each offered packet is dropped.
+        rate: f64,
+    },
+    /// `count` down/up cycles: down for `period × duty`, then up for the
+    /// remainder of each `period`.
+    Flap {
+        /// Length of one down+up cycle.
+        period: Duration,
+        /// Fraction of each period spent down (0 < duty < 1).
+        duty: f64,
+        /// Number of cycles.
+        count: u32,
+    },
+}
+
+/// One timed fault against one cable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// When the fault starts.
+    pub at: Time,
+    /// Which cable it hits.
+    pub cable: CableSelector,
+    /// What happens.
+    pub kind: FaultKind,
+    /// Whether the fabric control plane notices and reroutes (see module
+    /// docs). Silent faults are the ones only edge probing can catch.
+    pub announced: bool,
+}
+
+/// An atomic, expanded link operation (no compound kinds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkAction {
+    /// Take the link down.
+    Down,
+    /// Bring the link up.
+    Up,
+    /// Set the remaining rate fraction (1.0 = nominal).
+    SetRate(f64),
+    /// Set the stochastic loss rate (0.0 = none).
+    SetLoss(f64),
+}
+
+/// One scheduled atomic action, produced by [`FaultPlan::expand`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultAction {
+    /// When to apply it.
+    pub at: Time,
+    /// Which cable.
+    pub cable: CableSelector,
+    /// The atomic operation.
+    pub action: LinkAction,
+    /// Whether routes are recomputed afterwards.
+    pub announced: bool,
+}
+
+/// An ordered timeline of faults for one experiment run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The fault timeline (any insertion order; expansion sorts by time).
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan (a clean run).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Append a fault.
+    pub fn push(&mut self, spec: FaultSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// A single announced cut of `cable` at `at`, never restored — the
+    /// classic asymmetry experiment (and what `fail_at` used to hard-code).
+    pub fn cut(at: Time, cable: CableSelector) -> FaultPlan {
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::LinkDown, announced: true }] }
+    }
+
+    /// A silent flap of `cable`: `count` cycles of `period`, down for
+    /// `duty` of each, starting at `at`.
+    pub fn flap(at: Time, cable: CableSelector, period: Duration, duty: f64, count: u32) -> FaultPlan {
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::Flap { period, duty, count }, announced: false }] }
+    }
+
+    /// A silent rate degrade of `cable` to `fraction` of nominal at `at`,
+    /// never restored.
+    pub fn degrade(at: Time, cable: CableSelector, fraction: f64) -> FaultPlan {
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::RateDegrade { fraction }, announced: false }] }
+    }
+
+    /// Silent stochastic loss on `cable` at `rate` from `at` on, never
+    /// cleared.
+    pub fn loss(at: Time, cable: CableSelector, rate: f64) -> FaultPlan {
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::RandomLoss { rate }, announced: false }] }
+    }
+
+    /// Merge another plan's specs into this one.
+    pub fn extend(&mut self, other: FaultPlan) -> &mut Self {
+        self.specs.extend(other.specs);
+        self
+    }
+
+    /// Lower the plan into atomic actions sorted by timestamp (stable: ties
+    /// keep spec order, and a flap's down precedes its up).
+    pub fn expand(&self) -> Vec<FaultAction> {
+        let mut out = Vec::new();
+        for spec in &self.specs {
+            match spec.kind {
+                FaultKind::LinkDown => out.push(FaultAction { at: spec.at, cable: spec.cable, action: LinkAction::Down, announced: spec.announced }),
+                FaultKind::LinkUp => out.push(FaultAction { at: spec.at, cable: spec.cable, action: LinkAction::Up, announced: spec.announced }),
+                FaultKind::RateDegrade { fraction } => {
+                    out.push(FaultAction { at: spec.at, cable: spec.cable, action: LinkAction::SetRate(fraction), announced: spec.announced })
+                }
+                FaultKind::RandomLoss { rate } => {
+                    out.push(FaultAction { at: spec.at, cable: spec.cable, action: LinkAction::SetLoss(rate), announced: spec.announced })
+                }
+                FaultKind::Flap { period, duty, count } => {
+                    assert!(duty > 0.0 && duty < 1.0, "flap duty must be in (0, 1)");
+                    let down_span = period.mul_f64(duty);
+                    for i in 0..count {
+                        let cycle_start = spec.at + period * i as u64;
+                        out.push(FaultAction { at: cycle_start, cable: spec.cable, action: LinkAction::Down, announced: spec.announced });
+                        out.push(FaultAction { at: cycle_start + down_span, cable: spec.cable, action: LinkAction::Up, announced: spec.announced });
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|a| a.at);
+        out
+    }
+}
+
+/// Aggregated fault damage for one run, built by
+/// `Fabric::fault_stats` and rendered in resilience reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets dropped because a link was down (includes queue flushes).
+    pub drops_down: u64,
+    /// Packets dropped by injected stochastic loss.
+    pub drops_loss: u64,
+    /// Packets dropped by buffer overflow (congestion, not faults — kept
+    /// here so reports show all causes side by side).
+    pub drops_overflow: u64,
+    /// Packets dropped at switches with no route (announced faults can
+    /// leave transient route gaps).
+    pub drops_no_route: u64,
+    /// Sum over links of time spent administratively down.
+    pub down_time: Duration,
+    /// Sum over links of time spent degraded (reduced rate or loss > 0).
+    pub degraded_time: Duration,
+    /// Atomic fault actions applied to the fabric.
+    pub faults_applied: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another run's damage into this one (pooling seeds).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.drops_down += other.drops_down;
+        self.drops_loss += other.drops_loss;
+        self.drops_overflow += other.drops_overflow;
+        self.drops_no_route += other.drops_no_route;
+        self.down_time = Duration(self.down_time.0 + other.down_time.0);
+        self.degraded_time = Duration(self.degraded_time.0 + other.degraded_time.0);
+        self.faults_applied += other.faults_applied;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_expands_to_single_down() {
+        let plan = FaultPlan::cut(Time::from_millis(5), CableSelector::S2_L2);
+        let actions = plan.expand();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].at, Time::from_millis(5));
+        assert_eq!(actions[0].action, LinkAction::Down);
+        assert!(actions[0].announced);
+    }
+
+    #[test]
+    fn flap_expands_to_down_up_pairs() {
+        let plan = FaultPlan::flap(Time::from_millis(10), CableSelector::S2_L2, Duration::from_millis(4), 0.5, 3);
+        let actions = plan.expand();
+        assert_eq!(actions.len(), 6);
+        // down at 10, up at 12, down at 14, up at 16, down at 18, up at 20.
+        let expect: Vec<(u64, LinkAction)> =
+            vec![(10, LinkAction::Down), (12, LinkAction::Up), (14, LinkAction::Down), (16, LinkAction::Up), (18, LinkAction::Down), (20, LinkAction::Up)];
+        for (a, (ms, action)) in actions.iter().zip(expect) {
+            assert_eq!(a.at, Time::from_millis(ms));
+            assert_eq!(a.action, action);
+            assert!(!a.announced, "flaps default to silent faults");
+        }
+    }
+
+    #[test]
+    fn expansion_sorts_by_time_stably() {
+        let mut plan = FaultPlan::none();
+        plan.push(FaultSpec { at: Time::from_millis(20), cable: CableSelector::Index(3), kind: FaultKind::RandomLoss { rate: 0.01 }, announced: false });
+        plan.push(FaultSpec { at: Time::from_millis(5), cable: CableSelector::S2_L2, kind: FaultKind::RateDegrade { fraction: 0.5 }, announced: false });
+        plan.push(FaultSpec { at: Time::from_millis(20), cable: CableSelector::Access { host: 7 }, kind: FaultKind::LinkDown, announced: true });
+        let actions = plan.expand();
+        assert_eq!(actions.len(), 3);
+        assert_eq!(actions[0].action, LinkAction::SetRate(0.5));
+        // The two t=20 actions keep their insertion order.
+        assert_eq!(actions[1].action, LinkAction::SetLoss(0.01));
+        assert_eq!(actions[2].action, LinkAction::Down);
+    }
+
+    #[test]
+    fn extend_merges_plans() {
+        let mut plan = FaultPlan::cut(Time::from_millis(1), CableSelector::S2_L2);
+        plan.extend(FaultPlan::flap(Time::from_millis(2), CableSelector::Index(0), Duration::from_millis(1), 0.25, 2));
+        assert_eq!(plan.specs.len(), 2);
+        assert_eq!(plan.expand().len(), 5);
+    }
+
+    #[test]
+    fn degrade_and_loss_are_silent_single_actions() {
+        let d = FaultPlan::degrade(Time::from_millis(3), CableSelector::S2_L2, 0.5).expand();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].action, LinkAction::SetRate(0.5));
+        assert!(!d[0].announced);
+        let l = FaultPlan::loss(Time::from_millis(3), CableSelector::S2_L2, 0.01).expand();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].action, LinkAction::SetLoss(0.01));
+        assert!(!l[0].announced);
+    }
+
+    #[test]
+    fn stats_absorb_sums_all_fields() {
+        let mut a = FaultStats {
+            drops_down: 1,
+            drops_loss: 2,
+            drops_overflow: 3,
+            drops_no_route: 4,
+            down_time: Duration::from_millis(5),
+            degraded_time: Duration::from_millis(6),
+            faults_applied: 7,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.drops_down, 2);
+        assert_eq!(a.drops_loss, 4);
+        assert_eq!(a.drops_overflow, 6);
+        assert_eq!(a.drops_no_route, 8);
+        assert_eq!(a.down_time, Duration::from_millis(10));
+        assert_eq!(a.degraded_time, Duration::from_millis(12));
+        assert_eq!(a.faults_applied, 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn flap_rejects_bad_duty() {
+        FaultPlan::flap(Time::ZERO, CableSelector::S2_L2, Duration::from_millis(1), 1.5, 1).expand();
+    }
+}

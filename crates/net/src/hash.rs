@@ -57,9 +57,7 @@ mod tests {
     #[test]
     fn seed_changes_mapping() {
         // Over many ports, two seeds must disagree on a large fraction.
-        let diffs = (0..1000u16)
-            .filter(|&p| ecmp_select(&key(p), 1, 4) != ecmp_select(&key(p), 2, 4))
-            .count();
+        let diffs = (0..1000u16).filter(|&p| ecmp_select(&key(p), 1, 4) != ecmp_select(&key(p), 2, 4)).count();
         assert!(diffs > 500, "only {diffs} differ");
     }
 

@@ -40,6 +40,7 @@
 pub mod codec;
 pub mod dre;
 pub mod fabric;
+pub mod fault;
 pub mod hash;
 pub mod link;
 pub mod packet;
@@ -49,6 +50,7 @@ pub mod types;
 pub mod wire;
 
 pub use fabric::{Event, Fabric, HostCtx, HostLogic, Network};
+pub use fault::{CableSelector, FaultKind, FaultPlan, FaultSpec, FaultStats, LinkAction};
 pub use link::{Link, LinkConfig};
 pub use packet::{Encap, Feedback, Packet, PacketKind};
 pub use switch::{FabricScheme, Switch};

@@ -63,10 +63,18 @@ pub struct LinkStats {
     pub drops_overflow: u64,
     /// Packets dropped: link administratively down.
     pub drops_down: u64,
+    /// Packets dropped by injected stochastic loss (fault injection).
+    pub drops_loss: u64,
     /// Packets that received a CE mark here.
     pub ecn_marks: u64,
     /// High-water mark of the queue in bytes.
     pub max_queue_bytes: u32,
+    /// Cumulative time spent down (closed intervals only; see
+    /// [`Link::down_time_as_of`] for the live total).
+    pub down_time: Duration,
+    /// Cumulative time spent degraded — reduced rate or loss injected
+    /// (closed intervals only; see [`Link::degraded_time_as_of`]).
+    pub degraded_time: Duration,
 }
 
 /// What `enqueue` did with the packet.
@@ -107,6 +115,16 @@ pub struct Link {
     queue: VecDeque<Packet>,
     queue_bytes: u32,
     in_flight: Option<Packet>,
+    /// Fraction of nominal line rate available (fault injection; 1.0 =
+    /// healthy).
+    rate_fraction: f64,
+    /// Stochastic per-packet drop probability (fault injection; applied by
+    /// the fabric, which owns the RNG — the link just stores the rate).
+    loss_rate: f64,
+    /// Start of the current down interval, if down.
+    down_since: Option<Time>,
+    /// Start of the current degraded interval, if degraded.
+    degraded_since: Option<Time>,
 }
 
 impl Link {
@@ -123,6 +141,10 @@ impl Link {
             queue: VecDeque::new(),
             queue_bytes: 0,
             in_flight: None,
+            rate_fraction: 1.0,
+            loss_rate: 0.0,
+            down_since: None,
+            degraded_since: None,
             cfg,
         }
     }
@@ -142,9 +164,24 @@ impl Link {
         self.in_flight.is_some()
     }
 
-    /// Time to serialize `bytes` on this link.
+    /// The line rate currently available, after any injected degradation.
+    pub fn effective_rate_bps(&self) -> u64 {
+        ((self.cfg.rate_bps as f64 * self.rate_fraction) as u64).max(1)
+    }
+
+    /// Time to serialize `bytes` on this link at its *effective* rate.
     pub fn ser_time(&self, bytes: u32) -> Duration {
-        Duration::for_bytes_at(bytes as u64, self.cfg.rate_bps)
+        Duration::for_bytes_at(bytes as u64, self.effective_rate_bps())
+    }
+
+    /// Current injected stochastic loss rate (0.0 when healthy).
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
+    }
+
+    /// Current fraction of nominal line rate (1.0 when healthy).
+    pub fn rate_fraction(&self) -> f64 {
+        self.rate_fraction
     }
 
     /// Offer a packet to this egress port at `now`.
@@ -217,6 +254,57 @@ impl Link {
             self.queue.clear();
             self.queue_bytes = 0;
         }
+    }
+
+    /// [`Link::set_up`] with down-time accounting against the simulated
+    /// clock — fault injection uses this so reports can show how long each
+    /// link was dark.
+    pub fn set_up_at(&mut self, now: Time, up: bool) {
+        if up {
+            if let Some(since) = self.down_since.take() {
+                self.stats.down_time += now.saturating_since(since);
+            }
+        } else if self.up && self.down_since.is_none() {
+            self.down_since = Some(now);
+        }
+        self.set_up(up);
+    }
+
+    /// Degrade (or restore, with 1.0) the line rate. Affects packets whose
+    /// serialization starts after this call; the one on the wire finishes
+    /// at its old rate.
+    pub fn set_rate_fraction(&mut self, now: Time, fraction: f64) {
+        assert!(fraction > 0.0 && fraction <= 1.0, "rate fraction must be in (0, 1], got {fraction}");
+        self.rate_fraction = fraction;
+        self.update_degraded(now);
+    }
+
+    /// Set (or clear, with 0.0) the injected stochastic loss rate.
+    pub fn set_loss_rate(&mut self, now: Time, rate: f64) {
+        assert!((0.0..1.0).contains(&rate), "loss rate must be in [0, 1), got {rate}");
+        self.loss_rate = rate;
+        self.update_degraded(now);
+    }
+
+    fn update_degraded(&mut self, now: Time) {
+        let degraded = self.rate_fraction < 1.0 || self.loss_rate > 0.0;
+        if degraded {
+            if self.degraded_since.is_none() {
+                self.degraded_since = Some(now);
+            }
+        } else if let Some(since) = self.degraded_since.take() {
+            self.stats.degraded_time += now.saturating_since(since);
+        }
+    }
+
+    /// Total down time as of `now`, including a still-open interval.
+    pub fn down_time_as_of(&self, now: Time) -> Duration {
+        self.stats.down_time + self.down_since.map_or(Duration::ZERO, |s| now.saturating_since(s))
+    }
+
+    /// Total degraded time as of `now`, including a still-open interval.
+    pub fn degraded_time_as_of(&self, now: Time) -> Duration {
+        self.stats.degraded_time + self.degraded_since.map_or(Duration::ZERO, |s| now.saturating_since(s))
     }
 }
 
@@ -349,5 +437,77 @@ mod tests {
             l.enqueue(Time::ZERO, pkt(i, 1000));
         }
         assert_eq!(l.stats.max_queue_bytes, 3000);
+    }
+
+    #[test]
+    fn down_up_lifecycle_resumes_traffic() {
+        let mut l = link();
+        // Busy link with one queued packet, then a cable pull.
+        l.enqueue(Time::ZERO, pkt(1, 1500));
+        l.enqueue(Time::ZERO, pkt(2, 1500));
+        l.set_up_at(Time::from_micros(5), false);
+        // Queue flushed into drops_down; offers while down also drop.
+        assert_eq!(l.queue_len(), 0);
+        assert_eq!(l.enqueue(Time::from_micros(6), pkt(3, 1500)), EnqueueOutcome::Dropped);
+        assert_eq!(l.stats.drops_down, 2);
+        // The in-flight packet still completes.
+        let (p, next) = l.tx_done(Time::from_micros(12));
+        assert_eq!(p.uid, 1);
+        assert!(next.is_none());
+        // Back up: traffic flows again from a clean queue.
+        l.set_up_at(Time::from_micros(105), true);
+        match l.enqueue(Time::from_micros(110), pkt(4, 1500)) {
+            EnqueueOutcome::StartedTx { done_at } => {
+                assert_eq!(done_at, Time::from_micros(110) + Duration::from_micros(12));
+            }
+            other => panic!("{other:?}"),
+        }
+        let (p, _) = l.tx_done(Time::from_micros(122));
+        assert_eq!(p.uid, 4);
+        assert_eq!(l.stats.drops_down, 2, "no further down drops after recovery");
+        assert_eq!(l.stats.down_time, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn rate_degrade_stretches_serialization_and_is_timed() {
+        let mut l = link();
+        l.set_rate_fraction(Time::from_micros(10), 0.5);
+        // Half rate: 1500 B now takes 24 us instead of 12.
+        match l.enqueue(Time::from_micros(10), pkt(1, 1500)) {
+            EnqueueOutcome::StartedTx { done_at } => {
+                assert_eq!(done_at, Time::from_micros(34));
+            }
+            other => panic!("{other:?}"),
+        }
+        l.tx_done(Time::from_micros(34));
+        // Restore closes the degraded interval.
+        l.set_rate_fraction(Time::from_micros(50), 1.0);
+        assert_eq!(l.stats.degraded_time, Duration::from_micros(40));
+        assert_eq!(l.degraded_time_as_of(Time::from_micros(99)), Duration::from_micros(40));
+        match l.enqueue(Time::from_micros(60), pkt(2, 1500)) {
+            EnqueueOutcome::StartedTx { done_at } => assert_eq!(done_at, Time::from_micros(72)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_rate_counts_as_degraded_until_cleared() {
+        let mut l = link();
+        l.set_loss_rate(Time::from_micros(5), 0.01);
+        assert_eq!(l.loss_rate(), 0.01);
+        assert_eq!(l.degraded_time_as_of(Time::from_micros(15)), Duration::from_micros(10));
+        l.set_loss_rate(Time::from_micros(25), 0.0);
+        assert_eq!(l.stats.degraded_time, Duration::from_micros(20));
+        assert_eq!(l.degraded_time_as_of(Time::from_micros(99)), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn open_down_interval_visible_in_as_of() {
+        let mut l = link();
+        l.set_up_at(Time::from_micros(10), false);
+        assert_eq!(l.down_time_as_of(Time::from_micros(35)), Duration::from_micros(25));
+        // Redundant downs don't reset the interval start.
+        l.set_up_at(Time::from_micros(20), false);
+        assert_eq!(l.down_time_as_of(Time::from_micros(35)), Duration::from_micros(25));
     }
 }

@@ -19,7 +19,7 @@
 //! * `conga` — CONGA's lbtag/CE fields, present only under the CONGA
 //!   fabric scheme.
 
-use crate::types::{FlowKey, HostId, LinkId, SwitchId, STT_PORT, PROTO_TCP};
+use crate::types::{FlowKey, HostId, LinkId, SwitchId, PROTO_TCP, STT_PORT};
 use clove_sim::{Duration, Time};
 
 /// The STT-like overlay encapsulation header (the fields ECMP hashes).

@@ -40,11 +40,7 @@ pub struct CongaConfig {
 
 impl Default for CongaConfig {
     fn default() -> Self {
-        CongaConfig {
-            flowlet_gap: Duration::from_micros(200),
-            quant_bits: 3,
-            metric_age: Duration::from_millis(10),
-        }
+        CongaConfig { flowlet_gap: Duration::from_micros(200), quant_bits: 3, metric_age: Duration::from_millis(10) }
     }
 }
 
@@ -61,11 +57,7 @@ pub struct HulaConfig {
 
 impl Default for HulaConfig {
     fn default() -> Self {
-        HulaConfig {
-            probe_interval: Duration::from_micros(100),
-            flowlet_gap: Duration::from_micros(200),
-            entry_age: Duration::from_millis(2),
-        }
+        HulaConfig { probe_interval: Duration::from_micros(100), flowlet_gap: Duration::from_micros(200), entry_age: Duration::from_millis(2) }
     }
 }
 
@@ -149,10 +141,7 @@ impl Switch {
 
     /// The ECMP group toward `dst`, if any route exists.
     pub fn group(&self, dst: HostId) -> Option<&[usize]> {
-        self.routes
-            .get(dst.0 as usize)
-            .filter(|v| !v.is_empty())
-            .map(|v| v.as_slice())
+        self.routes.get(dst.0 as usize).filter(|v| !v.is_empty()).map(|v| v.as_slice())
     }
 }
 

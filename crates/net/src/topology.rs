@@ -13,6 +13,7 @@
 //! forces Clove to re-discover its port→path mapping (paper §3.1).
 
 use crate::fabric::{Fabric, HostAttachment};
+use crate::fault::CableSelector;
 use crate::link::{Link, LinkConfig};
 use crate::switch::{FabricScheme, Switch};
 use crate::types::{HostId, LinkId, NodeId, SwitchId};
@@ -31,6 +32,12 @@ pub struct Topology {
     pub bisection_bps: u64,
     /// Number of hosts.
     pub num_hosts: u32,
+    /// Leaf count (0 for topologies without named tiers, e.g. fat-trees).
+    pub leaves: u32,
+    /// Spine count (0 when tiers are unnamed).
+    pub spines: u32,
+    /// Parallel cables per leaf-spine pair (0 when tiers are unnamed).
+    pub trunk: u32,
 }
 
 impl Topology {
@@ -40,6 +47,30 @@ impl Topology {
             let l = self.fabric.link(ab);
             l.from == a && l.to == b
         })
+    }
+
+    /// Resolve a named [`CableSelector`] against this topology's cables.
+    ///
+    /// `LeafSpine` selectors need the leaf/spine/trunk metadata that only
+    /// the [`LeafSpine`] builder records (fat-trees return `None` — use
+    /// `Index` there). `Access` and `Index` work on any topology.
+    pub fn resolve_cable(&self, sel: CableSelector) -> Option<(LinkId, LinkId)> {
+        match sel {
+            CableSelector::LeafSpine { leaf, spine, which } => {
+                if leaf >= self.leaves || spine >= self.spines || which >= self.trunk {
+                    return None;
+                }
+                // The LeafSpine builder pushes fabric cables first, in
+                // leaf-major, then spine, then trunk order.
+                let idx = ((leaf * self.spines + spine) * self.trunk + which) as usize;
+                self.cables.get(idx).copied()
+            }
+            CableSelector::Access { host } => {
+                let att = self.fabric.hosts.get(host as usize)?;
+                self.cable_between(NodeId::Host(HostId(host)), NodeId::Switch(att.leaf))
+            }
+            CableSelector::Index(idx) => self.cables.get(idx).copied(),
+        }
     }
 
     /// Administratively fail a cable (both directions) and recompute routes.
@@ -120,11 +151,7 @@ impl LeafSpine {
             switches.push(Switch::new(SwitchId(self.leaves + i), seed_gen.u64(), false));
         }
 
-        let add_cable = |links: &mut Vec<Link>,
-                             switches: &mut Vec<Switch>,
-                             a: NodeId,
-                             b: NodeId,
-                             cfg: LinkConfig| {
+        let add_cable = |links: &mut Vec<Link>, switches: &mut Vec<Switch>, a: NodeId, b: NodeId, cfg: LinkConfig| {
             let ab = LinkId(links.len() as u32);
             links.push(Link::new(ab, a, b, cfg));
             let ba = LinkId(links.len() as u32);
@@ -146,13 +173,7 @@ impl LeafSpine {
         for l in 0..self.leaves {
             for s in 0..self.spines {
                 for _ in 0..self.trunk {
-                    let pair = add_cable(
-                        &mut links,
-                        &mut switches,
-                        NodeId::Switch(SwitchId(l)),
-                        NodeId::Switch(SwitchId(self.leaves + s)),
-                        fcfg,
-                    );
+                    let pair = add_cable(&mut links, &mut switches, NodeId::Switch(SwitchId(l)), NodeId::Switch(SwitchId(self.leaves + s)), fcfg);
                     cables.push(pair);
                 }
             }
@@ -164,13 +185,7 @@ impl LeafSpine {
         for l in 0..self.leaves {
             for h in 0..self.hosts_per_leaf {
                 let host = HostId(l * self.hosts_per_leaf + h);
-                let (up, down) = add_cable(
-                    &mut links,
-                    &mut switches,
-                    NodeId::Host(host),
-                    NodeId::Switch(SwitchId(l)),
-                    acfg,
-                );
+                let (up, down) = add_cable(&mut links, &mut switches, NodeId::Host(host), NodeId::Switch(SwitchId(l)), acfg);
                 cables.push((up, down));
                 hosts.push(HostAttachment { uplink: up, downlink: down, leaf: SwitchId(l) });
             }
@@ -194,6 +209,9 @@ impl LeafSpine {
             cables,
             bisection_bps: bisection,
             num_hosts: self.leaves * self.hosts_per_leaf,
+            leaves: self.leaves,
+            spines: self.spines,
+            trunk: self.trunk,
         }
     }
 }
@@ -219,7 +237,7 @@ impl FatTree {
     /// Construct the fat-tree fabric.
     pub fn build(&self) -> Topology {
         let k = self.k;
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
         let half = k / 2;
         let num_edge = k * half;
         let num_agg = k * half;
@@ -242,11 +260,7 @@ impl FatTree {
         let mut links: Vec<Link> = Vec::new();
         let mut cables = Vec::new();
         let mut hosts = Vec::new();
-        let add_cable = |links: &mut Vec<Link>,
-                             switches: &mut Vec<Switch>,
-                             a: NodeId,
-                             b: NodeId,
-                             cfg: LinkConfig| {
+        let add_cable = |links: &mut Vec<Link>, switches: &mut Vec<Switch>, a: NodeId, b: NodeId, cfg: LinkConfig| {
             let ab = LinkId(links.len() as u32);
             links.push(Link::new(ab, a, b, cfg));
             let ba = LinkId(links.len() as u32);
@@ -304,6 +318,11 @@ impl FatTree {
             // k/2 links across any half-half pod cut.
             bisection_bps: (num_core as u64) * (half as u64) * self.fabric_bps,
             num_hosts,
+            // Fat-trees have no single leaf/spine naming; named selectors
+            // resolve to None and callers fall back to `Index`.
+            leaves: 0,
+            spines: 0,
+            trunk: 0,
         }
     }
 }
@@ -429,9 +448,7 @@ mod tests {
     fn failing_a_fabric_cable_shrinks_groups() {
         let mut t = testbed();
         // Find a cable between spine 3 (S2) and leaf 1 (L2).
-        let cable = t
-            .cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3)))
-            .expect("fabric cable exists");
+        let cable = t.cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3))).expect("fabric cable exists");
         t.fail_cable(cable);
         // Spine 3 now has 1 downlink to leaf 1.
         let spine = &t.fabric.switches[3];
@@ -449,9 +466,7 @@ mod tests {
     fn isolated_host_unroutable() {
         let mut t = testbed();
         let att = t.fabric.hosts[0];
-        let cable = t
-            .cable_between(NodeId::Host(HostId(0)), NodeId::Switch(att.leaf))
-            .expect("access cable");
+        let cable = t.cable_between(NodeId::Host(HostId(0)), NodeId::Switch(att.leaf)).expect("access cable");
         t.fail_cable(cable);
         assert!(t.fabric.switches[0].group(HostId(0)).is_none());
         assert!(t.fabric.switches[2].group(HostId(0)).is_none());
@@ -459,14 +474,7 @@ mod tests {
 
     #[test]
     fn fat_tree_k4_shape_and_routes() {
-        let ft = FatTree {
-            k: 4,
-            access_bps: 1_000_000_000,
-            fabric_bps: 1_000_000_000,
-            scheme: FabricScheme::Ecmp,
-            seed: 7,
-        }
-        .build();
+        let ft = FatTree { k: 4, access_bps: 1_000_000_000, fabric_bps: 1_000_000_000, scheme: FabricScheme::Ecmp, seed: 7 }.build();
         assert_eq!(ft.num_hosts, 16);
         assert_eq!(ft.fabric.switches.len(), 8 + 8 + 4);
         // Edge switch of host 0 toward a host in another pod: 2 agg uplinks.
@@ -479,6 +487,30 @@ mod tests {
         // Same-pod, different edge: route via aggs, not cores.
         let g_same_pod = edge0.group(HostId(2)).unwrap();
         assert_eq!(g_same_pod.len(), 2);
+    }
+
+    #[test]
+    fn named_cable_selectors_resolve() {
+        let t = testbed();
+        // S2–L2 by name = the cable the asymmetry experiments cut.
+        let by_name = t.resolve_cable(CableSelector::S2_L2).expect("resolves");
+        let by_lookup = t.cable_between(NodeId::Switch(SwitchId(1)), NodeId::Switch(SwitchId(3))).expect("fabric cable exists");
+        assert_eq!(by_name, by_lookup);
+        // Second trunk cable of the same pair is the adjacent one.
+        let second = t.resolve_cable(CableSelector::LeafSpine { leaf: 1, spine: 1, which: 1 }).expect("resolves");
+        assert_ne!(second, by_name);
+        assert_eq!(t.fabric.link(second.0).from, NodeId::Switch(SwitchId(1)));
+        assert_eq!(t.fabric.link(second.0).to, NodeId::Switch(SwitchId(3)));
+        // Access selector finds the host's uplink cable.
+        let access = t.resolve_cable(CableSelector::Access { host: 5 }).expect("resolves");
+        assert_eq!(t.fabric.link(access.0).from, NodeId::Host(HostId(5)));
+        // Out-of-range selectors refuse.
+        assert!(t.resolve_cable(CableSelector::LeafSpine { leaf: 9, spine: 0, which: 0 }).is_none());
+        assert!(t.resolve_cable(CableSelector::Index(10_000)).is_none());
+        // Fat-trees have no named tiers.
+        let ft = FatTree { k: 4, access_bps: 1_000_000_000, fabric_bps: 1_000_000_000, scheme: FabricScheme::Ecmp, seed: 7 }.build();
+        assert!(ft.resolve_cable(CableSelector::S2_L2).is_none());
+        assert!(ft.resolve_cable(CableSelector::Index(0)).is_some());
     }
 
     #[test]

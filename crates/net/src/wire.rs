@@ -305,7 +305,7 @@ pub mod stt {
         }
         /// One-way latency in nanoseconds (valid when kind = LATENCY).
         pub fn fb_latency_ns(&self) -> u64 {
-            ((self.context() & 0xFFFF_FFFF) as u64) * 64
+            (self.context() & 0xFFFF_FFFF) * 64
         }
     }
 

@@ -129,8 +129,7 @@ fn letflow_pins_within_flowlet_and_can_move_after_gap() {
         net.fabric.host_transmit(Time::from_nanos(i * 1300), HostId(0), data_packet(i, HostId(0), HostId(16), 5555), &mut q);
     }
     for i in 20..40 {
-        net.fabric
-            .host_transmit(Time::from_millis(10) + Duration::from_nanos(i * 1300), HostId(0), data_packet(i, HostId(0), HostId(16), 5555), &mut q);
+        net.fabric.host_transmit(Time::from_millis(10) + Duration::from_nanos(i * 1300), HostId(0), data_packet(i, HostId(0), HostId(16), 5555), &mut q);
     }
     run_all(&mut net, &mut q);
     assert_eq!(net.hosts.delivered.len(), 40);
@@ -161,10 +160,7 @@ fn conga_stamps_and_feeds_back_metrics() {
         net.fabric.host_transmit(Time::from_millis(1) + Duration::from_nanos(i * 1300), HostId(16), data_packet(i, HostId(16), HostId(0), 6666), &mut q);
     }
     run_all(&mut net, &mut q);
-    assert!(
-        !net.fabric.switches[0].conga.to_leaf.is_empty() || !net.fabric.switches[1].conga.to_leaf.is_empty(),
-        "no CONGA feedback absorbed"
-    );
+    assert!(!net.fabric.switches[0].conga.to_leaf.is_empty() || !net.fabric.switches[1].conga.to_leaf.is_empty(), "no CONGA feedback absorbed");
     // All packets carried CONGA tags.
     assert!(net.hosts.delivered.iter().all(|(_, p)| p.conga.is_some()));
 }
@@ -183,11 +179,7 @@ fn hula_probes_build_best_hop_tables() {
             if sw.is_leaf && sw.id.0 == tor {
                 continue; // own tor: no entry needed
             }
-            assert!(
-                sw.hula_best.contains_key(&tor),
-                "{:?} lacks a best hop toward leaf {tor}",
-                sw.id
-            );
+            assert!(sw.hula_best.contains_key(&tor), "{:?} lacks a best hop toward leaf {tor}", sw.id);
         }
     }
     // Spines' best hop toward each leaf must be a direct downlink (no
@@ -209,21 +201,10 @@ fn hula_routes_data_and_delivers_in_order() {
     let mut q = EventQueue::new();
     q.push(Time::ZERO, Event::HulaTick);
     for i in 0..50 {
-        net.fabric.host_transmit(
-            Time::from_micros(500) + Duration::from_nanos(i * 1300),
-            HostId(0),
-            data_packet(i, HostId(0), HostId(16), 5555),
-            &mut q,
-        );
+        net.fabric.host_transmit(Time::from_micros(500) + Duration::from_nanos(i * 1300), HostId(0), data_packet(i, HostId(0), HostId(16), 5555), &mut q);
     }
     clove_sim::run(&mut net, &mut q, Time::from_millis(2));
-    let data: Vec<u64> = net
-        .hosts
-        .delivered
-        .iter()
-        .filter(|(h, p)| *h == HostId(16) && p.is_data())
-        .map(|(_, p)| p.uid)
-        .collect();
+    let data: Vec<u64> = net.hosts.delivered.iter().filter(|(h, p)| *h == HostId(16) && p.is_data()).map(|(_, p)| p.uid).collect();
     assert_eq!(data.len(), 50);
     let mut sorted = data.clone();
     sorted.sort_unstable();
@@ -252,18 +233,95 @@ fn link_admin_event_reroutes_traffic() {
     }
     // Send across sports that previously hashed over all four uplinks.
     for (i, sport) in (41_000u16..41_032).enumerate() {
-        net.fabric.host_transmit(
-            Time::from_micros(10 + i as u64),
-            HostId(0),
-            data_packet(i as u64, HostId(0), HostId(16), sport),
-            &mut q,
-        );
+        net.fabric.host_transmit(Time::from_micros(10 + i as u64), HostId(0), data_packet(i as u64, HostId(0), HostId(16), sport), &mut q);
     }
     run_all(&mut net, &mut q);
     // Some packets may have been en route nowhere (dropped by admin), but
     // all sent *after* the recompute must arrive.
     assert_eq!(net.hosts.delivered.len(), 32, "drops={:?}", net.fabric.stats);
     // Leaf 0 now routes to host 16 via 2 uplinks only (both to S1).
+    assert_eq!(net.fabric.switches[0].group(HostId(16)).unwrap().len(), 2);
+}
+
+#[test]
+fn link_down_flushes_queue_and_traffic_resumes_after_up() {
+    use clove_net::fault::LinkAction;
+    let mut net = build(FabricScheme::Ecmp);
+    let mut q = EventQueue::new();
+    // Burst 60 packets into host 0's access uplink at t=0: at 10G they
+    // serialize one per 1.2 µs, so a deep queue forms on that link.
+    for i in 0..60 {
+        net.fabric.host_transmit(Time::ZERO, HostId(0), data_packet(i, HostId(0), HostId(16), 5555), &mut q);
+    }
+    let uplink = net.fabric.links.iter().find(|l| l.from == NodeId::Host(HostId(0))).map(|l| l.id).expect("host 0 has an uplink");
+    // Silent down at 20 µs (≈16 packets out), up again at 100 µs.
+    q.push(Time::from_micros(20), Event::Fault { link: uplink, action: LinkAction::Down, announced: false });
+    q.push(Time::from_micros(100), Event::Fault { link: uplink, action: LinkAction::Up, announced: false });
+    run_all(&mut net, &mut q);
+    let first = net.hosts.delivered.len();
+    assert!((1..60).contains(&first), "expected a partial first burst, got {first}");
+    // Everything not delivered was flushed from (or refused by) the down
+    // link and counted as a down-drop — no silent loss.
+    let drops_down = net.fabric.links[uplink.0 as usize].stats.drops_down;
+    assert_eq!(first as u64 + drops_down, 60, "drops_down accounting");
+    assert!(drops_down >= 20, "queue flush must drop the backlog, got {drops_down}");
+    // After LinkUp the same path carries traffic again.
+    let mut q = EventQueue::new();
+    for i in 100..110 {
+        net.fabric.host_transmit(Time::from_micros(150) + Duration::from_nanos(i * 1300), HostId(0), data_packet(i, HostId(0), HostId(16), 5555), &mut q);
+    }
+    run_all(&mut net, &mut q);
+    assert_eq!(net.hosts.delivered.len(), first + 10, "traffic must resume after LinkUp");
+    // The fault ledger saw both actions and ~80 µs of down time.
+    let stats = net.fabric.fault_stats(Time::from_millis(1));
+    assert_eq!(stats.faults_applied, 2);
+    assert_eq!(stats.drops_down, drops_down);
+    let down_us = stats.down_time.as_secs_f64() * 1e6;
+    assert!((79.0..81.0).contains(&down_us), "down for {down_us} µs");
+}
+
+#[test]
+fn silent_fault_black_holes_announced_fault_reroutes() {
+    use clove_net::fault::LinkAction;
+    let mut net = build(FabricScheme::Ecmp);
+    let mut q = EventQueue::new();
+    // Both directions of both S2–L2 trunk cables (switch 3 ↔ switch 1).
+    let cables: Vec<LinkId> = net
+        .fabric
+        .links
+        .iter()
+        .filter(|l| {
+            (l.from == NodeId::Switch(SwitchId(3)) && l.to == NodeId::Switch(SwitchId(1)))
+                || (l.from == NodeId::Switch(SwitchId(1)) && l.to == NodeId::Switch(SwitchId(3)))
+        })
+        .map(|l| l.id)
+        .collect();
+    assert_eq!(cables.len(), 4);
+    // Phase 1 — silent: the control plane keeps hashing onto S2, so a
+    // fraction of the flows black-holes at the dead links.
+    for &link in &cables {
+        q.push(Time::ZERO, Event::Fault { link, action: LinkAction::Down, announced: false });
+    }
+    for (i, sport) in (41_000u16..41_032).enumerate() {
+        net.fabric.host_transmit(Time::from_micros(10 + i as u64), HostId(0), data_packet(i as u64, HostId(0), HostId(16), sport), &mut q);
+    }
+    run_all(&mut net, &mut q);
+    let silent_delivered = net.hosts.delivered.len();
+    assert!(silent_delivered < 32, "a silent fault must black-hole some flows");
+    assert_eq!(net.fabric.switches[0].group(HostId(16)).unwrap().len(), 4, "silent faults must not change routing");
+    let dropped: u64 = net.fabric.links.iter().map(|l| l.stats.drops_down).sum();
+    assert_eq!(silent_delivered as u64 + dropped, 32, "drops_down accounting");
+    // Phase 2 — the same cuts announced: routes recompute around S2 and
+    // everything sent afterwards arrives.
+    let mut q = EventQueue::new();
+    for &link in &cables {
+        q.push(Time::from_micros(500), Event::Fault { link, action: LinkAction::Down, announced: true });
+    }
+    for (i, sport) in (41_000u16..41_032).enumerate() {
+        net.fabric.host_transmit(Time::from_micros(600 + i as u64), HostId(0), data_packet(100 + i as u64, HostId(0), HostId(16), sport), &mut q);
+    }
+    run_all(&mut net, &mut q);
+    assert_eq!(net.hosts.delivered.len(), silent_delivered + 32, "announced fault must reroute");
     assert_eq!(net.fabric.switches[0].group(HostId(16)).unwrap().len(), 2);
 }
 

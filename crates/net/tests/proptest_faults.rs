@@ -1,0 +1,152 @@
+//! Property tests for fault plans: a randomly-ordered [`FaultPlan`] is
+//! expanded in timestamp order, and the fabric's final link state equals a
+//! straight fold of the sorted actions over a naive state model.
+
+use clove_net::fabric::Event;
+use clove_net::fault::{CableSelector, FaultKind, FaultPlan, FaultSpec, LinkAction};
+use clove_net::packet::Packet;
+use clove_net::topology::LeafSpine;
+use clove_net::types::{HostId, LinkId};
+use clove_net::{HostCtx, HostLogic, Network};
+use clove_sim::{Duration, EventQueue, Time};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Discards every delivery; these tests only watch link state.
+struct Sink;
+
+impl HostLogic for Sink {
+    fn on_packet(&mut self, _: HostId, _: Packet, _: &mut HostCtx<'_>) {}
+    fn on_timer(&mut self, _: HostId, _: u64, _: &mut HostCtx<'_>) {}
+}
+
+const CABLES: [CableSelector; 4] = [
+    CableSelector::S2_L2,
+    CableSelector::LeafSpine { leaf: 0, spine: 0, which: 0 },
+    CableSelector::LeafSpine { leaf: 0, spine: 1, which: 1 },
+    CableSelector::Access { host: 3 },
+];
+
+/// Build one spec from sampled raw values. Spec `i` owns the disjoint time
+/// window starting at `i × 10 ms`, so no two actions in a plan can collide
+/// on a timestamp (collisions would make the fold order ambiguous).
+fn make_spec(i: usize, cable_i: usize, kind_i: u32, period_us: u64, count: u32, param: f64) -> FaultSpec {
+    let at = Time::from_micros(i as u64 * 10_000);
+    let kind = match kind_i {
+        0 => FaultKind::LinkDown,
+        1 => FaultKind::LinkUp,
+        2 => FaultKind::RateDegrade { fraction: param },
+        3 => FaultKind::RandomLoss { rate: param * 0.9 },
+        _ => FaultKind::Flap { period: Duration::from_micros(period_us), duty: param, count },
+    };
+    FaultSpec { at, cable: CABLES[cable_i % CABLES.len()], kind, announced: period_us.is_multiple_of(2) }
+}
+
+/// Expected number of atomic actions for one spec.
+fn action_count(spec: &FaultSpec) -> usize {
+    match spec.kind {
+        FaultKind::Flap { count, .. } => 2 * count as usize,
+        _ => 1,
+    }
+}
+
+/// The naive per-link state model the fabric must agree with.
+#[derive(Clone, Copy)]
+struct LinkModel {
+    up: bool,
+    rate_fraction: f64,
+    loss_rate: f64,
+}
+
+impl LinkModel {
+    fn apply(&mut self, action: LinkAction) {
+        match action {
+            LinkAction::Down => self.up = false,
+            LinkAction::Up => self.up = true,
+            LinkAction::SetRate(f) => self.rate_fraction = f,
+            LinkAction::SetLoss(r) => self.loss_rate = r,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expansion_is_sorted_and_complete(
+        raw in prop::collection::vec(
+            ((0usize..4, 0u32..5), ((50u64..400, 1u32..4), 0.05f64..0.95)),
+            1..8,
+        ),
+        rot in 0usize..8,
+    ) {
+        // Insert specs in a rotated (i.e. non-chronological) order: the
+        // plan must not care.
+        let mut plan = FaultPlan::none();
+        let n = raw.len();
+        for j in 0..n {
+            let i = (j + rot) % n;
+            let ((cable_i, kind_i), ((period_us, count), param)) = raw[i];
+            plan.push(make_spec(i, cable_i, kind_i, period_us, count, param));
+        }
+        let actions = plan.expand();
+        let expected: usize = plan.specs.iter().map(action_count).sum();
+        prop_assert_eq!(actions.len(), expected);
+        prop_assert!(
+            actions.windows(2).all(|w| w[0].at <= w[1].at),
+            "expansion must be timestamp-sorted"
+        );
+    }
+
+    #[test]
+    fn fabric_state_equals_fold_of_sorted_actions(
+        raw in prop::collection::vec(
+            ((0usize..4, 0u32..5), ((50u64..400, 1u32..4), 0.05f64..0.95)),
+            1..8,
+        ),
+        rot in 0usize..8,
+    ) {
+        let mut plan = FaultPlan::none();
+        let n = raw.len();
+        for j in 0..n {
+            let i = (j + rot) % n;
+            let ((cable_i, kind_i), ((period_us, count), param)) = raw[i];
+            plan.push(make_spec(i, cable_i, kind_i, period_us, count, param));
+        }
+
+        let topo = LeafSpine::paper_testbed(1.0, 42).build();
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut model: HashMap<LinkId, LinkModel> = HashMap::new();
+        for action in plan.expand() {
+            let (a, b) = topo.resolve_cable(action.cable).expect("all cables resolve");
+            for link in [a, b] {
+                queue.push(
+                    action.at,
+                    Event::Fault { link, action: action.action, announced: action.announced },
+                );
+                model
+                    .entry(link)
+                    .or_insert(LinkModel { up: true, rate_fraction: 1.0, loss_rate: 0.0 })
+                    .apply(action.action);
+            }
+        }
+
+        let mut net = Network::new(topo.fabric, Sink);
+        clove_sim::run(&mut net, &mut queue, Time::from_secs(1));
+
+        for (link, want) in model {
+            let got = &net.fabric.links[link.0 as usize];
+            prop_assert_eq!(got.up, want.up, "link {:?} up state", link);
+            prop_assert!(
+                (got.rate_fraction() - want.rate_fraction).abs() < 1e-12,
+                "link {:?} rate fraction: got {} want {}",
+                link, got.rate_fraction(), want.rate_fraction
+            );
+            prop_assert!(
+                (got.loss_rate() - want.loss_rate).abs() < 1e-12,
+                "link {:?} loss rate: got {} want {}",
+                link, got.loss_rate(), want.loss_rate
+            );
+        }
+    }
+}

@@ -64,13 +64,7 @@ impl FeedbackCollector {
         if self.mode == FeedbackMode::None {
             return;
         }
-        let obs = self.paths.entry(sport).or_insert(PathObservation {
-            congested: false,
-            util_pm: 0,
-            latency: Duration::ZERO,
-            last_relay: None,
-            dirty: false,
-        });
+        let obs = self.paths.entry(sport).or_insert(PathObservation { congested: false, util_pm: 0, latency: Duration::ZERO, last_relay: None, dirty: false });
         obs.congested |= ce;
         if let Some(u) = util_pm {
             obs.util_pm = obs.util_pm.max(u);
@@ -94,13 +88,7 @@ impl FeedbackCollector {
         let start = self.cursor % n;
         let mut result = None;
         // Two ordered passes emulate a cycle starting at `start`.
-        for (k, (&port, obs)) in self
-            .paths
-            .iter_mut()
-            .enumerate()
-            .skip(start)
-            .chain(std::iter::empty())
-        {
+        for (k, (&port, obs)) in self.paths.iter_mut().enumerate().skip(start).chain(std::iter::empty()) {
             if Self::try_take(now, relay_interval, mode, port, obs, &mut result, k) {
                 break;
             }

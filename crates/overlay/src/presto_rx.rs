@@ -151,12 +151,7 @@ mod tests {
     use clove_net::types::HostId;
 
     fn data(seq: u64) -> Packet {
-        Packet::new(
-            seq,
-            1500,
-            FlowKey::tcp(HostId(0), HostId(1), 10, 80),
-            PacketKind::Data { seq, len: 1400, dsn: seq },
-        )
+        Packet::new(seq, 1500, FlowKey::tcp(HostId(0), HostId(1), 10, 80), PacketKind::Data { seq, len: 1400, dsn: seq })
     }
 
     fn seqs(pkts: &[Packet]) -> Vec<u64> {

@@ -40,6 +40,12 @@ pub trait EdgePolicy {
     /// The discovery daemon refreshed the usable ports toward `dst_hv`.
     fn on_paths_updated(&mut self, _now: Time, _dst_hv: HostId, _ports: &[u16]) {}
 
+    /// The discovery daemon declared `port` toward `dst_hv` black-holed:
+    /// stop scheduling onto it immediately (don't wait for the next full
+    /// path refresh). Weight-based policies redistribute its share across
+    /// the surviving paths without resetting their learned state.
+    fn on_path_dead(&mut self, _now: Time, _dst_hv: HostId, _port: u16) {}
+
     /// True when every known path toward `dst_hv` is congested — the one
     /// case where Clove stops masking ECN from the guest (paper §3.2).
     fn all_paths_congested(&self, _now: Time, _dst_hv: HostId) -> bool {
@@ -84,35 +90,17 @@ impl VSwitchConfig {
 
     /// Clove-ECN deployment.
     pub fn clove_ecn(relay_interval: Duration) -> VSwitchConfig {
-        VSwitchConfig {
-            set_ect: true,
-            feedback_mode: FeedbackMode::Ecn,
-            relay_interval,
-            presto_reassembly: None,
-            non_overlay: false,
-        }
+        VSwitchConfig { set_ect: true, feedback_mode: FeedbackMode::Ecn, relay_interval, presto_reassembly: None, non_overlay: false }
     }
 
     /// Clove-INT deployment.
     pub fn clove_int(relay_interval: Duration) -> VSwitchConfig {
-        VSwitchConfig {
-            set_ect: false,
-            feedback_mode: FeedbackMode::Util,
-            relay_interval,
-            presto_reassembly: None,
-            non_overlay: false,
-        }
+        VSwitchConfig { set_ect: false, feedback_mode: FeedbackMode::Util, relay_interval, presto_reassembly: None, non_overlay: false }
     }
 
     /// Clove-Latency deployment (paper §7 extension).
     pub fn clove_latency(relay_interval: Duration) -> VSwitchConfig {
-        VSwitchConfig {
-            set_ect: false,
-            feedback_mode: FeedbackMode::Latency,
-            relay_interval,
-            presto_reassembly: None,
-            non_overlay: false,
-        }
+        VSwitchConfig { set_ect: false, feedback_mode: FeedbackMode::Latency, relay_interval, presto_reassembly: None, non_overlay: false }
     }
 
     /// Presto deployment: reassembly on, no feedback.
@@ -172,14 +160,7 @@ pub struct VSwitch {
 impl VSwitch {
     /// Build a vswitch with the given policy.
     pub fn new(host: HostId, cfg: VSwitchConfig, policy: Box<dyn EdgePolicy>) -> VSwitch {
-        VSwitch {
-            host,
-            cfg,
-            policy,
-            collectors: HashMap::new(),
-            presto: cfg.presto_reassembly.map(PrestoReassembly::new),
-            stats: VSwitchStats::default(),
-        }
+        VSwitch { host, cfg, policy, collectors: HashMap::new(), presto: cfg.presto_reassembly.map(PrestoReassembly::new), stats: VSwitchStats::default() }
     }
 
     /// The policy, for discovery-daemon updates and inspection.
@@ -237,10 +218,13 @@ impl VSwitch {
         }
         if pkt.is_data() && self.cfg.feedback_mode != FeedbackMode::None {
             let one_way = now.saturating_since(pkt.sent_at);
-            self.collectors
-                .entry(src_hv)
-                .or_insert_with(|| FeedbackCollector::new(self.cfg.feedback_mode, self.cfg.relay_interval))
-                .observe(now, sport, pkt.ce, pkt.int_util_pm, one_way);
+            self.collectors.entry(src_hv).or_insert_with(|| FeedbackCollector::new(self.cfg.feedback_mode, self.cfg.relay_interval)).observe(
+                now,
+                sport,
+                pkt.ce,
+                pkt.int_util_pm,
+                one_way,
+            );
         }
         // 3. Strip the encapsulation / restore the five-tuple.
         let ce_on_wire = pkt.ce;

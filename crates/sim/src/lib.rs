@@ -64,11 +64,7 @@ pub struct RunSummary {
 ///
 /// Events scheduled exactly at the horizon are still processed; the first
 /// event strictly after it terminates the loop (and remains in the queue).
-pub fn run<W: World>(
-    world: &mut W,
-    queue: &mut EventQueue<W::Event>,
-    horizon: Time,
-) -> RunSummary {
+pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, horizon: Time) -> RunSummary {
     let mut events = 0u64;
     let mut end_time = Time::ZERO;
     loop {

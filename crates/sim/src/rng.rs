@@ -27,14 +27,7 @@ impl SimRng {
     /// a well-distributed state because of the splitmix64 expansion.
     pub fn new(seed: u64) -> SimRng {
         let mut sm = seed;
-        SimRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
-        }
+        SimRng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
     }
 
     /// Derive an independent stream: useful to give each host or flow its

@@ -220,15 +220,9 @@ mod tests {
     #[test]
     fn serialization_delay() {
         // 1500 bytes at 10 Gbps = 1.2 us.
-        assert_eq!(
-            Duration::for_bytes_at(1500, 10_000_000_000),
-            Duration::from_nanos(1200)
-        );
+        assert_eq!(Duration::for_bytes_at(1500, 10_000_000_000), Duration::from_nanos(1200));
         // 1500 bytes at 1 Gbps = 12 us.
-        assert_eq!(
-            Duration::for_bytes_at(1500, 1_000_000_000),
-            Duration::from_micros(12)
-        );
+        assert_eq!(Duration::for_bytes_at(1500, 1_000_000_000), Duration::from_micros(12));
     }
 
     #[test]

@@ -110,14 +110,10 @@ impl Subflow {
         self.snd_nxt
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit(&mut self, now: Time, cfg: &TcpConfig, seq: u64, dsn: u64, len: u32, is_rtx: bool, out: &mut Vec<Packet>) {
         self.uid_counter += 1;
-        let mut pkt = Packet::new(
-            self.uid_base.wrapping_add(self.uid_counter),
-            cfg.wire_size(len),
-            self.key,
-            PacketKind::Data { seq, len, dsn },
-        );
+        let mut pkt = Packet::new(self.uid_base.wrapping_add(self.uid_counter), cfg.wire_size(len), self.key, PacketKind::Data { seq, len, dsn });
         pkt.sent_at = now;
         // Karn: sample RTT only on never-retransmitted byte ranges.
         if self.rtt_probe.is_none() && !is_rtx {
@@ -210,18 +206,8 @@ impl MptcpConnection {
     /// port `base_sport + i`, so ECMP assigns each an independent path.
     pub fn new(src: clove_net::types::HostId, dst: clove_net::types::HostId, base_sport: u16, dport: u16, k: usize, cfg: TcpConfig) -> MptcpConnection {
         assert!(k >= 1, "need at least one subflow");
-        let subflows = (0..k)
-            .map(|i| Subflow::new(FlowKey::tcp(src, dst, base_sport + i as u16, dport), &cfg))
-            .collect();
-        MptcpConnection {
-            subflows,
-            cfg,
-            data_next: 0,
-            data_una: 0,
-            stream_len: 0,
-            jobs: VecDeque::new(),
-            stats: MptcpStats::default(),
-        }
+        let subflows = (0..k).map(|i| Subflow::new(FlowKey::tcp(src, dst, base_sport + i as u16, dport), &cfg)).collect();
+        MptcpConnection { subflows, cfg, data_next: 0, data_una: 0, stream_len: 0, jobs: VecDeque::new(), stats: MptcpStats::default() }
     }
 
     /// Data-level bytes acknowledged.
@@ -444,9 +430,7 @@ pub struct MptcpReceiver {
 impl MptcpReceiver {
     /// Build the receiver for a connection created with the same params.
     pub fn new(src: clove_net::types::HostId, dst: clove_net::types::HostId, base_sport: u16, dport: u16, k: usize, cfg: TcpConfig) -> MptcpReceiver {
-        let subflows = (0..k)
-            .map(|i| (FlowKey::tcp(src, dst, base_sport + i as u16, dport), 0u64, BTreeMap::new()))
-            .collect();
+        let subflows = (0..k).map(|i| (FlowKey::tcp(src, dst, base_sport + i as u16, dport), 0u64, BTreeMap::new())).collect();
         MptcpReceiver {
             cfg,
             subflows,
@@ -514,10 +498,7 @@ mod tests {
 
     fn conn(k: usize) -> (MptcpConnection, MptcpReceiver) {
         let cfg = TcpConfig::default();
-        (
-            MptcpConnection::new(HostId(0), HostId(1), 20_000, 80, k, cfg),
-            MptcpReceiver::new(HostId(0), HostId(1), 20_000, 80, k, cfg),
-        )
+        (MptcpConnection::new(HostId(0), HostId(1), 20_000, 80, k, cfg), MptcpReceiver::new(HostId(0), HostId(1), 20_000, 80, k, cfg))
     }
 
     fn data_fields(p: &Packet) -> (u64, u32, u64) {
@@ -565,8 +546,8 @@ mod tests {
         while !c.idle() {
             guard += 1;
             assert!(guard < 10_000, "transfer did not converge");
-            now = now + Duration::from_micros(50);
-            let batch: Vec<Packet> = wire.drain(..).collect();
+            now += Duration::from_micros(50);
+            let batch: Vec<Packet> = std::mem::take(&mut wire);
             let mut acks = Vec::new();
             for p in batch {
                 let (seq, len, dsn) = data_fields(&p);
@@ -574,7 +555,7 @@ mod tests {
                     acks.push(a);
                 }
             }
-            now = now + Duration::from_micros(50);
+            now += Duration::from_micros(50);
             for a in acks {
                 let PacketKind::Ack { ackno, dack, .. } = a.kind else { unreachable!() };
                 completions.extend(c.on_ack(now, a.flow, ackno, dack, &mut wire));
@@ -683,49 +664,61 @@ mod tests {
         assert!(last_dack < 40 * 1400, "data ack should stall at the hole");
     }
 
-#[test]
-fn recovery_after_blackhole_window() {
-    // 2 subflows; the entire first window of subflow 1 is lost. Drive RTOs
-    // and verify the connection eventually completes.
-    let cfg = TcpConfig::default();
-    let mut c = MptcpConnection::new(HostId(0), HostId(1), 20_000, 80, 2, cfg);
-    let mut r = MptcpReceiver::new(HostId(0), HostId(1), 20_000, 80, 2, cfg);
-    let size = 60 * 1400u64;
-    let mut wire = Vec::new();
-    c.enqueue_job(Time::ZERO, 1, size, &mut wire);
-    let sf1 = c.subflows[1].key;
-    // Drop subflow 1's initial window.
-    wire.retain(|p| p.flow != sf1);
-    let mut now = Time::ZERO;
-    let mut done = false;
-    for _round in 0..100000 {
-        now = now + Duration::from_micros(100);
-        // deliver data
-        let batch: Vec<Packet> = wire.drain(..).collect();
-        let mut acks = Vec::new();
-        for p in batch {
-            let PacketKind::Data { seq, len, dsn } = p.kind else { continue };
-            if let Some(a) = r.on_data(now, p.flow, seq, len, dsn, false) { acks.push(a); }
-        }
-        now = now + Duration::from_micros(100);
-        for a in acks {
-            let PacketKind::Ack { ackno, dack, .. } = a.kind else { unreachable!() };
-            if !c.on_ack(now, a.flow, ackno, dack, &mut wire).is_empty() { done = true; }
-        }
-        // fire due RTOs
-        for i in 0..2 {
-            if let Some(d) = c.subflows[i].rto_deadline {
-                if now >= d {
-                    let g = c.subflows[i].rto_generation;
-                    c.on_rto_timer(now, i, g, &mut wire);
+    #[test]
+    fn recovery_after_blackhole_window() {
+        // 2 subflows; the entire first window of subflow 1 is lost. Drive RTOs
+        // and verify the connection eventually completes.
+        let cfg = TcpConfig::default();
+        let mut c = MptcpConnection::new(HostId(0), HostId(1), 20_000, 80, 2, cfg);
+        let mut r = MptcpReceiver::new(HostId(0), HostId(1), 20_000, 80, 2, cfg);
+        let size = 60 * 1400u64;
+        let mut wire = Vec::new();
+        c.enqueue_job(Time::ZERO, 1, size, &mut wire);
+        let sf1 = c.subflows[1].key;
+        // Drop subflow 1's initial window.
+        wire.retain(|p| p.flow != sf1);
+        let mut now = Time::ZERO;
+        let mut done = false;
+        for _round in 0..100000 {
+            now += Duration::from_micros(100);
+            // deliver data
+            let batch: Vec<Packet> = std::mem::take(&mut wire);
+            let mut acks = Vec::new();
+            for p in batch {
+                let PacketKind::Data { seq, len, dsn } = p.kind else { continue };
+                if let Some(a) = r.on_data(now, p.flow, seq, len, dsn, false) {
+                    acks.push(a);
                 }
             }
+            now += Duration::from_micros(100);
+            for a in acks {
+                let PacketKind::Ack { ackno, dack, .. } = a.kind else { unreachable!() };
+                if !c.on_ack(now, a.flow, ackno, dack, &mut wire).is_empty() {
+                    done = true;
+                }
+            }
+            // fire due RTOs
+            for i in 0..2 {
+                if let Some(d) = c.subflows[i].rto_deadline {
+                    if now >= d {
+                        let g = c.subflows[i].rto_generation;
+                        c.on_rto_timer(now, i, g, &mut wire);
+                    }
+                }
+            }
+            if done {
+                break;
+            }
         }
-        if done { break; }
+        assert!(
+            done,
+            "connection never completed: to={} una0={} una1={} dl1={:?} wire={}",
+            c.stats.timeouts,
+            c.subflows[0].snd_una(),
+            c.subflows[1].snd_una(),
+            c.subflows[1].rto_deadline,
+            wire.len()
+        );
+        assert!(c.stats.timeouts <= 3, "too many timeouts: {}", c.stats.timeouts);
     }
-    assert!(done, "connection never completed: to={} una0={} una1={} dl1={:?} wire={}",
-        c.stats.timeouts, c.subflows[0].snd_una(), c.subflows[1].snd_una(), c.subflows[1].rto_deadline, wire.len());
-    assert!(c.stats.timeouts <= 3, "too many timeouts: {}", c.stats.timeouts);
-}
-
 }

@@ -235,8 +235,7 @@ mod tests {
 
     #[test]
     fn delayed_acks_coalesce_in_order_segments() {
-        let mut cfg = TcpConfig::default();
-        cfg.delayed_acks = true;
+        let cfg = TcpConfig { delayed_acks: true, ..TcpConfig::default() };
         let mut r = TcpReceiver::new(FlowKey::tcp(HostId(0), HostId(1), 10, 80), cfg);
         // First in-order segment: withheld.
         assert!(r.on_data_delayed(Time::ZERO, 0, 1400, false).is_none());

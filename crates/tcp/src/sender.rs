@@ -242,15 +242,10 @@ impl TcpSender {
     fn pump(&mut self, now: Time, out: &mut Vec<Packet>) {
         while self.snd_nxt < self.stream_len && self.flight() < self.effective_window() {
             let remaining_window = self.effective_window() - self.flight();
-            let len = (self.stream_len - self.snd_nxt)
-                .min(self.cfg.mss as u64)
-                .min(remaining_window.max(1)) as u32;
+            let len = (self.stream_len - self.snd_nxt).min(self.cfg.mss as u64).min(remaining_window.max(1)) as u32;
             // Do not send runt segments mid-stream while a full MSS worth
             // of window is unavailable (Nagle-ish; avoids silly windows).
-            if (len as u64) < self.cfg.mss as u64
-                && self.stream_len - self.snd_nxt > len as u64
-                && self.flight() > 0
-            {
+            if (len as u64) < self.cfg.mss as u64 && self.stream_len - self.snd_nxt > len as u64 && self.flight() > 0 {
                 break;
             }
             self.emit_segment(now, self.snd_nxt, len, out);
@@ -259,12 +254,7 @@ impl TcpSender {
     }
 
     fn emit_segment(&mut self, now: Time, seq: u64, len: u32, out: &mut Vec<Packet>) {
-        let mut pkt = Packet::new(
-            self.fresh_uid(),
-            self.cfg.wire_size(len),
-            self.key,
-            PacketKind::Data { seq, len, dsn: seq },
-        );
+        let mut pkt = Packet::new(self.fresh_uid(), self.cfg.wire_size(len), self.key, PacketKind::Data { seq, len, dsn: seq });
         pkt.sent_at = now;
         self.stats.segments_sent += 1;
         self.last_send = now;
@@ -371,8 +361,7 @@ impl TcpSender {
                         self.stats.retransmits += 1;
                         let len = ((self.recover - ackno).min(self.cfg.mss as u64)) as u32;
                         self.emit_segment(now, ackno, len, out);
-                        self.cwnd = self.cwnd.saturating_sub(acked).max(self.cfg.mss as u64)
-                            + self.cfg.mss as u64;
+                        self.cwnd = self.cwnd.saturating_sub(acked).max(self.cfg.mss as u64) + self.cfg.mss as u64;
                     }
                 }
                 Phase::SlowStart => {
@@ -416,7 +405,6 @@ impl TcpSender {
                         self.enter_fast_recovery(now, out);
                     }
                 }
-                _ => {}
             }
         }
         self.pump(now, out);
@@ -474,11 +462,7 @@ impl TcpSender {
         // this ack, so the once-per-window cut flag covers a full window.
         if ackno >= self.dctcp_window_end {
             let CongestionControl::Dctcp { g } = self.cfg.cc else { return };
-            let frac = if self.dctcp_acked > 0 {
-                self.dctcp_marked as f64 / self.dctcp_acked as f64
-            } else {
-                0.0
-            };
+            let frac = if self.dctcp_acked > 0 { self.dctcp_marked as f64 / self.dctcp_acked as f64 } else { 0.0 };
             self.dctcp_alpha = (1.0 - g) * self.dctcp_alpha + g * frac;
             self.dctcp_acked = 0;
             self.dctcp_marked = 0;
@@ -711,7 +695,7 @@ mod tests {
         loop {
             out.clear();
             let done = s.on_ack(t, s.snd_nxt.min(s.snd_una + 2800), false, None, &mut out);
-            t = t + Duration::from_micros(100);
+            t += Duration::from_micros(100);
             if !done.is_empty() {
                 break;
             }
@@ -725,8 +709,7 @@ mod tests {
 
     #[test]
     fn dctcp_cuts_proportionally_and_once_per_window() {
-        let mut cfg = TcpConfig::default();
-        cfg.cc = CongestionControl::Dctcp { g: 1.0 / 16.0 };
+        let cfg = TcpConfig { cc: CongestionControl::Dctcp { g: 1.0 / 16.0 }, ..TcpConfig::default() };
         let mut s = TcpSender::new(key(), cfg, Time::ZERO);
         let mut out = Vec::new();
         s.enqueue_job(Time::ZERO, 1, 1_000_000, &mut out);
@@ -741,7 +724,6 @@ mod tests {
         assert!(after2 >= after1, "second cut within a window happened");
         assert_eq!(s.stats.ecn_reductions, 1);
     }
-
 
     #[test]
     fn dsack_undo_reverts_spurious_cut() {
@@ -781,8 +763,8 @@ mod tests {
 
     #[test]
     fn rwnd_caps_effective_window() {
-        let mut cfg = TcpConfig::default();
-        cfg.rwnd_bytes = Some(4200); // 3 segments
+        // rwnd = 3 segments
+        let cfg = TcpConfig { rwnd_bytes: Some(4200), ..TcpConfig::default() };
         let mut s = TcpSender::new(key(), cfg, Time::ZERO);
         let mut out = Vec::new();
         s.enqueue_job(Time::ZERO, 1, 1_000_000, &mut out);
@@ -828,7 +810,7 @@ mod tests {
             acked += 1400;
             out.clear();
             s.on_ack(t, acked, false, None, &mut out);
-            t = t + Duration::from_micros(10);
+            t += Duration::from_micros(10);
         }
         let grown = s.cwnd() - w0;
         assert!((1300..1600).contains(&(grown as i64)), "CA growth {grown}");

@@ -47,13 +47,7 @@ mod tests {
     use super::*;
 
     fn spec(fanout: u32) -> IncastSpec {
-        IncastSpec {
-            client: HostId(0),
-            servers: (16..32).map(HostId).collect(),
-            object_bytes: 10_000_000,
-            fanout,
-            requests: 100,
-        }
+        IncastSpec { client: HostId(0), servers: (16..32).map(HostId).collect(), object_bytes: 10_000_000, fanout, requests: 100 }
     }
 
     #[test]

@@ -54,12 +54,7 @@ impl RpcModel {
     pub fn half_and_half(hosts: &[HostId], conns_per_client: u32, dist: FlowSizeDist) -> RpcModel {
         assert!(hosts.len() >= 2 && conns_per_client >= 1);
         let mid = hosts.len() / 2;
-        RpcModel {
-            clients: hosts[..mid].to_vec(),
-            servers: hosts[mid..].to_vec(),
-            conns_per_client,
-            dist,
-        }
+        RpcModel { clients: hosts[..mid].to_vec(), servers: hosts[mid..].to_vec(), conns_per_client, dist }
     }
 
     /// Total number of client connections.
@@ -120,12 +115,7 @@ impl RpcModel {
             for (ci, &client) in self.clients.iter().enumerate() {
                 let server = perm[ci % n];
                 used[ci].push(server);
-                plans.push(ConnectionPlan {
-                    client,
-                    server,
-                    sport: 10_000 + (ci as u16 * 64) + k as u16,
-                    dport: 5201,
-                });
+                plans.push(ConnectionPlan { client, server, sport: 10_000 + (ci as u16 * 64) + k as u16, dport: 5201 });
             }
         }
         plans
@@ -137,7 +127,7 @@ impl RpcModel {
         let mut out = Vec::with_capacity(jobs as usize);
         let mut t = Time::ZERO;
         for _ in 0..jobs {
-            t = t + Duration::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
+            t += Duration::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
             out.push(JobSpec { at: t, bytes: self.dist.sample(rng).max(1) });
         }
         out

@@ -97,32 +97,14 @@ pub fn web_search() -> FlowSizeDist {
 /// The enterprise workload (CONGA's second distribution): dominated by
 /// small flows.
 pub fn enterprise() -> FlowSizeDist {
-    FlowSizeDist::from_cdf(
-        "enterprise",
-        &[
-            (1_000, 0.15),
-            (2_000, 0.55),
-            (10_000, 0.80),
-            (100_000, 0.95),
-            (1_000_000, 0.99),
-            (10_000_000, 1.00),
-        ],
-    )
+    FlowSizeDist::from_cdf("enterprise", &[(1_000, 0.15), (2_000, 0.55), (10_000, 0.80), (100_000, 0.95), (1_000_000, 0.99), (10_000_000, 1.00)])
 }
 
 /// The data-mining workload (VL2 study): the most extreme tail.
 pub fn data_mining() -> FlowSizeDist {
     FlowSizeDist::from_cdf(
         "data-mining",
-        &[
-            (100, 0.30),
-            (1_000, 0.50),
-            (10_000, 0.60),
-            (100_000, 0.70),
-            (1_000_000, 0.80),
-            (10_000_000, 0.90),
-            (100_000_000, 1.00),
-        ],
+        &[(100, 0.30), (1_000, 0.50), (10_000, 0.60), (100_000, 0.70), (1_000_000, 0.80), (10_000_000, 0.90), (100_000_000, 1.00)],
     )
 }
 

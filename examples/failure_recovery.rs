@@ -15,7 +15,9 @@ fn main() {
         s.jobs_per_conn = 60;
         s.conns_per_client = 2;
         s.horizon = Time::from_secs(30);
-        s.fail_at = fail;
+        if let Some(at) = fail {
+            s.fail_at(at);
+        }
         let out = s.run_rpc(&web_search());
         println!(
             "{label:<22} avg FCT {:.4}s | completed {}/{} | timeouts {} | path updates {}",

@@ -45,10 +45,15 @@ fn discover(net: &mut Network<ProbeOnly>, now: Time, dst: HostId) -> Vec<u16> {
     clove::sim::run(net, &mut queue, now + clove::sim::Duration::from_millis(10));
     println!("  collected {} time-exceeded replies", net.hosts.replies);
     net.hosts.replies = 0;
-    match net.hosts.daemon.finish_round(now + clove::sim::Duration::from_millis(10), dst) {
-        Some(DiscoveryEvent::PathsUpdated { ports, .. }) => ports,
-        None => Vec::new(),
-    }
+    net.hosts
+        .daemon
+        .finish_round(now + clove::sim::Duration::from_millis(10), dst)
+        .into_iter()
+        .find_map(|ev| match ev {
+            DiscoveryEvent::PathsUpdated { ports, .. } => Some(ports),
+            _ => None,
+        })
+        .unwrap_or_default()
 }
 
 fn main() {
@@ -63,12 +68,7 @@ fn main() {
     println!("  selected outer source ports: {ports:?} -> {} distinct paths", ports.len());
 
     println!("\n-- failing one S2-L2 cable --");
-    let cable = net
-        .fabric
-        .links
-        .iter()
-        .position(|l| l.from == NodeId::Switch(SwitchId(1)) && l.to == NodeId::Switch(SwitchId(3)))
-        .expect("fabric cable");
+    let cable = net.fabric.links.iter().position(|l| l.from == NodeId::Switch(SwitchId(1)) && l.to == NodeId::Switch(SwitchId(3))).expect("fabric cable");
     net.fabric.set_link_admin(clove::net::types::LinkId(cable as u32), false);
     net.fabric.set_link_admin(clove::net::types::LinkId(cable as u32 + 1), false);
 

@@ -22,14 +22,7 @@ fn main() {
         scenario.horizon = Time::from_secs(30);
         let out = scenario.run_rpc(&dist);
         let mut fct = out.fct;
-        println!(
-            "{:<14} {:>9.4}s {:>9.4}s {:>8} {:>8}",
-            scheme.label(),
-            fct.avg(),
-            fct.p99(),
-            out.drops,
-            out.ecn_marks
-        );
+        println!("{:<14} {:>9.4}s {:>9.4}s {:>8} {:>8}", scheme.label(), fct.avg(), fct.p99(), out.drops, out.ecn_marks);
     }
     println!("\nClove-ECN steers flowlets away from the congested spine using ECN");
     println!("feedback relayed by the destination hypervisor — no guest or switch");

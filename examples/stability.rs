@@ -32,11 +32,7 @@ fn fresh_policy() -> CloveEcnPolicy {
 }
 
 fn weights(p: &CloveEcnPolicy) -> Vec<f64> {
-    p.debug_weights(DST)
-        .expect("clove-ecn exposes weights")
-        .into_iter()
-        .map(|(_, w)| w)
-        .collect()
+    p.debug_weights(DST).expect("clove-ecn exposes weights").into_iter().map(|(_, w)| w).collect()
 }
 
 /// Mean absolute per-step change of the weight vector (flap metric).
@@ -69,9 +65,7 @@ fn run_pattern(name: &str, feedback: impl Fn(u64) -> Vec<(u16, bool)>) {
 fn main() {
     println!("Clove-ECN control-loop stability (paper section 7)\n");
 
-    run_pattern("regime 1: port 10 persistently congested", |_| {
-        vec![(10, true), (20, false), (30, false), (40, false)]
-    });
+    run_pattern("regime 1: port 10 persistently congested", |_| vec![(10, true), (20, false), (30, false), (40, false)]);
 
     run_pattern("regime 2: congestion alternates between ports 10 and 20", |step| {
         if step % 2 == 0 {
@@ -81,9 +75,7 @@ fn main() {
         }
     });
 
-    run_pattern("regime 3: every path congested", |_| {
-        PORTS.iter().map(|&p| (p, true)).collect()
-    });
+    run_pattern("regime 3: every path congested", |_| PORTS.iter().map(|&p| (p, true)).collect());
 
     println!("Reading: regime 1 converges (the congested path is pinned near the");
     println!("weight floor and stays there). Regime 2 parks both flapping paths");

@@ -73,12 +73,7 @@ fn symmetric_clove_not_worse_than_ecmp() {
     // the same ballpark as ECMP (the paper shows parity at low/mid load).
     let ecmp = scenario(Scheme::Ecmp, TopologyKind::Symmetric, 0.5).run_rpc(&web_search());
     let clove = scenario(Scheme::CloveEcn, TopologyKind::Symmetric, 0.5).run_rpc(&web_search());
-    assert!(
-        clove.fct.avg() < ecmp.fct.avg() * 1.6,
-        "Clove {}s vs ECMP {}s on symmetric",
-        clove.fct.avg(),
-        ecmp.fct.avg()
-    );
+    assert!(clove.fct.avg() < ecmp.fct.avg() * 1.6, "Clove {}s vs ECMP {}s on symmetric", clove.fct.avg(), ecmp.fct.avg());
 }
 
 #[test]
@@ -87,12 +82,7 @@ fn asymmetric_clove_beats_ecmp_at_high_load() {
     // the direction must hold).
     let ecmp = scenario(Scheme::Ecmp, TopologyKind::Asymmetric, 0.7).run_rpc(&web_search());
     let clove = scenario(Scheme::CloveEcn, TopologyKind::Asymmetric, 0.7).run_rpc(&web_search());
-    assert!(
-        clove.fct.avg() < ecmp.fct.avg(),
-        "Clove {}s not better than ECMP {}s under asymmetry",
-        clove.fct.avg(),
-        ecmp.fct.avg()
-    );
+    assert!(clove.fct.avg() < ecmp.fct.avg(), "Clove {}s not better than ECMP {}s under asymmetry", clove.fct.avg(), ecmp.fct.avg());
 }
 
 #[test]
@@ -101,7 +91,7 @@ fn mid_run_failure_is_survived_and_rediscovered() {
     // (in-flight packets on the dead cable are lost; TCP recovers) and
     // the probe daemon must keep installing fresh path selections.
     let mut s = scenario(Scheme::CloveEcn, TopologyKind::Symmetric, 0.4);
-    s.fail_at = Some(Time::from_millis(50));
+    s.fail_at(Time::from_millis(50));
     s.horizon = Time::from_secs(30);
     let out = s.run_rpc(&web_search());
     assert_eq!(out.fct.incomplete, 0, "jobs lost after mid-run failure");
@@ -127,12 +117,7 @@ fn incast_mptcp_degrades_with_fanout() {
     // no better than at low fan-in (it collapses; Clove holds).
     let low = scenario(Scheme::Mptcp { subflows: 4 }, TopologyKind::Symmetric, 0.5).run_incast(2, 6, 10_000_000);
     let high = scenario(Scheme::Mptcp { subflows: 4 }, TopologyKind::Symmetric, 0.5).run_incast(16, 6, 10_000_000);
-    assert!(
-        high.goodput_bps <= low.goodput_bps * 1.15,
-        "MPTCP improved with fanout?! low={} high={}",
-        low.goodput_bps,
-        high.goodput_bps
-    );
+    assert!(high.goodput_bps <= low.goodput_bps * 1.15, "MPTCP improved with fanout?! low={} high={}", low.goodput_bps, high.goodput_bps);
     let _ = SwitchId(0);
     let _ = NodeId::Host(clove::net::types::HostId(0));
 }

@@ -33,10 +33,10 @@ fn run_discovery(net: &mut Network<ProbeSink>, now: Time, dst: HostId) -> Option
         net.fabric.host_transmit(now, src, p, &mut queue);
     }
     clove::sim::run(net, &mut queue, now + Duration::from_millis(10));
-    match net.hosts.daemon.finish_round(now + Duration::from_millis(10), dst) {
-        Some(DiscoveryEvent::PathsUpdated { ports, .. }) => Some(ports),
-        None => None,
-    }
+    net.hosts.daemon.finish_round(now + Duration::from_millis(10), dst).into_iter().find_map(|ev| match ev {
+        DiscoveryEvent::PathsUpdated { ports, .. } => Some(ports),
+        _ => None,
+    })
 }
 
 fn testbed() -> Topology {
@@ -61,10 +61,7 @@ fn discovers_four_distinct_paths_on_healthy_testbed() {
     // Four disjoint fabric paths exist; discovery should find all four.
     assert_eq!(ports.len(), 4, "found {ports:?}");
     // Each selected port must take a distinct first-hop uplink.
-    let mut uplinks: Vec<usize> = ports
-        .iter()
-        .map(|&p| first_hop_port(&net, HostId(0), HostId(16), p))
-        .collect();
+    let mut uplinks: Vec<usize> = ports.iter().map(|&p| first_hop_port(&net, HostId(0), HostId(16), p)).collect();
     uplinks.sort_unstable();
     uplinks.dedup();
     assert_eq!(uplinks.len(), 4, "ports share first hops: {uplinks:?}");
@@ -90,20 +87,10 @@ fn rediscovery_after_failure_shrinks_selection() {
     let before = run_discovery(&mut net, Time::ZERO, HostId(16)).expect("selection");
     assert_eq!(before.len(), 4);
     // Fail one S2→L2 direction pair (cable kill).
-    let ab = net
-        .fabric
-        .links
-        .iter()
-        .position(|l| l.from == NodeId::Switch(SwitchId(3)) && l.to == NodeId::Switch(SwitchId(1)))
-        .unwrap();
+    let ab = net.fabric.links.iter().position(|l| l.from == NodeId::Switch(SwitchId(3)) && l.to == NodeId::Switch(SwitchId(1))).unwrap();
     // Find its reverse.
     let (from, to) = (net.fabric.links[ab].from, net.fabric.links[ab].to);
-    let ba = net
-        .fabric
-        .links
-        .iter()
-        .position(|l| l.from == to && l.to == from)
-        .unwrap();
+    let ba = net.fabric.links.iter().position(|l| l.from == to && l.to == from).unwrap();
     net.fabric.set_link_admin(LinkId(ab as u32), false);
     net.fabric.set_link_admin(LinkId(ba as u32), false);
     let after = run_discovery(&mut net, Time::from_millis(50), HostId(16)).expect("selection");
@@ -118,17 +105,9 @@ fn rediscovery_after_failure_shrinks_selection() {
 fn discovery_works_on_fat_tree() {
     // "The path discovery mechanism can work with any topologies with
     // ECMP-based layer-3 routing" (§3.1).
-    let ft = FatTree {
-        k: 4,
-        access_bps: 10_000_000_000,
-        fabric_bps: 10_000_000_000,
-        scheme: FabricScheme::Ecmp,
-        seed: 5,
-    }
-    .build();
-    let mut cfg = DiscoveryConfig::default();
-    cfg.max_ttl = 5; // deeper fabric
-    cfg.candidates = 48;
+    let ft = FatTree { k: 4, access_bps: 10_000_000_000, fabric_bps: 10_000_000_000, scheme: FabricScheme::Ecmp, seed: 5 }.build();
+    // deeper fabric: raise the TTL ceiling and widen the candidate pool
+    let cfg = DiscoveryConfig { max_ttl: 5, candidates: 48, ..DiscoveryConfig::default() };
     let daemon = ProbeDaemon::new(HostId(0), cfg, 13);
     let mut net = Network::new(ft.fabric, ProbeSink { daemon });
     // Host 15 is in another pod: 4 distinct edge→agg→core paths exist.

@@ -32,20 +32,12 @@ fn presto_reassembly_reduces_spurious_recoveries() {
     let ef = run(Scheme::EdgeFlowlet);
     let presto_rate = presto.fast_retransmits as f64 / presto.fct.all.count().max(1) as f64;
     let ef_rate = ef.fast_retransmits as f64 / ef.fct.all.count().max(1) as f64;
-    assert!(
-        presto_rate <= ef_rate * 1.5 + 1.0,
-        "Presto reassembly ineffective: presto {presto_rate:.2} vs edge-flowlet {ef_rate:.2} FRs/flow"
-    );
+    assert!(presto_rate <= ef_rate * 1.5 + 1.0, "Presto reassembly ineffective: presto {presto_rate:.2} vs edge-flowlet {ef_rate:.2} FRs/flow");
 }
 
 #[test]
 fn presto_oracle_weights_shift_load_under_asymmetry() {
-    let mut s = Scenario::new(
-        Scheme::Presto { oracle_weights: Some(vec![0.33, 0.33, 0.17, 0.17]) },
-        TopologyKind::Asymmetric,
-        0.6,
-        99,
-    );
+    let mut s = Scenario::new(Scheme::Presto { oracle_weights: Some(vec![0.33, 0.33, 0.17, 0.17]) }, TopologyKind::Asymmetric, 0.6, 99);
     s.jobs_per_conn = 20;
     s.conns_per_client = 1;
     s.horizon = Time::from_secs(20);

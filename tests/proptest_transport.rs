@@ -15,12 +15,7 @@ fn lossy_loopback(total_bytes: u64, loss_seed: u64, loss_rate: f64) -> bool {
     // Cap the RTO backoff: with ~30% loss and exponential backoff to 2 s,
     // a legitimate (real-TCP-like) stall can outlast any finite test
     // budget; a 50 ms cap keeps the *delivery* invariant testable.
-    let cfg = TcpConfig {
-        min_rto: Duration::from_micros(500),
-        init_rto: Duration::from_millis(1),
-        max_rto: Duration::from_millis(50),
-        ..TcpConfig::default()
-    };
+    let cfg = TcpConfig { min_rto: Duration::from_micros(500), init_rto: Duration::from_millis(1), max_rto: Duration::from_millis(50), ..TcpConfig::default() };
     let key = FlowKey::tcp(HostId(0), HostId(1), 99, 80);
     let mut tx = TcpSender::new(key, cfg, Time::ZERO);
     let mut rx = TcpReceiver::new(key, cfg);
@@ -30,8 +25,8 @@ fn lossy_loopback(total_bytes: u64, loss_seed: u64, loss_rate: f64) -> bool {
     let mut now = Time::ZERO;
     let mut done = false;
     for _ in 0..200_000 {
-        now = now + Duration::from_micros(20);
-        let batch: Vec<Packet> = wire.drain(..).collect();
+        now += Duration::from_micros(20);
+        let batch: Vec<Packet> = std::mem::take(&mut wire);
         let mut acks = Vec::new();
         for p in batch {
             if rng.chance(loss_rate) {
@@ -41,7 +36,7 @@ fn lossy_loopback(total_bytes: u64, loss_seed: u64, loss_rate: f64) -> bool {
                 acks.push(rx.on_data(now, seq, len, false));
             }
         }
-        now = now + Duration::from_micros(20);
+        now += Duration::from_micros(20);
         for a in acks {
             if rng.chance(loss_rate) {
                 continue; // ack lost
@@ -92,7 +87,7 @@ proptest! {
         for dt_us in steps {
             let dt = Duration::from_micros(dt_us);
             let within = dt <= gap;
-            now = now + dt;
+            now += dt;
             let assigned = table.on_packet(now, flow, |_| {
                 next_port += 1;
                 next_port

@@ -16,20 +16,8 @@ fn assert_completes(scheme: Scheme, topology: TopologyKind) {
     let s = tiny(scheme.clone(), topology);
     let out = s.run_rpc(&web_search());
     // 16 clients × 1 conn × 3 jobs = 48 jobs.
-    assert_eq!(
-        out.fct.all.count() + out.fct.incomplete,
-        48,
-        "{}: jobs lost",
-        scheme.label()
-    );
-    assert!(
-        out.fct.all.count() >= 46,
-        "{}: only {}/48 completed (timeouts={}, drops={})",
-        scheme.label(),
-        out.fct.all.count(),
-        out.timeouts,
-        out.drops
-    );
+    assert_eq!(out.fct.all.count() + out.fct.incomplete, 48, "{}: jobs lost", scheme.label());
+    assert!(out.fct.all.count() >= 46, "{}: only {}/48 completed (timeouts={}, drops={})", scheme.label(), out.fct.all.count(), out.timeouts, out.drops);
     assert!(out.fct.avg() > 0.0, "{}: zero FCT", scheme.label());
 }
 

@@ -1,0 +1,211 @@
+//! A tiny, dependency-free re-implementation of the subset of the
+//! [criterion](https://crates.io/crates/criterion) API that this workspace's
+//! benches use. The build must work fully offline, so this shim is vendored
+//! in-tree rather than fetched from crates.io.
+//!
+//! It measures with a plain `Instant` loop and prints `name: time/iter`
+//! lines instead of criterion's statistical analysis — enough to compare
+//! hot paths locally and to keep `cargo bench` compiling and running.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft budget for the whole measurement of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not warm up.
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// No-op; criterion prints a summary here.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size, self.criterion.measurement_time);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Benchmark a closure with no distinguished input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.sample_size, self.criterion.measurement_time);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// End the group (prints nothing in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from the parameter alone.
+    pub fn from_parameter<D: Display>(param: D) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Id rendered as `name/param`.
+    pub fn new<D: Display>(name: &str, param: D) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    best_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize, budget: Duration) -> Bencher {
+        Bencher { samples, budget, best_ns_per_iter: None }
+    }
+
+    /// Time the routine; keeps the best (lowest-noise) sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit in ~1/sample_size of the budget?
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget.as_nanos() as u64 / self.samples.max(1) as u64;
+        let iters = (per_sample / once.as_nanos().max(1) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            if self.best_ns_per_iter.is_none_or(|best| ns < best) {
+                self.best_ns_per_iter = Some(ns);
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        match self.best_ns_per_iter {
+            Some(ns) if ns >= 1e6 => println!("{name}: {:.3} ms/iter", ns / 1e6),
+            Some(ns) if ns >= 1e3 => println!("{name}: {:.3} µs/iter", ns / 1e3),
+            Some(ns) => println!("{name}: {ns:.1} ns/iter"),
+            None => println!("{name}: (no samples)"),
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    criterion_group!(shim_group, sample_bench);
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+        c.bench_function("tiny", |b| b.iter(|| black_box(3u32) * black_box(7)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &5u32, |b, &v| b.iter(|| black_box(v) + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn group_macro_produces_runner() {
+        shim_group();
+    }
+}
