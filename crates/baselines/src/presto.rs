@@ -17,7 +17,7 @@ use clove_net::packet::Packet;
 use clove_net::types::{FlowKey, HostId};
 use clove_overlay::EdgePolicy;
 use clove_sim::Time;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Presto tuning.
 #[derive(Debug, Clone)]
@@ -47,14 +47,14 @@ struct FlowState {
 pub struct PrestoPolicy {
     cfg: PrestoConfig,
     /// Per-destination WRR over discovered ports.
-    wrr: HashMap<HostId, Wrr>,
-    flows: HashMap<FlowKey, FlowState>,
+    wrr: FxHashMap<HostId, Wrr>,
+    flows: FxHashMap<FlowKey, FlowState>,
 }
 
 impl PrestoPolicy {
     /// Build the policy.
     pub fn new(cfg: PrestoConfig) -> PrestoPolicy {
-        PrestoPolicy { cfg, wrr: HashMap::new(), flows: HashMap::new() }
+        PrestoPolicy { cfg, wrr: FxHashMap::default(), flows: FxHashMap::default() }
     }
 
     fn fallback_port(flow: &FlowKey, cell: u32) -> u16 {
@@ -104,6 +104,7 @@ impl EdgePolicy for PrestoPolicy {
 mod tests {
     use super::*;
     use clove_net::packet::PacketKind;
+    use std::collections::HashMap;
 
     fn pkt(sport: u16, seq: u64) -> Packet {
         Packet::new(seq, 1500, FlowKey::tcp(HostId(0), HostId(1), sport, 80), PacketKind::Data { seq, len: 1400, dsn: seq })

@@ -6,8 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use clove_core::{CloveEcnConfig, CloveEcnPolicy, FlowletConfig, FlowletTable, Wrr};
+use clove_net::codec::{decode, encode_into};
 use clove_net::hash::{ecmp_select, hash_tuple};
-use clove_net::packet::{Feedback, Packet, PacketKind};
+use clove_net::packet::{Encap, Feedback, Packet, PacketKind};
 use clove_net::types::{FlowKey, HostId};
 use clove_overlay::EdgePolicy;
 use clove_sim::{Duration, EventQueue, SimRng, Time};
@@ -86,11 +87,39 @@ fn bench_event_queue(c: &mut Criterion) {
             acc
         })
     });
+    // The pre-sizing story: one pre-sized queue reused via clear() across
+    // a 1M-event stream, the shape `event_capacity_hint` optimizes for.
+    c.bench_function("event_queue_push_pop_1M", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(1 << 20);
+        b.iter(|| {
+            q.clear();
+            for i in 0..1_000_000u64 {
+                q.push(Time::from_nanos(i * 37 % 999_983), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.event);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    c.bench_function("codec_encode_decode_roundtrip", |b| {
+        let mut pkt = Packet::new(1, 1500, FlowKey::tcp(HostId(3), HostId(17), 49_321, 7471), PacketKind::Data { seq: 4096, len: 1400, dsn: 4096 });
+        pkt.outer = Some(Encap { src: HostId(3), dst: HostId(17), sport: 51_000 });
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            encode_into(black_box(&pkt), &mut scratch).unwrap();
+            decode(black_box(&scratch), 1).unwrap()
+        })
+    });
 }
 
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ecmp_hash, bench_flowlet_table, bench_wrr_and_policy, bench_event_queue
+    targets = bench_ecmp_hash, bench_flowlet_table, bench_wrr_and_policy, bench_event_queue, bench_codec
 );
 criterion_main!(micro);

@@ -1,7 +1,7 @@
 //! Ablation studies for the design choices DESIGN.md §7 calls out.
 //!
 //! ```text
-//! cargo run --release -p clove-bench --bin ablations [--quick]
+//! cargo run --release -p clove-bench --bin ablations [--quick] [--jobs N]
 //! ```
 //!
 //! Each ablation flips one calibration decision and reports Clove-ECN's
@@ -16,21 +16,33 @@
 //!    weights" when ECN is relayed on every packet.
 //! 4. **Discovery off** (fallback hash ports) — what Clove loses without
 //!    its traceroute component (ports no longer map to disjoint paths).
+//!
+//! The ablations are independent runs, so `--jobs N` executes them
+//! concurrently; results print in ablation order regardless.
 
+use clove_harness::experiments::run_matrix;
 use clove_harness::scenario::{Scenario, TopologyKind};
 use clove_harness::Scheme;
 use clove_sim::{Duration, Time};
 use clove_workload::web_search;
 
-fn run(label: &str, tweak: impl Fn(&mut Scenario), jobs: u32) {
+/// One ablation: display label plus the scenario tweak it applies.
+/// Plain function pointers keep the cell type `Sync` for `run_matrix`.
+struct Ablation {
+    label: &'static str,
+    tweak: fn(&mut Scenario),
+}
+
+fn run(cell: &Ablation, jobs_per_conn: u32) -> String {
     let mut s = Scenario::new(Scheme::CloveEcn, TopologyKind::Asymmetric, 0.6, 4040);
-    s.jobs_per_conn = jobs;
+    s.jobs_per_conn = jobs_per_conn;
     s.conns_per_client = 2;
     s.horizon = Time::from_secs(30);
-    tweak(&mut s);
+    (cell.tweak)(&mut s);
     let out = s.run_rpc(&web_search());
-    println!(
-        "{label:<34} avg={:.4}s p99={:.4}s rtx={} undo={} timeouts={}",
+    format!(
+        "{:<34} avg={:.4}s p99={:.4}s rtx={} undo={} timeouts={}",
+        cell.label,
         out.fct.avg(),
         {
             let mut f = out.fct.clone();
@@ -39,48 +51,63 @@ fn run(label: &str, tweak: impl Fn(&mut Scenario), jobs: u32) {
         out.retransmits,
         out.spurious_undos,
         out.timeouts,
-    );
+    )
+}
+
+/// Parse `--jobs N` / `--jobs=N` (default 1 = serial).
+fn parse_jobs(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or(1);
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n >= 1).unwrap_or(1);
+        }
+    }
+    1
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let jobs = if quick { 20 } else { 100 };
-    println!("Clove-ECN ablations — asymmetric testbed, 60% load, {jobs} jobs/conn\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = parse_jobs(&args);
+    let jobs_per_conn = if quick { 20 } else { 100 };
+    println!("Clove-ECN ablations — asymmetric testbed, 60% load, {jobs_per_conn} jobs/conn\n");
 
-    run("baseline (all mechanisms on)", |_| {}, jobs);
-    run(
-        "1. DSACK undo OFF",
-        |s| {
-            s.profile.dsack_undo = false;
+    let cells = [
+        Ablation { label: "baseline (all mechanisms on)", tweak: |_| {} },
+        Ablation {
+            label: "1. DSACK undo OFF",
+            tweak: |s| {
+                s.profile.dsack_undo = false;
+            },
         },
-        jobs,
-    );
-    run(
-        "2. weight recovery OFF",
-        |s| {
-            // recovery_rho lives inside the policy config derived from the
-            // profile's loaded RTT; zero the drift via a custom profile
-            // hook: loaded_rtt stays, rho is a CloveEcnConfig field set by
-            // the scheme builder — expose through the env-independent
-            // profile knob below.
-            s.profile.clove_recovery_rho = 0.0;
+        Ablation {
+            label: "2. weight recovery OFF",
+            tweak: |s| {
+                // recovery_rho lives inside the policy config derived from
+                // the profile's loaded RTT; zero the drift via the
+                // env-independent profile knob.
+                s.profile.clove_recovery_rho = 0.0;
+            },
         },
-        jobs,
-    );
-    run(
-        "3. per-packet ECN relaying",
-        |s| {
-            s.profile.relay_interval = Duration::from_nanos(1);
+        Ablation {
+            label: "3. per-packet ECN relaying",
+            tweak: |s| {
+                s.profile.relay_interval = Duration::from_nanos(1);
+            },
         },
-        jobs,
-    );
-    run(
-        "4. flowlet gap 10x (elephant collisions)",
-        |s| {
-            s.profile.flowlet_gap = Duration::from_micros(1000);
+        Ablation {
+            label: "4. flowlet gap 10x (elephant collisions)",
+            tweak: |s| {
+                s.profile.flowlet_gap = Duration::from_micros(1000);
+            },
         },
-        jobs,
-    );
+    ];
+    for line in run_matrix(&cells, jobs, |cell| run(cell, jobs_per_conn)) {
+        println!("{line}");
+    }
     println!("\nBaseline should win or tie every ablation; the margins quantify");
     println!("each mechanism's contribution (DESIGN.md section 7).");
 }

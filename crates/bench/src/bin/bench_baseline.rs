@@ -1,0 +1,196 @@
+//! Wall-clock baseline for the figure suite: serial vs. parallel.
+//!
+//! ```text
+//! cargo run --release -p clove-bench --bin bench_baseline -- [--jobs N] [--out FILE] [--check FILE]
+//! ```
+//!
+//! Runs each smoke-scale figure group twice — `--jobs 1` and `--jobs N`
+//! (default: the machine's available parallelism) — and writes a JSON
+//! report with `{wall_s, events, events_per_sec, jobs}` per group plus
+//! the measured speedup. The committed `BENCH_baseline.json` at the repo
+//! root records the reference numbers EXPERIMENTS.md quotes.
+//!
+//! `--check FILE` compares this run's serial throughput against a
+//! previously committed report and exits non-zero if aggregate
+//! events/sec regressed by more than 30% — the CI `bench-smoke` gate.
+
+use clove_harness::experiments::{self, ExpConfig, PointCache};
+use clove_harness::json::Json;
+use std::time::Instant;
+
+/// One figure group: a name plus the runs it executes against a fresh
+/// cache. Groups mirror how `figures` shares caches (4c with 5a–5c, 8b
+/// with 9), so each group's event count is the cache's event total.
+struct Group {
+    name: &'static str,
+    run: fn(&ExpConfig, &mut PointCache),
+}
+
+const GROUPS: [Group; 4] = [
+    Group {
+        name: "fig4b",
+        run: |cfg, cache| {
+            experiments::fig4b_cached(&[0.5, 0.8], cfg, cache);
+        },
+    },
+    Group {
+        name: "fig4c+fig5",
+        run: |cfg, cache| {
+            let loads = [0.3, 0.5, 0.7];
+            experiments::fig4c_cached(&loads, cfg, cache);
+            experiments::fig5a_cached(&loads, cfg, cache);
+            experiments::fig5b_cached(&loads, cfg, cache);
+            experiments::fig5c_cached(&loads, cfg, cache);
+        },
+    },
+    Group {
+        name: "fig8a",
+        run: |cfg, cache| {
+            experiments::fig8a_cached(&[0.5, 0.8], cfg, cache);
+        },
+    },
+    Group {
+        name: "fig8b+fig9",
+        run: |cfg, cache| {
+            experiments::fig8b_cached(&[0.3, 0.5, 0.7], cfg, cache);
+            experiments::fig9_cached(cfg, cache);
+        },
+    },
+];
+
+/// One timed execution of a group at a given worker count.
+struct Sample {
+    wall_s: f64,
+    events: u64,
+    jobs: usize,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("wall_s".to_string(), Json::Num(self.wall_s)),
+            ("events".to_string(), Json::Num(self.events as f64)),
+            ("events_per_sec".to_string(), Json::Num(self.events_per_sec())),
+            ("jobs".to_string(), Json::Num(self.jobs as f64)),
+        ])
+    }
+}
+
+fn time_group(group: &Group, jobs: usize) -> Sample {
+    // Smoke scale: big enough that events/sec is stable, small enough for
+    // CI. Seeds=2 so the seed axis parallelizes too.
+    let cfg = ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs };
+    let mut cache = PointCache::new();
+    let start = Instant::now();
+    (group.run)(&cfg, &mut cache);
+    Sample { wall_s: start.elapsed().as_secs_f64(), events: cache.events, jobs }
+}
+
+fn parse_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().map(|s| s.as_str());
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let jobs = parse_flag(&args, "--jobs").and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(|| cpus.max(2));
+    let out_path = parse_flag(&args, "--out").unwrap_or("BENCH_baseline.json").to_string();
+    let check_path = parse_flag(&args, "--check").map(str::to_string);
+
+    eprintln!("bench_baseline: {cpus} cpu(s), comparing --jobs 1 vs --jobs {jobs}");
+    let mut figures = Vec::new();
+    let (mut serial_wall, mut parallel_wall, mut serial_events) = (0.0f64, 0.0f64, 0u64);
+    for group in &GROUPS {
+        let serial = time_group(group, 1);
+        let parallel = time_group(group, jobs);
+        assert_eq!(serial.events, parallel.events, "{}: event counts must not depend on --jobs", group.name);
+        eprintln!(
+            "  {:<12} serial {:.3}s  --jobs {} {:.3}s  ({:.2}x, {:.0} ev/s serial)",
+            group.name,
+            serial.wall_s,
+            jobs,
+            parallel.wall_s,
+            serial.wall_s / parallel.wall_s.max(1e-9),
+            serial.events_per_sec(),
+        );
+        serial_wall += serial.wall_s;
+        parallel_wall += parallel.wall_s;
+        serial_events += serial.events;
+        figures.push((group.name, serial, parallel));
+    }
+    let speedup = serial_wall / parallel_wall.max(1e-9);
+    let serial_eps = serial_events as f64 / serial_wall.max(1e-9);
+    eprintln!("bench_baseline: total serial {serial_wall:.3}s, --jobs {jobs} {parallel_wall:.3}s, speedup {speedup:.2}x");
+
+    let report = Json::Obj(vec![
+        ("cpus".to_string(), Json::Num(cpus as f64)),
+        ("jobs".to_string(), Json::Num(jobs as f64)),
+        (
+            "figures".to_string(),
+            Json::Arr(
+                figures
+                    .iter()
+                    .map(|(name, serial, parallel)| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(name.to_string())),
+                            ("serial".to_string(), serial.to_json()),
+                            ("parallel".to_string(), parallel.to_json()),
+                            ("speedup".to_string(), Json::Num(serial.wall_s / parallel.wall_s.max(1e-9))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "total".to_string(),
+            Json::Obj(vec![
+                ("serial_wall_s".to_string(), Json::Num(serial_wall)),
+                ("parallel_wall_s".to_string(), Json::Num(parallel_wall)),
+                ("speedup".to_string(), Json::Num(speedup)),
+                ("events".to_string(), Json::Num(serial_events as f64)),
+                ("serial_events_per_sec".to_string(), Json::Num(serial_eps)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, report.render_pretty() + "\n") {
+        eprintln!("bench_baseline: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("bench_baseline: wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let committed = match std::fs::read_to_string(&path).map_err(|e| e.to_string()).and_then(|t| Json::parse(&t)) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("bench_baseline: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let reference = committed.get("total").and_then(|t| t.get("serial_events_per_sec")).and_then(Json::as_f64).unwrap_or(0.0);
+        // 30% regression budget: CI machines are noisy, real regressions
+        // from an O(n) slip in the hot path are much larger.
+        let floor = reference * 0.7;
+        if serial_eps < floor {
+            eprintln!("bench_baseline: REGRESSION — serial {serial_eps:.0} ev/s < 70% of committed {reference:.0} ev/s");
+            std::process::exit(1);
+        }
+        eprintln!("bench_baseline: ok — serial {serial_eps:.0} ev/s vs committed {reference:.0} ev/s (floor {floor:.0})");
+    }
+}

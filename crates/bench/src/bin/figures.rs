@@ -2,12 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|headline|all] [--quick]
+//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|headline|all] [--quick] [--jobs N]
 //! ```
 //!
 //! `--quick` uses the small experiment configuration (fast, noisier);
 //! the default uses `ExpConfig::full()` (the settings behind the numbers
-//! recorded in EXPERIMENTS.md).
+//! recorded in EXPERIMENTS.md). `--jobs N` fans the experiment matrix out
+//! over N worker threads; the tables are byte-identical at any N.
 
 use clove_harness::experiments::{self, ExpConfig, PointCache};
 use clove_harness::scenario::TopologyKind;
@@ -21,11 +22,32 @@ fn emit(table: clove_harness::report::FigureTable, csv_name: &str) {
     }
 }
 
+/// Parse `--jobs N` / `--jobs=N` (default 1 = serial).
+fn parse_jobs(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or(1);
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n >= 1).unwrap_or(1);
+        }
+    }
+    1
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
+    let jobs = parse_jobs(&args);
+    let which = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--jobs"))
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| "all".into());
+    let cfg = (if quick { ExpConfig::quick() } else { ExpConfig::full() }).with_jobs(jobs);
 
     // The paper sweeps 20–90%; the reproduction reports a representative
     // subset to bound wall-clock time.

@@ -19,7 +19,7 @@ use crate::wrr::Wrr;
 use clove_net::packet::{Feedback, Packet};
 use clove_net::types::{FlowKey, HostId};
 use clove_sim::{Duration, Time};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Clove-ECN tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -70,7 +70,7 @@ pub struct CloveEcnStats {
 pub struct CloveEcnPolicy {
     cfg: CloveEcnConfig,
     flowlets: FlowletTable,
-    dsts: HashMap<HostId, DstState>,
+    dsts: FxHashMap<HostId, DstState>,
     /// Counters.
     pub stats: CloveEcnStats,
 }
@@ -78,7 +78,7 @@ pub struct CloveEcnPolicy {
 impl CloveEcnPolicy {
     /// Build the policy.
     pub fn new(cfg: CloveEcnConfig) -> CloveEcnPolicy {
-        CloveEcnPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: HashMap::new(), stats: CloveEcnStats::default(), cfg }
+        CloveEcnPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: FxHashMap::default(), stats: CloveEcnStats::default(), cfg }
     }
 
     /// Fallback port (pre-discovery): hash-spread like plain ECMP.
@@ -170,6 +170,7 @@ mod tests {
     use super::*;
     use clove_net::packet::PacketKind;
     use clove_overlay::EdgePolicy;
+    use std::collections::HashMap;
 
     const RTT: Duration = Duration(100_000); // 100us
 

@@ -18,7 +18,7 @@ use crate::paths::PathSet;
 use clove_net::packet::{Feedback, Packet};
 use clove_net::types::{FlowKey, HostId};
 use clove_sim::{Duration, Time};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Shared configuration for the utilization/latency variants.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +53,7 @@ pub struct CloveUtilStats {
 pub struct CloveIntPolicy {
     cfg: CloveUtilConfig,
     flowlets: FlowletTable,
-    dsts: HashMap<HostId, PathSet>,
+    dsts: FxHashMap<HostId, PathSet>,
     /// Counters.
     pub stats: CloveUtilStats,
 }
@@ -61,7 +61,7 @@ pub struct CloveIntPolicy {
 impl CloveIntPolicy {
     /// Build the policy.
     pub fn new(cfg: CloveUtilConfig) -> CloveIntPolicy {
-        CloveIntPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: HashMap::new(), stats: CloveUtilStats::default(), cfg }
+        CloveIntPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: FxHashMap::default(), stats: CloveUtilStats::default(), cfg }
     }
 
     fn fallback_port(flow: &FlowKey, flowlet_id: u64) -> u16 {
@@ -105,7 +105,7 @@ pub struct CloveLatencyPolicy {
     cfg: CloveUtilConfig,
     base_gap: Duration,
     flowlets: FlowletTable,
-    dsts: HashMap<HostId, PathSet>,
+    dsts: FxHashMap<HostId, PathSet>,
     /// Counters.
     pub stats: CloveUtilStats,
 }
@@ -113,7 +113,13 @@ pub struct CloveLatencyPolicy {
 impl CloveLatencyPolicy {
     /// Build the policy.
     pub fn new(cfg: CloveUtilConfig) -> CloveLatencyPolicy {
-        CloveLatencyPolicy { base_gap: cfg.flowlet.gap, flowlets: FlowletTable::new(cfg.flowlet), dsts: HashMap::new(), stats: CloveUtilStats::default(), cfg }
+        CloveLatencyPolicy {
+            base_gap: cfg.flowlet.gap,
+            flowlets: FlowletTable::new(cfg.flowlet),
+            dsts: FxHashMap::default(),
+            stats: CloveUtilStats::default(),
+            cfg,
+        }
     }
 
     /// The flowlet gap currently in force (tests the adaptive extension).

@@ -14,7 +14,10 @@
 
 use clove_net::types::FlowKey;
 use clove_sim::{Duration, Time};
+use rustc_hash::FxBuildHasher;
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 /// Flowlet detection parameters.
 #[derive(Debug, Clone, Copy)]
@@ -55,10 +58,14 @@ pub struct FlowletStats {
 }
 
 /// The per-hypervisor flowlet table.
+///
+/// Generic over the hash builder so tests can count hash invocations with a
+/// shim; production code always uses the [`FxBuildHasher`] default (the
+/// table sits on the per-packet hot path).
 #[derive(Debug)]
-pub struct FlowletTable {
+pub struct FlowletTable<S: BuildHasher = FxBuildHasher> {
     cfg: FlowletConfig,
-    entries: HashMap<FlowKey, Entry>,
+    entries: HashMap<FlowKey, Entry, S>,
     next_flowlet_id: u64,
     /// Counters.
     pub stats: FlowletStats,
@@ -67,7 +74,15 @@ pub struct FlowletTable {
 impl FlowletTable {
     /// An empty table.
     pub fn new(cfg: FlowletConfig) -> FlowletTable {
-        FlowletTable { cfg, entries: HashMap::new(), next_flowlet_id: 0, stats: FlowletStats::default() }
+        FlowletTable::with_hasher(cfg, FxBuildHasher::default())
+    }
+}
+
+impl<S: BuildHasher> FlowletTable<S> {
+    /// An empty table using a caller-provided hash builder (tests use this
+    /// with a counting shim to assert hot-path lookup counts).
+    pub fn with_hasher(cfg: FlowletConfig, hasher: S) -> FlowletTable<S> {
+        FlowletTable { cfg, entries: HashMap::with_capacity_and_hasher(64, hasher), next_flowlet_id: 0, stats: FlowletStats::default() }
     }
 
     /// Change the gap at runtime (adaptive-gap extension, paper §7).
@@ -83,28 +98,37 @@ impl FlowletTable {
     /// Classify a packet: returns the port its flowlet is pinned to.
     /// `pick` runs exactly when a new flowlet opens and chooses its port;
     /// it receives the fresh flowlet id.
+    ///
+    /// Every path through here hashes the key exactly once (`entry`): the
+    /// common no-new-flowlet case updates in place, and even the miss/
+    /// expired paths reuse the same slot instead of a second probe.
     pub fn on_packet(&mut self, now: Time, flow: FlowKey, pick: impl FnOnce(u64) -> u16) -> u16 {
         self.stats.packets += 1;
         if self.entries.len() > self.cfg.max_entries {
             self.sweep(now);
         }
-        match self.entries.get_mut(&flow) {
-            Some(e) if now.saturating_since(e.last_seen) <= self.cfg.gap => {
-                e.last_seen = now;
-                e.port
+        let gap = self.cfg.gap;
+        match self.entries.entry(flow) {
+            MapEntry::Occupied(mut occ) => {
+                let e = occ.get_mut();
+                if now.saturating_since(e.last_seen) <= gap {
+                    e.last_seen = now;
+                    e.port
+                } else {
+                    let flowlet_id = self.next_flowlet_id;
+                    self.next_flowlet_id += 1;
+                    self.stats.flowlets += 1;
+                    let port = pick(flowlet_id);
+                    *e = Entry { last_seen: now, port, flowlet_id };
+                    port
+                }
             }
-            existing => {
+            MapEntry::Vacant(vac) => {
                 let flowlet_id = self.next_flowlet_id;
                 self.next_flowlet_id += 1;
                 self.stats.flowlets += 1;
                 let port = pick(flowlet_id);
-                let entry = Entry { last_seen: now, port, flowlet_id };
-                match existing {
-                    Some(e) => *e = entry,
-                    None => {
-                        self.entries.insert(flow, entry);
-                    }
-                }
+                vac.insert(Entry { last_seen: now, port, flowlet_id });
                 port
             }
         }
@@ -246,5 +270,42 @@ mod tests {
         t.set_gap(Duration::from_micros(1000));
         let port = t.on_packet(Time::from_micros(500), flow(1), |_| 2);
         assert_eq!(port, 1, "larger gap keeps the flowlet alive");
+    }
+
+    /// A hash builder that counts how many hashers it hands out — i.e. how
+    /// many times the map hashed a key. Delegates the actual hashing to Fx.
+    #[derive(Clone)]
+    struct CountingHasher {
+        hashes: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl std::hash::BuildHasher for CountingHasher {
+        type Hasher = rustc_hash::FxHasher;
+        fn build_hasher(&self) -> Self::Hasher {
+            self.hashes.set(self.hashes.get() + 1);
+            rustc_hash::FxHasher::default()
+        }
+    }
+
+    #[test]
+    fn on_packet_hashes_key_exactly_once() {
+        let hashes = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let mut t = FlowletTable::with_hasher(FlowletConfig::with_gap(Duration::from_micros(100)), CountingHasher { hashes: hashes.clone() });
+        // `with_hasher` pre-sizes the map, so no resize-triggered rehashes
+        // muddy the counts below.
+
+        // Cold miss (vacant insert): one hash.
+        t.on_packet(Time::ZERO, flow(1), |_| 1);
+        assert_eq!(hashes.get(), 1, "vacant insert must hash once");
+
+        // Hot hit (the per-packet common case): one hash.
+        t.on_packet(Time::from_micros(10), flow(1), |_| 2);
+        assert_eq!(hashes.get(), 2, "in-gap hit must hash once");
+
+        // Expired entry (new flowlet over an occupied slot): still one hash
+        // — the slot found by `entry` is reused, not re-probed.
+        t.on_packet(Time::from_millis(10), flow(1), |_| 3);
+        assert_eq!(hashes.get(), 3, "expired-entry replacement must hash once");
+        assert_eq!(t.stats.flowlets, 2);
     }
 }

@@ -51,7 +51,7 @@ use clove_sim::{SimRng, Time};
 /// clocking, which opens flowlet gaps, which re-rolls the path.
 pub struct EdgeFlowletPolicy {
     flowlets: FlowletTable,
-    paths: std::collections::HashMap<HostId, Vec<u16>>,
+    paths: rustc_hash::FxHashMap<HostId, Vec<u16>>,
     rng: SimRng,
     /// Fallback port span used before discovery has run (hash-spread like
     /// plain ECMP so behaviour degrades gracefully, per §7 incremental
@@ -62,7 +62,7 @@ pub struct EdgeFlowletPolicy {
 impl EdgeFlowletPolicy {
     /// Create with the given flowlet gap configuration and RNG seed.
     pub fn new(flowlet: FlowletConfig, seed: u64) -> EdgeFlowletPolicy {
-        EdgeFlowletPolicy { flowlets: FlowletTable::new(flowlet), paths: std::collections::HashMap::new(), rng: SimRng::new(seed ^ 0xED6E), fallback_span: 64 }
+        EdgeFlowletPolicy { flowlets: FlowletTable::new(flowlet), paths: rustc_hash::FxHashMap::default(), rng: SimRng::new(seed ^ 0xED6E), fallback_span: 64 }
     }
 
     fn fallback_port(flow: &FlowKey, flowlet_id: u64, span: u16) -> u16 {

@@ -1,14 +1,40 @@
 //! Run a Clove experiment described by a JSON file.
 //!
 //! ```text
-//! clove-run <spec.json>     # prints a RunReport as JSON on stdout
-//! clove-run --example      # prints a commented example spec
+//! clove-run <spec.json> [--jobs N]   # prints a RunReport as JSON on stdout
+//! clove-run --example                # prints a commented example spec
 //! ```
+//!
+//! `--jobs N` fans the spec's `seeds` out over N worker threads; the
+//! report is byte-identical at any N.
 
 use clove_harness::config::ScenarioSpec;
 
+/// Parse `--jobs N` / `--jobs=N` (default 1 = serial).
+fn parse_jobs(args: &[String]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or(1);
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n >= 1).unwrap_or(1);
+        }
+    }
+    1
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parse_jobs(&args);
+    let arg = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--jobs"))
+        .map(|(_, a)| a.clone())
+        .next()
+        .or_else(|| args.iter().find(|a| *a == "--example").cloned())
+        .unwrap_or_default();
     if arg == "--example" || arg.is_empty() {
         eprintln!("usage: clove-run <spec.json> | --example");
         println!(
@@ -20,6 +46,7 @@ fn main() {
   \"jobs_per_conn\": 100,
   \"conns_per_client\": 2,
   \"seed\": 42,
+  \"seeds\": 1,
   \"horizon_secs\": 30
 }}"
         );
@@ -39,7 +66,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    match spec.run() {
+    match spec.run_jobs(jobs) {
         Ok(report) => println!("{}", report.to_json().render_pretty()),
         Err(e) => {
             eprintln!("clove-run: {e}");

@@ -209,8 +209,11 @@ pub struct ScenarioSpec {
     pub jobs_per_conn: u32,
     /// Persistent connections per client.
     pub conns_per_client: u32,
-    /// RNG seed.
+    /// RNG seed (base seed when `seeds > 1`).
     pub seed: u64,
+    /// Consecutive seeds to run and pool, starting at `seed` (default 1).
+    /// Seeds are independent runs, so they fan out across `--jobs` workers.
+    pub seeds: u32,
     /// Simulated-time ceiling in seconds.
     pub horizon_secs: u64,
     /// Optional mid-run S2–L2 failure time in milliseconds.
@@ -248,6 +251,7 @@ impl ScenarioSpec {
             jobs_per_conn: opt_u64("jobs_per_conn")?.unwrap_or(60) as u32,
             conns_per_client: opt_u64("conns_per_client")?.unwrap_or(2) as u32,
             seed: opt_u64("seed")?.unwrap_or(0),
+            seeds: opt_u64("seeds")?.unwrap_or(1).max(1) as u32,
             horizon_secs: opt_u64("horizon_secs")?.unwrap_or(30),
             fail_at_ms: opt_u64("fail_at_ms")?,
             flowlet_gap_us: opt_u64("flowlet_gap_us")?,
@@ -266,6 +270,7 @@ impl ScenarioSpec {
             ("jobs_per_conn".to_string(), Json::Num(self.jobs_per_conn as f64)),
             ("conns_per_client".to_string(), Json::Num(self.conns_per_client as f64)),
             ("seed".to_string(), Json::Num(self.seed as f64)),
+            ("seeds".to_string(), Json::Num(self.seeds as f64)),
             ("horizon_secs".to_string(), Json::Num(self.horizon_secs as f64)),
             ("fail_at_ms".to_string(), opt(self.fail_at_ms)),
             ("flowlet_gap_us".to_string(), opt(self.flowlet_gap_us)),
@@ -285,7 +290,11 @@ impl ScenarioSpec {
 
     /// Build the runnable [`Scenario`].
     pub fn to_scenario(&self) -> Scenario {
-        let mut s = Scenario::new(self.scheme.clone().into(), self.topology.into(), self.load, self.seed);
+        self.to_scenario_seeded(self.seed)
+    }
+
+    fn to_scenario_seeded(&self, seed: u64) -> Scenario {
+        let mut s = Scenario::new(self.scheme.clone().into(), self.topology.into(), self.load, seed);
         s.jobs_per_conn = self.jobs_per_conn;
         s.conns_per_client = self.conns_per_client;
         s.horizon = Time::from_secs(self.horizon_secs);
@@ -303,16 +312,38 @@ impl ScenarioSpec {
         s
     }
 
-    /// Run the RPC workload described by this spec.
+    /// Run the RPC workload described by this spec (serial).
     pub fn run(&self) -> Result<RunReport, String> {
+        self.run_jobs(1)
+    }
+
+    /// Run the RPC workload, fanning the spec's seeds out over `jobs`
+    /// worker threads. Samples are pooled in seed order, so the report is
+    /// identical at any `jobs` value.
+    pub fn run_jobs(&self, jobs: usize) -> Result<RunReport, String> {
         let dist = self.distribution()?;
-        let scenario = self.to_scenario();
-        scenario.profile.discovery_config().validate().map_err(|e| format!("invalid discovery configuration: {e}"))?;
-        let out = scenario.run_rpc(&dist);
-        let mut fct = out.fct;
+        self.to_scenario().profile.discovery_config().validate().map_err(|e| format!("invalid discovery configuration: {e}"))?;
+        let seeds: Vec<u64> = (0..self.seeds.max(1) as u64).map(|i| self.seed + i).collect();
+        let outs = crate::experiments::run_matrix(&seeds, jobs, |&seed| self.to_scenario_seeded(seed).run_rpc(&dist));
+        let mut fct: Option<clove_workload::FctSummary> = None;
+        let (mut sim_time, mut events, mut drops, mut ecn_marks, mut timeouts, mut retransmits) = (0.0f64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        for out in outs {
+            match fct.as_mut() {
+                None => fct = Some(out.fct),
+                Some(f) => f.merge(&out.fct),
+            }
+            sim_time = sim_time.max(out.sim_time.as_secs_f64());
+            events += out.events;
+            drops += out.drops;
+            ecn_marks += out.ecn_marks;
+            timeouts += out.timeouts;
+            retransmits += out.retransmits;
+        }
+        let mut fct = fct.expect("at least one seed");
         Ok(RunReport {
             scheme: format!("{:?}", self.scheme),
             load: self.load,
+            seeds: self.seeds.max(1) as u64,
             flows_completed: fct.all.count() as u64,
             flows_incomplete: fct.incomplete as u64,
             avg_fct_s: fct.avg(),
@@ -320,12 +351,12 @@ impl ScenarioSpec {
             p99_fct_s: fct.p99(),
             mice_avg_fct_s: fct.mice.mean(),
             elephant_avg_fct_s: fct.elephants.mean(),
-            sim_time_s: out.sim_time.as_secs_f64(),
-            events: out.events,
-            drops: out.drops,
-            ecn_marks: out.ecn_marks,
-            timeouts: out.timeouts,
-            retransmits: out.retransmits,
+            sim_time_s: sim_time,
+            events,
+            drops,
+            ecn_marks,
+            timeouts,
+            retransmits,
         })
     }
 }
@@ -337,6 +368,8 @@ pub struct RunReport {
     pub scheme: String,
     /// Offered load fraction.
     pub load: f64,
+    /// Seeds pooled into this report.
+    pub seeds: u64,
     /// Flows completed before the horizon.
     pub flows_completed: u64,
     /// Flows still in flight at the horizon.
@@ -371,6 +404,7 @@ impl RunReport {
         Json::Obj(vec![
             ("scheme".to_string(), Json::Str(self.scheme.clone())),
             ("load".to_string(), Json::Num(self.load)),
+            ("seeds".to_string(), Json::Num(self.seeds as f64)),
             ("flows_completed".to_string(), Json::Num(self.flows_completed as f64)),
             ("flows_incomplete".to_string(), Json::Num(self.flows_incomplete as f64)),
             ("avg_fct_s".to_string(), Json::Num(self.avg_fct_s)),
@@ -402,6 +436,7 @@ mod tests {
             jobs_per_conn: 10,
             conns_per_client: 1,
             seed: 42,
+            seeds: 1,
             horizon_secs: 10,
             fail_at_ms: Some(100),
             flowlet_gap_us: Some(150),
@@ -459,5 +494,17 @@ mod tests {
         assert!(report.flows_completed > 0);
         let out_json = report.to_json().render();
         assert!(out_json.contains("avg_fct_s"));
+    }
+
+    #[test]
+    fn multi_seed_report_is_identical_at_any_jobs_count() {
+        let json = r#"{"scheme":{"name":"clove-ecn"},"topology":{"kind":"asymmetric"},
+                       "load":0.3,"jobs_per_conn":2,"conns_per_client":1,"horizon_secs":10,
+                       "seed":7,"seeds":3}"#;
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
+        let serial = spec.run_jobs(1).unwrap();
+        let parallel = spec.run_jobs(4).unwrap();
+        assert_eq!(serial.to_json().render(), parallel.to_json().render());
+        assert_eq!(serial.seeds, 3);
     }
 }

@@ -1,4 +1,4 @@
-//! One function per paper figure.
+//! One function per paper figure, plus the parallel experiment engine.
 //!
 //! Every function returns a [`FigureTable`] whose series reproduce the
 //! corresponding plot. The `scale` knob trades fidelity for wall-clock
@@ -7,6 +7,17 @@
 //! of this reproduction use hundreds to thousands — enough for the
 //! qualitative ordering, as EXPERIMENTS.md documents). Benches use tiny
 //! scales.
+//!
+//! ## Parallelism and determinism
+//!
+//! Each `(scheme, load/fanout/case, seed)` cell is an independent
+//! simulation: the determinism contract in `clove-sim` is *per run*, so
+//! cells can execute on any worker in any order. All figure drivers funnel
+//! through [`run_matrix`], which hands back results **in cell order**
+//! regardless of completion order, and every fold below consumes them in
+//! that order (seed merges, goodput sums, fault-stat absorbs). Output is
+//! therefore byte-identical at any [`ExpConfig::jobs`] setting — the
+//! regression test `determinism_parallel.rs` pins this.
 
 use crate::report::{FigureTable, ResilienceRow, ResilienceTable};
 use crate::scenario::{Scenario, TopologyKind};
@@ -14,6 +25,7 @@ use crate::scheme::Scheme;
 use clove_net::fault::{CableSelector, FaultPlan, FaultStats};
 use clove_sim::{Duration, Time};
 use clove_workload::{web_search, FctSummary};
+use rayon::prelude::*;
 
 /// Shared experiment sizing.
 #[derive(Debug, Clone, Copy)]
@@ -26,18 +38,48 @@ pub struct ExpConfig {
     pub seeds: u32,
     /// Simulated-time ceiling per run.
     pub horizon_secs: u64,
+    /// Worker threads for the experiment matrix (1 = serial). Output is
+    /// identical at any setting; see the module docs.
+    pub jobs: usize,
 }
 
 impl ExpConfig {
     /// A configuration suitable for generating the committed figures.
     pub fn full() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60 }
+        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1 }
     }
 
     /// A tiny configuration for benches and CI smoke tests.
     pub fn quick() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10 }
+        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1 }
     }
+
+    /// The same configuration with a different worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> ExpConfig {
+        self.jobs = jobs.max(1);
+        self
+    }
+}
+
+/// Run every cell of an experiment matrix, on `jobs` worker threads, and
+/// return the results **in cell order** (never completion order).
+///
+/// This is the one fan-out primitive every figure/ablation/resilience
+/// driver goes through. Each cell must be an independent simulation run —
+/// the per-run determinism contract makes that safe — and because results
+/// come back in input order, any fold written against the serial runner
+/// produces identical bytes against the parallel one.
+pub fn run_matrix<K, R, F>(cells: &[K], jobs: usize, run: F) -> Vec<R>
+where
+    K: Sync,
+    R: Send,
+    F: Fn(&K) -> R + Send + Sync,
+{
+    if jobs <= 1 || cells.len() <= 1 {
+        return cells.iter().map(run).collect();
+    }
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(jobs).build().expect("build worker pool");
+    pool.install(|| cells.par_iter().map(run).collect())
 }
 
 /// The oracle Presto weights for the asymmetric topology (paper §5.2:
@@ -61,17 +103,32 @@ fn scenario(scheme: Scheme, topology: TopologyKind, load: f64, seed: u64, cfg: &
 /// Run one (scheme, topology, load) point over the configured seeds and
 /// pool the FCT samples.
 pub fn rpc_point(scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> FctSummary {
+    rpc_point_detailed(scheme, topology, load, cfg).0
+}
+
+/// [`rpc_point`] also reporting the total simulation events processed
+/// across the seeds (the denominator for events/sec benchmarks).
+///
+/// Seeds run as parallel cells at `cfg.jobs > 1`; the FCT merge happens
+/// in seed order either way.
+pub fn rpc_point_detailed(scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> (FctSummary, u64) {
     let dist = web_search();
-    let mut pooled: Option<FctSummary> = None;
-    for seed in 0..cfg.seeds {
-        let s = scenario(scheme.clone(), topology, load, 1000 + seed as u64, cfg);
+    let seeds: Vec<u64> = (0..cfg.seeds).map(|s| 1000 + s as u64).collect();
+    let outs = run_matrix(&seeds, cfg.jobs, |&seed| {
+        let s = scenario(scheme.clone(), topology, load, seed, cfg);
         let out = s.run_rpc(&dist);
+        (out.fct, out.events)
+    });
+    let mut pooled: Option<FctSummary> = None;
+    let mut events = 0u64;
+    for (fct, ev) in outs {
+        events += ev;
         match pooled.as_mut() {
-            None => pooled = Some(out.fct),
-            Some(p) => p.merge(&out.fct),
+            None => pooled = Some(fct),
+            Some(p) => p.merge(&fct),
         }
     }
-    pooled.expect("at least one seed")
+    (pooled.expect("at least one seed"), events)
 }
 
 /// Memoizes [`rpc_point`] results so figures sharing the same underlying
@@ -79,6 +136,9 @@ pub fn rpc_point(scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpCo
 #[derive(Default)]
 pub struct PointCache {
     entries: std::collections::HashMap<(String, bool, u64), FctSummary>,
+    /// Total simulation events processed by runs charged to this cache
+    /// (cache hits add nothing — the run already happened).
+    pub events: u64,
 }
 
 impl PointCache {
@@ -87,10 +147,63 @@ impl PointCache {
         PointCache::default()
     }
 
+    fn key(scheme: &Scheme, topology: TopologyKind, load: f64) -> (String, bool, u64) {
+        (scheme.label().to_string(), topology == TopologyKind::Asymmetric, (load * 1000.0).round() as u64)
+    }
+
     /// Fetch or compute a point.
     pub fn point(&mut self, scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> FctSummary {
-        let key = (scheme.label().to_string(), topology == TopologyKind::Asymmetric, (load * 1000.0).round() as u64);
-        self.entries.entry(key).or_insert_with(|| rpc_point(scheme, topology, load, cfg)).clone()
+        let key = Self::key(scheme, topology, load);
+        if let Some(hit) = self.entries.get(&key) {
+            return hit.clone();
+        }
+        let (fct, events) = rpc_point_detailed(scheme, topology, load, cfg);
+        self.events += events;
+        self.entries.entry(key).or_insert(fct).clone()
+    }
+
+    /// Compute every missing `(scheme, load)` point of a figure in one flat
+    /// `(scheme, load, seed)` fan-out, so parallelism spans the whole
+    /// matrix rather than just the seeds of one point.
+    ///
+    /// Results are folded grouped in cell order (scheme-major, then load,
+    /// then seed) — exactly the order the serial [`point`] path merges in,
+    /// so a prefetched cache is indistinguishable from a serially filled
+    /// one.
+    ///
+    /// [`point`]: PointCache::point
+    pub fn prefetch(&mut self, schemes: &[Scheme], topology: TopologyKind, loads: &[f64], cfg: &ExpConfig) {
+        let mut missing: Vec<(usize, f64)> = Vec::new();
+        for (si, scheme) in schemes.iter().enumerate() {
+            for &load in loads {
+                let key = Self::key(scheme, topology, load);
+                if !self.entries.contains_key(&key) && !missing.iter().any(|&(mi, ml)| Self::key(&schemes[mi], topology, ml) == key) {
+                    missing.push((si, load));
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let dist = web_search();
+        let cells: Vec<(usize, f64, u64)> = missing.iter().flat_map(|&(si, load)| (0..cfg.seeds).map(move |s| (si, load, 1000 + s as u64))).collect();
+        let results = run_matrix(&cells, cfg.jobs, |&(si, load, seed)| {
+            let s = scenario(schemes[si].clone(), topology, load, seed, cfg);
+            let out = s.run_rpc(&dist);
+            (out.fct, out.events)
+        });
+        let per_point = cfg.seeds as usize;
+        for (pi, &(si, load)) in missing.iter().enumerate() {
+            let mut pooled: Option<FctSummary> = None;
+            for (fct, events) in &results[pi * per_point..(pi + 1) * per_point] {
+                self.events += events;
+                match pooled.as_mut() {
+                    None => pooled = Some(fct.clone()),
+                    Some(p) => p.merge(fct),
+                }
+            }
+            self.entries.insert(Self::key(&schemes[si], topology, load), pooled.expect("at least one seed"));
+        }
     }
 }
 
@@ -178,21 +291,30 @@ pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
     let variants: [(&str, f64, u32); 4] =
         [("Clove-best (1*RTT, 20pkts)", 1.0, 20), ("Clove (0.2*RTT, 20pkts)", 0.2, 20), ("Clove (5*RTT, 20pkts)", 5.0, 20), ("Clove (1*RTT, 40pkts)", 1.0, 40)];
     let dist = web_search();
+    // Flat (variant, load, seed) cells, folded variant-major in cell order.
+    let cells: Vec<(usize, f64, u64)> =
+        (0..variants.len()).flat_map(|vi| loads.iter().flat_map(move |&load| (0..cfg.seeds).map(move |s| (vi, load, 2000 + s as u64)))).collect();
+    let results = run_matrix(&cells, cfg.jobs, |&(vi, load, seed)| {
+        let (_, gap_mult, ecn_pkts) = variants[vi];
+        let mut s = scenario(Scheme::CloveEcn, TopologyKind::Asymmetric, load, seed, cfg);
+        // Multipliers are relative to the default gap (≈ the loaded RTT,
+        // the paper's "1×RTT best" operating point).
+        s.profile.flowlet_gap = Duration::from_secs_f64(s.profile.flowlet_gap.as_secs_f64() * gap_mult);
+        s.profile.ecn_threshold_pkts = ecn_pkts;
+        s.run_rpc(&dist).fct
+    });
     let mut table = FigureTable::new("Fig 6 — Clove-ECN parameter sensitivity, asymmetric, avg FCT (s)", "load %", loads.iter().map(|l| l * 100.0).collect());
-    for (name, gap_mult, ecn_pkts) in variants {
+    let per_point = cfg.seeds as usize;
+    let mut chunks = results.chunks(per_point);
+    for (name, _, _) in variants {
         let mut ys = Vec::new();
-        for &load in loads {
+        for _ in loads {
+            let chunk = chunks.next().expect("cell count matches variants × loads");
             let mut pooled: Option<FctSummary> = None;
-            for seed in 0..cfg.seeds {
-                let mut s = scenario(Scheme::CloveEcn, TopologyKind::Asymmetric, load, 2000 + seed as u64, cfg);
-                // Multipliers are relative to the default gap (≈ the
-                // loaded RTT, the paper's "1×RTT best" operating point).
-                s.profile.flowlet_gap = Duration::from_secs_f64(s.profile.flowlet_gap.as_secs_f64() * gap_mult);
-                s.profile.ecn_threshold_pkts = ecn_pkts;
-                let out = s.run_rpc(&dist);
+            for fct in chunk {
                 match pooled.as_mut() {
-                    None => pooled = Some(out.fct),
-                    Some(p) => p.merge(&out.fct),
+                    None => pooled = Some(fct.clone()),
+                    Some(p) => p.merge(fct),
                 }
             }
             ys.push(pooled.expect("seed ran").avg());
@@ -205,17 +327,22 @@ pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
 /// Figure 7: incast — client goodput (Gbps) vs request fan-in.
 pub fn fig7(fanouts: &[u32], requests: u32, cfg: &ExpConfig) -> FigureTable {
     let schemes = [Scheme::CloveEcn, Scheme::EdgeFlowlet, Scheme::Mptcp { subflows: 4 }];
+    // Flat (scheme, fanout, seed) cells, folded scheme-major in cell order.
+    let cells: Vec<(usize, u32, u64)> =
+        (0..schemes.len()).flat_map(|si| fanouts.iter().flat_map(move |&fanout| (0..cfg.seeds).map(move |s| (si, fanout, 3000 + s as u64)))).collect();
+    let results = run_matrix(&cells, cfg.jobs, |&(si, fanout, seed)| {
+        let s = scenario(schemes[si].clone(), TopologyKind::Symmetric, 0.5, seed, cfg);
+        let out = s.run_incast(fanout, requests, 10_000_000);
+        out.goodput_bps / 1e9
+    });
     let mut table = FigureTable::new("Fig 7 — incast: client goodput (Gbps) vs request fan-in", "fan-in", fanouts.iter().map(|&f| f as f64).collect());
-    for scheme in schemes {
+    let per_point = cfg.seeds as usize;
+    let mut chunks = results.chunks(per_point);
+    for scheme in &schemes {
         let mut ys = Vec::new();
-        for &fanout in fanouts {
-            let mut sum = 0.0;
-            for seed in 0..cfg.seeds {
-                let s = scenario(scheme.clone(), TopologyKind::Symmetric, 0.5, 3000 + seed as u64, cfg);
-                let out = s.run_incast(fanout, requests, 10_000_000);
-                sum += out.goodput_bps / 1e9;
-            }
-            ys.push(sum / cfg.seeds as f64);
+        for _ in fanouts {
+            let chunk = chunks.next().expect("cell count matches schemes × fanouts");
+            ys.push(chunk.iter().sum::<f64>() / cfg.seeds as f64);
         }
         table.push_series(scheme.label(), ys);
     }
@@ -251,6 +378,7 @@ pub fn fig9(cfg: &ExpConfig) -> Vec<(String, Vec<(f64, f64)>)> {
 /// [`fig9`] reusing a shared run cache.
 pub fn fig9_cached(cfg: &ExpConfig, cache: &mut PointCache) -> Vec<(String, Vec<(f64, f64)>)> {
     let schemes = [Scheme::Ecmp, Scheme::CloveEcn, Scheme::Conga];
+    cache.prefetch(&schemes, TopologyKind::Asymmetric, &[0.7], cfg);
     schemes
         .into_iter()
         .map(|scheme| {
@@ -330,6 +458,14 @@ pub fn resilience_schemes() -> Vec<Scheme> {
 /// baseline, early enough that plenty of traffic runs under the fault.
 pub const RESILIENCE_FAULT_AT: Time = Time(20_000_000); // 20 ms
 
+/// Per-run payload of one resilience cell, pre-fold.
+struct ResilienceRun {
+    fct: FctSummary,
+    evictions: u64,
+    fault_stats: FaultStats,
+    recovery: Option<Duration>,
+}
+
 /// The resilience sweep: `{clean, single-cut, flapping, 50%-degraded,
 /// 1%-loss}` × `schemes` at 60% load on the symmetric testbed topology,
 /// reporting average FCT, degradation vs. the scheme's clean run, recovery
@@ -338,28 +474,38 @@ pub const RESILIENCE_FAULT_AT: Time = Time(20_000_000); // 20 ms
 pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
     let dist = web_search();
     let load = 0.6;
+    // Flat (scheme, case, seed) cells, folded scheme-major (cases in
+    // FaultCase::ALL order so `clean` arrives first) in cell order.
+    let cells: Vec<(usize, usize, u64)> =
+        (0..schemes.len()).flat_map(|si| (0..FaultCase::ALL.len()).flat_map(move |ci| (0..cfg.seeds).map(move |s| (si, ci, 4000 + s as u64)))).collect();
+    let results = run_matrix(&cells, cfg.jobs, |&(si, ci, seed)| {
+        let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg);
+        s.profile.probe_interval = Duration::from_millis(5);
+        s.faults = FaultCase::ALL[ci].plan(RESILIENCE_FAULT_AT, s.profile.probe_interval);
+        let out = s.run_rpc(&dist);
+        ResilienceRun { fct: out.fct, evictions: out.path_evictions, fault_stats: out.fault_stats, recovery: out.recovery }
+    });
     let mut table =
         ResilienceTable::new(format!("Resilience — S2-L2 faults at {} ms, symmetric, {:.0}% load", RESILIENCE_FAULT_AT.0 / 1_000_000, load * 100.0));
+    let per_point = cfg.seeds as usize;
+    let mut chunks = results.chunks(per_point);
     for scheme in schemes {
         let mut clean_avg = None;
         for case in FaultCase::ALL {
+            let chunk = chunks.next().expect("cell count matches schemes × cases");
             let mut pooled: Option<FctSummary> = None;
             let mut evictions = 0u64;
             let mut stats = FaultStats::default();
             let mut recovered_ms = Vec::new();
-            for seed in 0..cfg.seeds {
-                let mut s = scenario(scheme.clone(), TopologyKind::Symmetric, load, 4000 + seed as u64, cfg);
-                s.profile.probe_interval = Duration::from_millis(5);
-                s.faults = case.plan(RESILIENCE_FAULT_AT, s.profile.probe_interval);
-                let out = s.run_rpc(&dist);
-                evictions += out.path_evictions;
-                stats.absorb(&out.fault_stats);
-                if let Some(r) = out.recovery {
+            for run in chunk {
+                evictions += run.evictions;
+                stats.absorb(&run.fault_stats);
+                if let Some(r) = run.recovery {
                     recovered_ms.push(r.as_secs_f64() * 1e3);
                 }
                 match pooled.as_mut() {
-                    None => pooled = Some(out.fct),
-                    Some(p) => p.merge(&out.fct),
+                    None => pooled = Some(run.fct.clone()),
+                    Some(p) => p.merge(&run.fct),
                 }
             }
             let fct = pooled.expect("at least one seed");
@@ -379,7 +525,8 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
     table
 }
 
-/// Shared driver for FCT-vs-load figures.
+/// Shared driver for FCT-vs-load figures: prefetch the whole scheme × load
+/// matrix as one parallel fan-out, then assemble from cache hits.
 fn rpc_figure(
     title: &str,
     topology: TopologyKind,
@@ -389,6 +536,7 @@ fn rpc_figure(
     cache: &mut PointCache,
     metric: impl Fn(&mut FctSummary) -> f64,
 ) -> FigureTable {
+    cache.prefetch(schemes, topology, loads, cfg);
     let mut table = FigureTable::new(title, "load %", loads.iter().map(|l| l * 100.0).collect());
     for scheme in schemes {
         let ys: Vec<f64> = loads

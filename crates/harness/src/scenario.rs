@@ -18,6 +18,7 @@ use clove_net::Network;
 use clove_sim::{Duration, EventQueue, SimRng, Time};
 use clove_workload::fct::FlowRecord;
 use clove_workload::{load_to_rate, FctSummary, FlowSizeDist, IncastSpec, RpcModel};
+use rustc_hash::FxHashMap;
 use std::collections::HashMap;
 
 /// Which topology variant to run.
@@ -111,6 +112,16 @@ impl Scenario {
         }
     }
 
+    /// Pre-size the event queue from the scenario's scale: every in-flight
+    /// packet, timer and probe is one queued event, so the steady state is
+    /// roughly proportional to connections. The hint is deliberately
+    /// generous — over-reserving costs a few MB once, under-reserving costs
+    /// rehash-free but repeated `BinaryHeap` growth mid-run.
+    pub fn event_capacity_hint(&self) -> usize {
+        let conns = 64usize.max((self.conns_per_client as usize) * 64) * 4;
+        conns.next_power_of_two().clamp(1 << 16, 1 << 20)
+    }
+
     fn build_topology(&self) -> Topology {
         if let TopologyKind::FatTree { k } = self.topology {
             return clove_net::topology::FatTree {
@@ -157,7 +168,7 @@ impl Scenario {
             stack.set_jobs(plan.client, conn_idx, jobs);
         }
 
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(1 << 16);
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(self.event_capacity_hint());
         stack.bootstrap(&mut |host, tok, at| {
             queue.push(at, Event::HostTimer { host, token: tok });
         });
@@ -228,7 +239,7 @@ impl Scenario {
         let spec = IncastSpec { client, servers, object_bytes, fanout, requests };
         stack.set_incast(spec, server_conn, self.seed);
 
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(1 << 16);
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(self.event_capacity_hint());
         stack.bootstrap(&mut |host, tok, at| {
             queue.push(at, Event::HostTimer { host, token: tok });
         });
@@ -331,7 +342,7 @@ pub fn fct_windows(records: &[FlowRecord], window: Duration, rate_bps: u64, base
     if records.is_empty() || window.is_zero() {
         return Vec::new();
     }
-    let mut sums: HashMap<u64, (f64, u64)> = HashMap::new();
+    let mut sums: FxHashMap<u64, (f64, u64)> = FxHashMap::default();
     for r in records {
         let idx = r.end.0 / window.0;
         let e = sums.entry(idx).or_insert((0.0, 0));

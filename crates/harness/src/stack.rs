@@ -29,6 +29,7 @@ use clove_sim::{Duration, SimRng, Time};
 use clove_tcp::{MptcpConnection, MptcpReceiver, TcpConfig, TcpReceiver, TcpSender};
 use clove_workload::rpc::{ConnectionPlan, JobSpec};
 use clove_workload::{FctCollector, IncastSpec};
+use rustc_hash::FxHashMap;
 use std::collections::{HashMap, VecDeque};
 
 // Timer token types (low 8 bits).
@@ -57,16 +58,16 @@ pub struct Host {
 
     // --- plain TCP ---
     senders: Vec<TcpSender>,
-    sender_idx: HashMap<FlowKey, usize>, // TX key -> index
+    sender_idx: FxHashMap<FlowKey, usize>, // TX key -> index
     rto_armed: Vec<bool>,
-    receivers: HashMap<FlowKey, TcpReceiver>, // incoming-data key -> receiver
+    receivers: FxHashMap<FlowKey, TcpReceiver>, // incoming-data key -> receiver
 
     // --- MPTCP ---
     mptcp: Vec<MptcpConnection>,
-    mptcp_sub_idx: HashMap<FlowKey, (usize, usize)>, // subflow TX key -> (conn, subflow)
+    mptcp_sub_idx: FxHashMap<FlowKey, (usize, usize)>, // subflow TX key -> (conn, subflow)
     mptcp_rto_armed: Vec<Vec<bool>>,
     mptcp_rx: Vec<MptcpReceiver>,
-    mptcp_rx_idx: HashMap<FlowKey, usize>, // subflow data key -> rx index
+    mptcp_rx_idx: FxHashMap<FlowKey, usize>, // subflow data key -> rx index
 
     // --- RPC application (client side) ---
     /// Per-sender-connection job queues (absolute arrival times).
@@ -81,14 +82,14 @@ impl Host {
             daemon,
             peers: Vec::new(),
             senders: Vec::new(),
-            sender_idx: HashMap::new(),
+            sender_idx: FxHashMap::default(),
             rto_armed: Vec::new(),
-            receivers: HashMap::new(),
+            receivers: FxHashMap::default(),
             mptcp: Vec::new(),
-            mptcp_sub_idx: HashMap::new(),
+            mptcp_sub_idx: FxHashMap::default(),
             mptcp_rto_armed: Vec::new(),
             mptcp_rx: Vec::new(),
-            mptcp_rx_idx: HashMap::new(),
+            mptcp_rx_idx: FxHashMap::default(),
             jobs: Vec::new(),
         }
     }
@@ -144,6 +145,13 @@ pub struct HostStack {
     next_job_id: u64,
     /// Completion target: the run loop can stop when reached.
     pub total_jobs: u64,
+    /// Scratch buffer for outbound transport packets; always drained empty
+    /// by `ship` before the borrow ends, so its allocation is reused across
+    /// every ACK/RTO/job transmission instead of a `Vec::new()` per event.
+    tx_scratch: Vec<Packet>,
+    /// Scratch buffer for decapsulated inbound packets (same reuse deal,
+    /// receive side).
+    rx_scratch: Vec<Packet>,
 }
 
 impl HostStack {
@@ -159,7 +167,18 @@ impl HostStack {
             let daemon = scheme.host_needs_discovery(host).then(|| ProbeDaemon::new(host, profile.discovery_config(), seed));
             hosts.push(Host::new(host, vswitch, daemon));
         }
-        HostStack { hosts, profile, tcp_cfg, fct: FctCollector::new(), stats: StackStats::default(), incast: None, next_job_id: 1, total_jobs: 0 }
+        HostStack {
+            hosts,
+            profile,
+            tcp_cfg,
+            fct: FctCollector::new(),
+            stats: StackStats::default(),
+            incast: None,
+            next_job_id: 1,
+            total_jobs: 0,
+            tx_scratch: Vec::new(),
+            rx_scratch: Vec::new(),
+        }
     }
 
     /// Register a client→server connection (sender at client, receiver
@@ -337,13 +356,21 @@ impl HostStack {
         id
     }
 
-    /// Encapsulate and transmit a batch of guest packets from `host`.
-    fn ship(host: &mut Host, now: Time, pkts: Vec<Packet>, ctx: &mut HostCtx<'_>) {
-        for pkt in pkts {
-            let dst_hv = pkt.flow.dst;
-            let enc = host.vswitch.encap(now, dst_hv, pkt);
-            ctx.send(enc);
+    /// Encapsulate and transmit a batch of guest packets from `host`,
+    /// draining the caller's scratch buffer (the allocation stays with the
+    /// caller for reuse).
+    fn ship(host: &mut Host, now: Time, pkts: &mut Vec<Packet>, ctx: &mut HostCtx<'_>) {
+        for pkt in pkts.drain(..) {
+            Self::ship_one(host, now, pkt, ctx);
         }
+    }
+
+    /// Encapsulate and transmit a single guest packet — the common one-ACK
+    /// case, with no buffer at all.
+    fn ship_one(host: &mut Host, now: Time, pkt: Packet, ctx: &mut HostCtx<'_>) {
+        let dst_hv = pkt.flow.dst;
+        let enc = host.vswitch.encap(now, dst_hv, pkt);
+        ctx.send(enc);
     }
 
     /// Arm (if not already armed) the RTO timer for a plain TCP sender.
@@ -408,14 +435,14 @@ impl HostStack {
                 // MPTCP subflow?
                 if let Some(&rx_idx) = host.mptcp_rx_idx.get(&pkt.flow) {
                     if let Some(ack) = host.mptcp_rx[rx_idx].on_data(now, pkt.flow, seq, len, dsn, ce_visible) {
-                        Self::ship(host, now, vec![ack], ctx);
+                        Self::ship_one(host, now, ack, ctx);
                     }
                     return;
                 }
                 let cfg = self.tcp_cfg;
                 let rx = host.receivers.entry(pkt.flow).or_insert_with(|| TcpReceiver::new(pkt.flow, cfg));
                 let ack = rx.on_data(now, seq, len, ce_visible);
-                Self::ship(host, now, vec![ack], ctx);
+                Self::ship_one(host, now, ack, ctx);
             }
             PacketKind::Ack { ackno, dack, ece, dup } => {
                 let data_key = pkt.flow.reversed();
@@ -425,8 +452,9 @@ impl HostStack {
                 // are congested.
                 let ece_for_vm = ece || host.vswitch.should_relay_ecn_to_guest(now, data_key.dst);
                 if let Some(&(conn, _sub)) = host.mptcp_sub_idx.get(&data_key) {
-                    let mut out = Vec::new();
-                    let completions = host.mptcp[conn].on_ack(now, pkt.flow, ackno, dack, &mut out);
+                    let out = &mut self.tx_scratch;
+                    debug_assert!(out.is_empty());
+                    let completions = host.mptcp[conn].on_ack(now, pkt.flow, ackno, dack, out);
                     Self::ship(host, now, out, ctx);
                     Self::arm_all_mptcp_subflows(host, conn, ctx);
                     for c in completions {
@@ -435,8 +463,9 @@ impl HostStack {
                     return;
                 }
                 if let Some(&idx) = host.sender_idx.get(&data_key) {
-                    let mut out = Vec::new();
-                    let completions = host.senders[idx].on_ack(now, ackno, ece_for_vm, dup, &mut out);
+                    let out = &mut self.tx_scratch;
+                    debug_assert!(out.is_empty());
+                    let completions = host.senders[idx].on_ack(now, ackno, ece_for_vm, dup, out);
                     Self::ship(host, now, out, ctx);
                     Self::arm_tcp_rto(host, idx, ctx);
                     for c in completions {
@@ -458,13 +487,14 @@ impl HostStack {
         let job_id = self.fresh_job_id();
         self.fct.job_started(job_id, bytes, now);
         let host = &mut self.hosts[hi];
-        let mut out = Vec::new();
+        let out = &mut self.tx_scratch;
+        debug_assert!(out.is_empty());
         if host.mptcp.is_empty() {
-            host.senders[conn_idx].enqueue_job(now, job_id, bytes, &mut out);
+            host.senders[conn_idx].enqueue_job(now, job_id, bytes, out);
             Self::ship(host, now, out, ctx);
             Self::arm_tcp_rto(host, conn_idx, ctx);
         } else {
-            host.mptcp[conn_idx].enqueue_job(now, job_id, bytes, &mut out);
+            host.mptcp[conn_idx].enqueue_job(now, job_id, bytes, out);
             Self::ship(host, now, out, ctx);
             Self::arm_all_mptcp_subflows(host, conn_idx, ctx);
         }
@@ -483,10 +513,15 @@ impl HostLogic for HostStack {
             }
             return;
         }
-        let outcome = self.hosts[hi].vswitch.decap(now, pkt);
-        for inner in outcome.deliver {
-            self.deliver_to_guest(hi, inner, outcome.ce_visible, ctx);
+        // Reuse the receive scratch across packets; `deliver_to_guest`
+        // needs `&mut self`, so the buffer is temporarily taken out.
+        let mut deliver = std::mem::take(&mut self.rx_scratch);
+        debug_assert!(deliver.is_empty());
+        let ce_visible = self.hosts[hi].vswitch.decap_into(now, pkt, &mut deliver);
+        for inner in deliver.drain(..) {
+            self.deliver_to_guest(hi, inner, ce_visible, ctx);
         }
+        self.rx_scratch = deliver;
     }
 
     fn on_timer(&mut self, host: HostId, tok: u64, ctx: &mut HostCtx<'_>) {
@@ -518,9 +553,10 @@ impl HostLogic for HostStack {
                         Self::arm_tcp_rto(host_state, idx, ctx);
                     }
                     Some(_) => {
-                        let mut out = Vec::new();
+                        let out = &mut self.tx_scratch;
+                        debug_assert!(out.is_empty());
                         let generation = sender.rto_generation;
-                        sender.on_rto_timer(now, generation, &mut out);
+                        sender.on_rto_timer(now, generation, out);
                         self.stats.timeouts += 1;
                         Self::ship(host_state, now, out, ctx);
                         Self::arm_tcp_rto(host_state, idx, ctx);
@@ -537,9 +573,10 @@ impl HostLogic for HostStack {
                     None => {}
                     Some(d) if now < d => Self::arm_mptcp_rto(host_state, conn, sub, ctx),
                     Some(_) => {
-                        let mut out = Vec::new();
+                        let out = &mut self.tx_scratch;
+                        debug_assert!(out.is_empty());
                         let generation = host_state.mptcp[conn].subflows[sub].rto_generation;
-                        host_state.mptcp[conn].on_rto_timer(now, sub, generation, &mut out);
+                        host_state.mptcp[conn].on_rto_timer(now, sub, generation, out);
                         self.stats.timeouts += 1;
                         Self::ship(host_state, now, out, ctx);
                         Self::arm_mptcp_rto(host_state, conn, sub, ctx);

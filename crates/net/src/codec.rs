@@ -77,10 +77,26 @@ const INNER: usize = ipv4::LEN + tcp::LEN;
 /// Encode a data/ack/probe packet into bytes. Payload bytes are zeros
 /// (the simulator never materializes application data); their *length*
 /// is preserved so sizes round-trip.
+///
+/// Allocates a fresh buffer per call; loops should prefer [`encode_into`]
+/// with a reused scratch buffer.
 pub fn encode(pkt: &Packet) -> Result<Vec<u8>, CodecError> {
+    let mut buf = Vec::new();
+    encode_into(pkt, &mut buf)?;
+    Ok(buf)
+}
+
+/// Encode a packet into a caller-provided scratch buffer.
+///
+/// The buffer is cleared and refilled; its backing allocation is reused, so
+/// encoding a stream of packets through one scratch `Vec` allocates only on
+/// high-water-mark growth instead of once per packet. On error the buffer
+/// contents are unspecified (but the buffer is still safe to reuse).
+pub fn encode_into(pkt: &Packet, buf: &mut Vec<u8>) -> Result<(), CodecError> {
+    buf.clear();
     match pkt.kind {
-        PacketKind::Data { .. } | PacketKind::Ack { .. } | PacketKind::FeedbackOnly => encode_tcp(pkt),
-        PacketKind::Probe { .. } | PacketKind::ProbeReply { .. } => encode_probe(pkt),
+        PacketKind::Data { .. } | PacketKind::Ack { .. } | PacketKind::FeedbackOnly => encode_tcp(pkt, buf),
+        PacketKind::Probe { .. } | PacketKind::ProbeReply { .. } => encode_probe(pkt, buf),
         PacketKind::HulaProbe { .. } => Err(CodecError::Unsupported),
     }
 }
@@ -152,7 +168,7 @@ fn encode_inner(buf: &mut [u8], pkt: &Packet, payload_len: usize) -> Result<(), 
     Ok(())
 }
 
-fn encode_tcp(pkt: &Packet) -> Result<Vec<u8>, CodecError> {
+fn encode_tcp(pkt: &Packet, buf: &mut Vec<u8>) -> Result<(), CodecError> {
     let payload_len = match pkt.kind {
         PacketKind::Data { len, .. } => len as usize,
         _ => 0,
@@ -160,14 +176,14 @@ fn encode_tcp(pkt: &Packet) -> Result<Vec<u8>, CodecError> {
     match &pkt.outer {
         Some(e) => {
             let total = OUTER + INNER + payload_len;
-            let mut buf = vec![0u8; total];
+            buf.resize(total, 0);
             encode_outer(&mut buf[..OUTER], pkt, e, total as u16);
             encode_inner(&mut buf[OUTER..OUTER + INNER], pkt, payload_len)?;
-            Ok(buf)
+            Ok(())
         }
         None => {
             let total = INNER + payload_len;
-            let mut buf = vec![0u8; total];
+            buf.resize(total, 0);
             encode_inner(&mut buf[..INNER], pkt, payload_len)?;
             // Non-overlay: the routed ECN bits live on the inner header.
             let mut iip = ipv4::HeaderView::new_unchecked(&mut buf[..ipv4::LEN]);
@@ -179,19 +195,19 @@ fn encode_tcp(pkt: &Packet) -> Result<Vec<u8>, CodecError> {
             iip.set_ecn(ecn);
             iip.set_ttl(pkt.ttl);
             iip.fill_checksum();
-            Ok(buf)
+            Ok(())
         }
     }
 }
 
-fn encode_probe(pkt: &Packet) -> Result<Vec<u8>, CodecError> {
+fn encode_probe(pkt: &Packet, buf: &mut Vec<u8>) -> Result<(), CodecError> {
     let e = pkt.outer.as_ref();
     let (src, dst, sport) = match e {
         Some(e) => (e.src, e.dst, e.sport),
         None => (pkt.flow.src, pkt.flow.dst, pkt.flow.sport),
     };
     let total = ipv4::LEN + tcp::LEN + probe::LEN;
-    let mut buf = vec![0u8; total];
+    buf.resize(total, 0);
     let mut ip = ipv4::HeaderView::new_unchecked(&mut buf[..ipv4::LEN]);
     ip.init();
     ip.set_protocol(PROTO_TCP);
@@ -212,7 +228,7 @@ fn encode_probe(pkt: &Packet) -> Result<Vec<u8>, CodecError> {
         _ => return Err(CodecError::Layout),
     };
     payload.emit(&mut buf[ipv4::LEN + tcp::LEN..])?;
-    Ok(buf)
+    Ok(())
 }
 
 /// Decode bytes produced by [`encode`] back into a structured packet.
@@ -409,6 +425,30 @@ mod tests {
             }
             _ => panic!("wrong kind"),
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_scratch_without_stale_bytes() {
+        let mut scratch = Vec::new();
+        // Big packet first, then a small one: the shrink must not leave
+        // stale tail bytes visible, and the allocation must be reused.
+        let big = data_pkt();
+        encode_into(&big, &mut scratch).unwrap();
+        assert_eq!(scratch.len(), OUTER + INNER + 1400);
+        let cap = scratch.capacity();
+
+        let mut small = Packet::new(5, 0, FlowKey::tcp(HostId(1), HostId(2), 7000, 5201), PacketKind::Data { seq: 0, len: 64, dsn: 0 });
+        small.ttl = 60;
+        encode_into(&small, &mut scratch).unwrap();
+        assert_eq!(scratch.len(), INNER + 64);
+        assert_eq!(scratch.capacity(), cap, "scratch allocation must be reused");
+        assert_eq!(scratch, encode(&small).unwrap(), "scratch encode must match fresh encode");
+
+        // And the reverse order round-trips too.
+        encode_into(&big, &mut scratch).unwrap();
+        assert_eq!(scratch, encode(&big).unwrap());
+        let back = decode(&scratch, 7).unwrap();
+        assert_eq!(back.flow, big.flow);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::types::{FlowKey, HostId, LinkId, SwitchId};
 use clove_sim::{Duration, Time};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Configuration for LetFlow's in-switch flowlet table.
 #[derive(Debug, Clone, Copy)]
@@ -89,14 +89,14 @@ pub struct FlowletEntry {
 pub struct CongaState {
     /// `congestion_to_leaf[dst_leaf][lbtag]` — remote path congestion
     /// learned from feedback, with the time it was last refreshed.
-    pub to_leaf: HashMap<u32, Vec<(u8, Time)>>,
+    pub to_leaf: FxHashMap<u32, Vec<(u8, Time)>>,
     /// `congestion_from_leaf[src_leaf][lbtag]` — metrics observed on
     /// arriving packets, to be fed back to that leaf.
-    pub from_leaf: HashMap<u32, Vec<(u8, Time)>>,
+    pub from_leaf: FxHashMap<u32, Vec<(u8, Time)>>,
     /// Round-robin cursor per destination leaf for feedback piggybacking.
-    pub fb_cursor: HashMap<u32, usize>,
+    pub fb_cursor: FxHashMap<u32, usize>,
     /// Flowlet table keyed by the routed five-tuple.
-    pub flowlets: HashMap<FlowKey, FlowletEntry>,
+    pub flowlets: FxHashMap<FlowKey, FlowletEntry>,
 }
 
 /// A fabric switch. All fields are plain data; behaviour lives in
@@ -116,12 +116,12 @@ pub struct Switch {
     /// True for ToR/leaf switches (CONGA's decision points).
     pub is_leaf: bool,
     /// LetFlow flowlet table (lazily used when the scheme is LetFlow).
-    pub letflow_table: HashMap<FlowKey, FlowletEntry>,
+    pub letflow_table: FxHashMap<FlowKey, FlowletEntry>,
     /// CONGA state (used when the scheme is CONGA and `is_leaf`).
     pub conga: CongaState,
     /// HULA best-hop table: ToR id → (local port, path utilization ‰,
     /// last refresh).
-    pub hula_best: HashMap<u32, (usize, u16, Time)>,
+    pub hula_best: FxHashMap<u32, (usize, u16, Time)>,
 }
 
 impl Switch {
@@ -133,9 +133,9 @@ impl Switch {
             routes: Vec::new(),
             seed,
             is_leaf,
-            letflow_table: HashMap::new(),
+            letflow_table: FxHashMap::default(),
             conga: CongaState::default(),
-            hula_best: HashMap::new(),
+            hula_best: FxHashMap::default(),
         }
     }
 

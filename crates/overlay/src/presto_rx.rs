@@ -12,7 +12,8 @@
 use clove_net::packet::{Packet, PacketKind};
 use clove_net::types::FlowKey;
 use clove_sim::{Duration, Time};
-use std::collections::{BTreeMap, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 
 /// Reassembly configuration.
 #[derive(Debug, Clone, Copy)]
@@ -54,7 +55,7 @@ pub struct ReassemblyStats {
 #[derive(Debug)]
 pub struct PrestoReassembly {
     cfg: ReassemblyConfig,
-    flows: HashMap<FlowKey, FlowBuf>,
+    flows: FxHashMap<FlowKey, FlowBuf>,
     /// Counters.
     pub stats: ReassemblyStats,
 }
@@ -62,7 +63,7 @@ pub struct PrestoReassembly {
 impl PrestoReassembly {
     /// A fresh engine.
     pub fn new(cfg: ReassemblyConfig) -> PrestoReassembly {
-        PrestoReassembly { cfg, flows: HashMap::new(), stats: ReassemblyStats::default() }
+        PrestoReassembly { cfg, flows: FxHashMap::default(), stats: ReassemblyStats::default() }
     }
 
     /// Accept a data segment; returns the segments now deliverable to the

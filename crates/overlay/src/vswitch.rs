@@ -19,7 +19,7 @@ use crate::presto_rx::{PrestoReassembly, ReassemblyConfig};
 use clove_net::packet::{Encap, Feedback, Packet};
 use clove_net::types::HostId;
 use clove_sim::{Duration, Time};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// The pluggable path-selection policy: where ECMP, Presto, Edge-Flowlet,
 /// Clove-ECN, Clove-INT and Clove-Latency differ.
@@ -149,7 +149,7 @@ pub struct VSwitch {
     pub cfg: VSwitchConfig,
     policy: Box<dyn EdgePolicy>,
     /// Receive-side feedback state per source hypervisor.
-    collectors: HashMap<HostId, FeedbackCollector>,
+    collectors: FxHashMap<HostId, FeedbackCollector>,
     presto: Option<PrestoReassembly>,
     /// Non-overlay restoration map is implicit (the original port rides in
     /// a TCP option, `Packet::orig_sport`).
@@ -160,7 +160,14 @@ pub struct VSwitch {
 impl VSwitch {
     /// Build a vswitch with the given policy.
     pub fn new(host: HostId, cfg: VSwitchConfig, policy: Box<dyn EdgePolicy>) -> VSwitch {
-        VSwitch { host, cfg, policy, collectors: HashMap::new(), presto: cfg.presto_reassembly.map(PrestoReassembly::new), stats: VSwitchStats::default() }
+        VSwitch {
+            host,
+            cfg,
+            policy,
+            collectors: FxHashMap::default(),
+            presto: cfg.presto_reassembly.map(PrestoReassembly::new),
+            stats: VSwitchStats::default(),
+        }
     }
 
     /// The policy, for discovery-daemon updates and inspection.
@@ -199,7 +206,25 @@ impl VSwitch {
     }
 
     /// Decapsulate an inbound packet from the fabric.
-    pub fn decap(&mut self, now: Time, mut pkt: Packet) -> DeliverOutcome {
+    ///
+    /// Allocates a fresh delivery `Vec` per call; the per-packet hot path
+    /// should prefer [`decap_into`] with a reused scratch buffer.
+    ///
+    /// [`decap_into`]: VSwitch::decap_into
+    pub fn decap(&mut self, now: Time, pkt: Packet) -> DeliverOutcome {
+        let mut deliver = Vec::new();
+        let ce_visible = self.decap_into(now, pkt, &mut deliver);
+        DeliverOutcome { deliver, ce_visible }
+    }
+
+    /// Decapsulate an inbound packet, appending any guest-deliverable inner
+    /// packets to `out` (in order). Returns whether the guest should see a
+    /// CE mark on this delivery.
+    ///
+    /// `out` is a caller-owned scratch buffer: it is *not* cleared here, so
+    /// the caller controls reuse and the common one-packet delivery costs no
+    /// allocation once the buffer has warmed up.
+    pub fn decap_into(&mut self, now: Time, mut pkt: Packet, out: &mut Vec<Packet>) -> bool {
         self.stats.decapped += 1;
         // 1. Absorb piggybacked feedback about *our* forward paths.
         if let Some(fb) = pkt.feedback.take() {
@@ -241,11 +266,11 @@ impl VSwitch {
         //    harness consults `all_paths_congested` on the ACK path).
         let ce_visible = ce_on_wire && self.cfg.feedback_mode == FeedbackMode::None && self.cfg.set_ect;
         // 5. Presto reassembly.
-        let deliver = match (&mut self.presto, pkt.is_data()) {
-            (Some(engine), true) => engine.on_data(now, pkt),
-            _ => vec![pkt],
-        };
-        DeliverOutcome { deliver, ce_visible }
+        match (&mut self.presto, pkt.is_data()) {
+            (Some(engine), true) => out.extend(engine.on_data(now, pkt)),
+            _ => out.push(pkt),
+        }
+        ce_visible
     }
 
     /// Presto: flush reassembly buffers whose timeout expired (driven by a

@@ -93,13 +93,43 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Total events ever pushed (for run statistics).
+    /// Total events ever pushed over the queue's whole lifetime (for run
+    /// statistics). This counter deliberately survives [`clear`]: a cleared
+    /// queue is the *same* queue being reused, and run accounting wants the
+    /// grand total, not a per-epoch count. Callers that need per-epoch
+    /// deltas should snapshot `total_pushed()` before the epoch.
+    ///
+    /// [`clear`]: EventQueue::clear
     pub fn total_pushed(&self) -> u64 {
         self.pushed
     }
 
-    /// Drop all pending events (keeps the sequence counter so determinism of
-    /// later pushes relative to each other is preserved).
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reserve capacity for at least `additional` more events beyond the
+    /// current pending count. Used to pre-size the queue from a scenario's
+    /// scale so the steady state never reallocates mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Drop all pending events, keeping the allocation for reuse.
+    ///
+    /// Reuse semantics — both counters survive on purpose:
+    ///
+    /// * `next_seq` keeps counting, so events pushed after a `clear` still
+    ///   tie-break deterministically against each other (and a post-clear
+    ///   push can never collide with a stale `(time, seq)` pair from before
+    ///   the clear).
+    /// * [`total_pushed`] keeps counting lifetime pushes; see its docs.
+    ///
+    /// The heap's backing allocation is retained, so clear-and-refill
+    /// cycles (e.g. chunked horizon runs) do not reallocate.
+    ///
+    /// [`total_pushed`]: EventQueue::total_pushed
     pub fn clear(&mut self) {
         self.heap.clear();
     }
@@ -154,6 +184,35 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn clear_and_reuse_keeps_counters_and_capacity() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        q.push(Time::from_micros(1), 0);
+        q.push(Time::from_micros(1), 1);
+        q.clear();
+        // Counters survive the clear...
+        assert_eq!(q.total_pushed(), 2);
+        assert!(q.is_empty());
+        // ...and so does the allocation.
+        assert_eq!(q.capacity(), cap);
+        // seq keeps counting: post-clear same-instant pushes still pop in
+        // insertion order.
+        q.push(Time::from_micros(1), 10);
+        q.push(Time::from_micros(1), 11);
+        assert_eq!(q.pop().unwrap().event, 10);
+        assert_eq!(q.pop().unwrap().event, 11);
+        assert_eq!(q.total_pushed(), 4);
+    }
+
+    #[test]
+    fn reserve_grows_capacity() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.reserve(1000);
+        assert!(q.capacity() >= 1000);
     }
 
     #[test]

@@ -141,13 +141,38 @@ proptest! {
 }
 
 mod codec_props {
-    use clove::net::codec::{decode, encode};
+    use clove::net::codec::{decode, encode, encode_into};
     use clove::net::packet::{Encap, Feedback, Packet, PacketKind};
     use clove::net::types::{FlowKey, HostId};
     use clove::sim::Duration;
     use proptest::prelude::*;
 
     proptest! {
+        #[test]
+        fn encode_into_matches_encode_across_scratch_reuse(
+            src in 0u32..1000, dst in 0u32..1000,
+            sport in 1024u16..u16::MAX, dport in 1u16..1024,
+            osport in 49152u16..u16::MAX,
+            seq in 0u64..u32::MAX as u64,
+            lens in prop::collection::vec(1u32..9000, 1..6),
+        ) {
+            // One scratch buffer across a mixed-size packet stream must
+            // produce byte-identical output to per-packet allocation.
+            let mut scratch = Vec::new();
+            for (i, len) in lens.into_iter().enumerate() {
+                let mut p = Packet::new(
+                    i as u64, 0,
+                    FlowKey::tcp(HostId(src), HostId(dst), sport, dport),
+                    PacketKind::Data { seq, len, dsn: seq },
+                );
+                p.outer = Some(Encap { src: HostId(src), dst: HostId(dst), sport: osport });
+                encode_into(&p, &mut scratch).unwrap();
+                prop_assert_eq!(&scratch, &encode(&p).unwrap());
+                let back = decode(&scratch, i as u64).unwrap();
+                prop_assert_eq!(back.flow, p.flow);
+            }
+        }
+
         #[test]
         fn overlay_data_round_trips_all_fields(
             src in 0u32..1000, dst in 0u32..1000,

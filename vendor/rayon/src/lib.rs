@@ -1,0 +1,276 @@
+#![warn(missing_docs)]
+
+//! A tiny, dependency-free facade over the subset of the
+//! [rayon](https://crates.io/crates/rayon) API the experiment runner uses.
+//! The build must work fully offline, so this shim is vendored in-tree
+//! (same treatment as the `criterion` and `proptest` facades).
+//!
+//! Supported surface:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — pick a worker count
+//!   and run a closure under it.
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — the one parallel shape
+//!   the harness needs: map an indexed work-list and get results back **in
+//!   input order**, regardless of completion order.
+//! * [`current_num_threads`] — how wide the ambient pool is.
+//!
+//! Implementation: `std::thread::scope` with an atomic work-claiming
+//! counter. Each worker claims the next unprocessed index, computes the
+//! result, and records `(index, result)`; the caller merges and sorts by
+//! index, so output order is the input order — the property the harness's
+//! byte-identical-CSV determinism test relies on. Worker panics propagate
+//! to the caller when the scope joins, matching rayon's behavior.
+//!
+//! Unlike real rayon there is no work-stealing deque and no global pool:
+//! threads are spawned per `collect` call. The harness's jobs are whole
+//! simulation runs (hundreds of milliseconds to minutes), so the few tens
+//! of microseconds of thread spawn overhead are irrelevant here.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Re-exports to mirror `rayon::prelude::*` at call sites.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+thread_local! {
+    /// Worker count installed by [`ThreadPool::install`]; `None` means the
+    /// ambient default (all available cores).
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of worker threads parallel iterators will use in this context.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured width;
+/// elsewhere it is the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim cannot actually
+/// fail to build a pool (there is nothing to allocate up front), so this is
+/// never constructed today; it exists so call sites match real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads. `0` means "use the default"
+    /// (available parallelism), matching rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Finish building the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: just a configured width in this shim — worker
+/// threads are spawned per parallel call rather than kept warm.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's width installed as the ambient
+    /// parallelism, restoring the previous width afterwards (even on
+    /// panic). Parallel iterators inside `op` use this width.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let prev = CURRENT_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Types that can hand out a parallel iterator over `&Self` items
+/// (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a slice (`slice.par_iter()`).
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f`, to be collected later.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { slice: self.slice, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> fmt::Debug for ParMap<'a, T, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParMap").field("len", &self.slice.len()).finish()
+    }
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute the map across the ambient pool width and collect results
+    /// **in input order** (never completion order).
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = current_num_threads().max(1);
+        let items = self.slice;
+        if n == 1 || items.len() <= 1 {
+            return items.iter().map(&self.f).collect();
+        }
+
+        let workers = n.min(items.len());
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    collected.lock().expect("result mutex poisoned").extend(local);
+                });
+            }
+        });
+        let mut results = collected.into_inner().expect("result mutex poisoned");
+        results.sort_by_key(|&(i, _)| i);
+        debug_assert_eq!(results.len(), items.len());
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect::<Vec<_>>());
+        assert_eq!(out, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_sets_and_restores_width() {
+        let before = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn serial_path_used_for_single_thread() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| [10usize, 20, 30].par_iter().map(|&x| x + 1).collect::<Vec<_>>());
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<u32> = (0..64).collect();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| input.par_iter().map(|&x| if x == 13 { panic!("boom") } else { x }).collect::<Vec<_>>())
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let pool = ThreadPoolBuilder::new().num_threads(16).build().unwrap();
+        let out: Vec<u8> = pool.install(|| [1u8, 2].par_iter().map(|&x| x).collect::<Vec<_>>());
+        assert_eq!(out, vec![1, 2]);
+    }
+}
