@@ -87,7 +87,7 @@ impl Sample {
 fn time_group(group: &Group, jobs: usize) -> Sample {
     // Smoke scale: big enough that events/sec is stable, small enough for
     // CI. Seeds=2 so the seed axis parallelizes too.
-    let cfg = ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs };
+    let cfg = ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs, strict: false };
     let mut cache = PointCache::new();
     let start = Instant::now();
     (group.run)(&cfg, &mut cache);

@@ -2,13 +2,15 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|headline|all] [--quick] [--jobs N]
+//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|feedback|headline|all] [--quick] [--jobs N] [--strict]
 //! ```
 //!
 //! `--quick` uses the small experiment configuration (fast, noisier);
 //! the default uses `ExpConfig::full()` (the settings behind the numbers
 //! recorded in EXPERIMENTS.md). `--jobs N` fans the experiment matrix out
 //! over N worker threads; the tables are byte-identical at any N.
+//! `--strict` runs every cell under the invariant monitor and aborts on
+//! any violation.
 
 use clove_harness::experiments::{self, ExpConfig, PointCache};
 use clove_harness::scenario::TopologyKind;
@@ -39,6 +41,7 @@ fn parse_jobs(args: &[String]) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let strict = args.iter().any(|a| a == "--strict");
     let jobs = parse_jobs(&args);
     let which = args
         .iter()
@@ -47,7 +50,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .next()
         .unwrap_or_else(|| "all".into());
-    let cfg = (if quick { ExpConfig::quick() } else { ExpConfig::full() }).with_jobs(jobs);
+    let cfg = (if quick { ExpConfig::quick() } else { ExpConfig::full() }).with_jobs(jobs).with_strict(strict);
 
     // The paper sweeps 20–90%; the reproduction reports a representative
     // subset to bound wall-clock time.
@@ -108,6 +111,14 @@ fn main() {
         if std::env::var_os("CLOVE_SAVE_CSV").is_some() {
             let _ = std::fs::create_dir_all("results");
             let _ = std::fs::write("results/resilience.csv", table.to_csv());
+        }
+    }
+    if run_fig("feedback") {
+        let table = experiments::feedback_degradation(&experiments::resilience_schemes(), &cfg);
+        println!("{}", table.render());
+        if std::env::var_os("CLOVE_SAVE_CSV").is_some() {
+            let _ = std::fs::create_dir_all("results");
+            let _ = std::fs::write("results/feedback.csv", table.to_csv());
         }
     }
     if run_fig("headline") {

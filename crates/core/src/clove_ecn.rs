@@ -37,13 +37,38 @@ pub struct CloveEcnConfig {
     /// path cut during a transient can only recover when *other* paths get
     /// cut.
     pub recovery_rho: f64,
+    /// When the freshest feedback for a destination is older than this,
+    /// learned weights are considered stale and start decaying toward
+    /// uniform on the data path (degradation ladder, first rung).
+    pub stale_horizon: Duration,
+    /// When the freshest feedback is older than this, weights are not
+    /// trusted at all: new flowlets hash-spread uniformly over the
+    /// discovered ports (Edge-Flowlet behaviour, bottom rung).
+    pub dead_horizon: Duration,
+    /// Decay rate applied while stale (per decay step).
+    pub stale_rho: f64,
+    /// Minimum spacing between stale-decay steps — the decay is applied
+    /// lazily on the data path, so this bounds how fast it can run.
+    pub stale_decay_interval: Duration,
 }
 
 impl CloveEcnConfig {
     /// Defaults scaled for a base RTT: gap = 1×RTT (the paper's best
-    /// testbed setting, Figure 6), window = 2×RTT.
+    /// testbed setting, Figure 6), window = 2×RTT. Staleness horizons are
+    /// generous multiples of RTT: feedback normally arrives every ~RTT, so
+    /// 16×RTT of silence means the control loop is broken, and 64×RTT
+    /// means it has been broken long enough to forget everything.
     pub fn for_rtt(rtt: Duration) -> CloveEcnConfig {
-        CloveEcnConfig { flowlet: FlowletConfig::with_gap(rtt), weight_cut: 1.0 / 3.0, congested_window: rtt * 2, recovery_rho: 0.01 }
+        CloveEcnConfig {
+            flowlet: FlowletConfig::with_gap(rtt),
+            weight_cut: 1.0 / 3.0,
+            congested_window: rtt * 2,
+            recovery_rho: 0.01,
+            stale_horizon: rtt * 16,
+            dead_horizon: rtt * 64,
+            stale_rho: 0.1,
+            stale_decay_interval: rtt * 2,
+        }
     }
 }
 
@@ -51,6 +76,14 @@ impl CloveEcnConfig {
 struct DstState {
     paths: PathSet,
     wrr: Wrr,
+    /// Last time a stale-decay step ran (rate-limits the lazy decay).
+    last_stale_decay: Time,
+    /// Last data-path transmission toward this destination.
+    last_tx: Time,
+    /// Start of the current continuously-transmitting span. Silence is
+    /// only evidence of control-plane trouble while we are sending — an
+    /// idle destination owes us no feedback.
+    silence_base: Time,
 }
 
 /// Policy counters.
@@ -64,6 +97,11 @@ pub struct CloveEcnStats {
     pub all_congested_events: u64,
     /// Paths dropped on a black-hole eviction from discovery.
     pub paths_dropped: u64,
+    /// Stale-decay steps applied while feedback was overdue.
+    pub stale_decays: u64,
+    /// Flowlet picks made in the dead state (uniform hash-spread because
+    /// all feedback aged out).
+    pub degraded_picks: u64,
 }
 
 /// The Clove-ECN edge policy. See module docs.
@@ -99,9 +137,37 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
 
     fn select_port(&mut self, now: Time, dst_hv: HostId, pkt: &mut Packet) -> u16 {
         let dst = self.dsts.entry(dst_hv).or_default();
-        let wrr = &mut dst.wrr;
         let flow = pkt.flow;
-        self.flowlets.on_packet(now, flow, |flowlet_id| wrr.pick().unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id)))
+        // Degradation ladder: judge how long the feedback loop toward this
+        // destination has been silent. Never-heard (`None`) is *not* stale —
+        // there is nothing learned to distrust yet — and silence only
+        // accumulates while we keep transmitting: a tx gap past the stale
+        // horizon restarts the clock rather than aging the learned state.
+        if now.saturating_since(dst.last_tx) > self.cfg.stale_horizon {
+            dst.silence_base = now;
+        }
+        dst.last_tx = now;
+        let age = dst.paths.feedback_age(now).map(|a| a.min(now.saturating_since(dst.silence_base)));
+        let dead = matches!(age, Some(a) if a > self.cfg.dead_horizon);
+        if !dead && matches!(age, Some(a) if a > self.cfg.stale_horizon) && now.saturating_since(dst.last_stale_decay) >= self.cfg.stale_decay_interval {
+            // Stale rung: forget toward uniform, lazily and rate-limited so
+            // a burst of packets cannot fast-forward the decay.
+            dst.wrr.decay_toward_uniform(self.cfg.stale_rho);
+            dst.last_stale_decay = now;
+            self.stats.stale_decays += 1;
+        }
+        let DstState { paths, wrr, .. } = dst;
+        let stats = &mut self.stats;
+        self.flowlets.on_packet(now, flow, |flowlet_id| {
+            if dead && !paths.is_empty() {
+                // Bottom rung: weights are ancient — hash-spread uniformly
+                // over the discovered ports (Edge-Flowlet behaviour).
+                let ports = paths.ports();
+                stats.degraded_picks += 1;
+                return ports[(clove_net::hash::hash_tuple(&flow, flowlet_id ^ 0xDEAD) % ports.len() as u64) as usize];
+            }
+            wrr.pick().unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id))
+        })
     }
 
     fn on_feedback(&mut self, now: Time, dst_hv: HostId, fb: &Feedback) {
@@ -163,6 +229,10 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
     fn debug_weights(&self, dst_hv: HostId) -> Option<Vec<(u16, f64)>> {
         self.dsts.get(&dst_hv).map(|d| d.wrr.ports().into_iter().map(|p| (p, d.wrr.weight(p).unwrap_or(0.0))).collect())
     }
+
+    fn flowlet_len(&self) -> Option<usize> {
+        Some(self.flowlets.len())
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +252,17 @@ mod tests {
 
     fn pkt(sport: u16) -> Packet {
         Packet::new(1, 1500, FlowKey::tcp(HostId(0), HostId(1), sport, 80), PacketKind::Data { seq: 0, len: 1400, dsn: 0 })
+    }
+
+    /// Keep one flow transmitting (every 3 RTTs) so the ladder's silence
+    /// clock keeps running — an idle tx gap resets it by design.
+    fn keep_transmitting(p: &mut CloveEcnPolicy, from: Time, to: Time) {
+        let mut t = from;
+        while t < to {
+            let mut a = pkt(9999);
+            p.select_port(t, HostId(1), &mut a);
+            t += RTT * 3;
+        }
     }
 
     /// Drive many flowlets and count port usage.
@@ -337,6 +418,76 @@ mod tests {
         let mut a = pkt(77);
         let port = p.select_port(Time::ZERO, HostId(3), &mut a);
         assert!(port >= 49152);
+    }
+
+    #[test]
+    fn stale_feedback_decays_weights_toward_uniform() {
+        let mut p = policy();
+        // Learn a heavy skew, then let the feedback loop go silent.
+        for i in 0..8 {
+            p.on_feedback(Time::from_micros(i), HostId(1), &Feedback::Ecn { sport: 10, congested: true });
+        }
+        let skewed = p.weight(HostId(1), 10).unwrap();
+        assert!(skewed < 0.1, "precondition: skew learned ({skewed})");
+        // stale_horizon = 16×RTT = 1.6ms; drive flowlets from 2ms to 5.3ms
+        // (still inside dead_horizon = 6.4ms) spaced past the decay interval.
+        let mut t = Time::from_micros(2000);
+        for i in 0..12u16 {
+            let mut a = pkt(6000 + i);
+            p.select_port(t, HostId(1), &mut a);
+            t += RTT * 3;
+        }
+        assert!(p.stats.stale_decays > 0, "no stale decays ran");
+        assert_eq!(p.stats.degraded_picks, 0, "not dead yet");
+        let recovered = p.weight(HostId(1), 10).unwrap();
+        assert!(recovered > skewed * 2.0, "weight did not drift up: {skewed} -> {recovered}");
+    }
+
+    #[test]
+    fn dead_feedback_hash_spreads_over_discovered_ports() {
+        let mut p = policy();
+        for i in 0..8 {
+            p.on_feedback(Time::from_micros(i), HostId(1), &Feedback::Ecn { sport: 10, congested: true });
+        }
+        // dead_horizon = 64×RTT = 6.4ms; at 10ms the weights are ancient.
+        // Traffic keeps flowing the whole time, so the silence is real.
+        keep_transmitting(&mut p, Time::from_micros(100), Time::from_micros(10_000));
+        let m = spread(&mut p, 400, Time::from_micros(10_000));
+        assert!(p.stats.degraded_picks > 0, "dead state never engaged");
+        // The once-congested port gets its uniform share back (≈100/400).
+        let hammered = m.get(&10).copied().unwrap_or(0);
+        assert!(hammered > 50, "dead state still avoids port 10: {m:?}");
+        for port in [10, 20, 30, 40] {
+            assert!(m.get(&port).copied().unwrap_or(0) > 0, "port {port} unused: {m:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_feedback_exits_the_ladder() {
+        let mut p = policy();
+        p.on_feedback(Time::ZERO, HostId(1), &Feedback::Ecn { sport: 10, congested: false });
+        // Go dead under continuous traffic, confirm degradation, then hear
+        // feedback again.
+        keep_transmitting(&mut p, Time::from_micros(100), Time::from_micros(10_000));
+        let _ = spread(&mut p, 50, Time::from_micros(10_000));
+        let degraded = p.stats.degraded_picks;
+        assert!(degraded > 0);
+        p.on_feedback(Time::from_micros(11_000), HostId(1), &Feedback::Ecn { sport: 20, congested: false });
+        let _ = spread(&mut p, 50, Time::from_micros(11_001));
+        assert_eq!(p.stats.degraded_picks, degraded, "still degrading after fresh feedback");
+    }
+
+    #[test]
+    fn never_heard_feedback_is_not_stale() {
+        let mut p = policy();
+        // Discovery done, zero feedback ever: WRR stays authoritative even
+        // at a huge timestamp — the ladder needs evidence to age out.
+        let m = spread(&mut p, 400, Time::from_micros(50_000));
+        assert_eq!(p.stats.degraded_picks, 0);
+        assert_eq!(p.stats.stale_decays, 0);
+        for port in [10, 20, 30, 40] {
+            assert_eq!(m[&port], 100);
+        }
     }
 
     #[test]

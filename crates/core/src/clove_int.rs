@@ -15,6 +15,7 @@
 
 use crate::flowlet::{FlowletConfig, FlowletTable};
 use crate::paths::PathSet;
+use crate::wrr::Wrr;
 use clove_net::packet::{Feedback, Packet};
 use clove_net::types::{FlowKey, HostId};
 use clove_sim::{Duration, Time};
@@ -31,12 +32,29 @@ pub struct CloveUtilConfig {
     /// Adaptive flowlet gap (latency variant only): when enabled, the gap
     /// becomes `base_gap + latency_spread` across paths.
     pub adaptive_gap: bool,
+    /// When the *freshest* feedback for a destination is older than this,
+    /// Clove-INT stops trusting utilization entirely and hash-spreads new
+    /// flowlets uniformly (bottom of the degradation ladder). Between
+    /// `stale_after` and this horizon it falls back to ECN-style weighted
+    /// round-robin over the last-known utilizations.
+    pub dead_horizon: Duration,
+    /// Decay rate of the fallback WRR weights toward uniform while stale.
+    pub stale_rho: f64,
+    /// Minimum spacing between lazy stale-decay steps on the data path.
+    pub stale_decay_interval: Duration,
 }
 
 impl CloveUtilConfig {
     /// Defaults scaled for a base RTT.
     pub fn for_rtt(rtt: Duration) -> CloveUtilConfig {
-        CloveUtilConfig { flowlet: FlowletConfig::with_gap(rtt), stale_after: rtt * 8, adaptive_gap: false }
+        CloveUtilConfig {
+            flowlet: FlowletConfig::with_gap(rtt),
+            stale_after: rtt * 8,
+            adaptive_gap: false,
+            dead_horizon: rtt * 64,
+            stale_rho: 0.1,
+            stale_decay_interval: rtt * 2,
+        }
     }
 }
 
@@ -47,13 +65,32 @@ pub struct CloveUtilStats {
     pub feedback: u64,
     /// New flowlets routed.
     pub flowlets_routed: u64,
+    /// Stale-decay steps applied to the fallback WRR (INT variant).
+    pub stale_decays: u64,
+    /// Flowlet picks made below the fresh tier: WRR fallback while stale,
+    /// or uniform hash-spread once dead (INT variant).
+    pub degraded_picks: u64,
+}
+
+#[derive(Default)]
+struct IntDstState {
+    paths: PathSet,
+    /// ECN-style fallback scheduler fed from utilization reports — the
+    /// middle rung of the degradation ladder.
+    wrr: Wrr,
+    last_stale_decay: Time,
+    /// Last data-path transmission toward this destination.
+    last_tx: Time,
+    /// Start of the current continuously-transmitting span (see Clove-ECN:
+    /// silence is only evidence while we are sending).
+    silence_base: Time,
 }
 
 /// Clove-INT: new flowlets take the least-utilized discovered path.
 pub struct CloveIntPolicy {
     cfg: CloveUtilConfig,
     flowlets: FlowletTable,
-    dsts: FxHashMap<HostId, PathSet>,
+    dsts: FxHashMap<HostId, IntDstState>,
     /// Counters.
     pub stats: CloveUtilStats,
 }
@@ -75,12 +112,41 @@ impl clove_overlay::EdgePolicy for CloveIntPolicy {
     }
 
     fn select_port(&mut self, now: Time, dst_hv: HostId, pkt: &mut Packet) -> u16 {
-        let paths = self.dsts.entry(dst_hv).or_default();
+        let dst = self.dsts.entry(dst_hv).or_default();
         let stale = self.cfg.stale_after;
         let flow = pkt.flow;
+        // Degradation ladder (never-heard counts as fresh — see Clove-ECN):
+        // fresh → least-utilized; stale → ECN-style WRR over the last-known
+        // utilizations; dead → uniform hash-spread, Edge-Flowlet behaviour.
+        // Silence only accumulates while we keep transmitting: a tx gap
+        // past the stale horizon restarts the clock.
+        if now.saturating_since(dst.last_tx) > stale {
+            dst.silence_base = now;
+        }
+        dst.last_tx = now;
+        let age = dst.paths.feedback_age(now).map(|a| a.min(now.saturating_since(dst.silence_base)));
+        let dead = matches!(age, Some(a) if a > self.cfg.dead_horizon);
+        let wrr_tier = !dead && matches!(age, Some(a) if a > stale);
+        if wrr_tier && now.saturating_since(dst.last_stale_decay) >= self.cfg.stale_decay_interval {
+            dst.wrr.decay_toward_uniform(self.cfg.stale_rho);
+            dst.last_stale_decay = now;
+            self.stats.stale_decays += 1;
+        }
+        let IntDstState { paths, wrr, .. } = dst;
         let stats = &mut self.stats;
         self.flowlets.on_packet(now, flow, |flowlet_id| {
             stats.flowlets_routed += 1;
+            if dead && !paths.is_empty() {
+                let ports = paths.ports();
+                stats.degraded_picks += 1;
+                return ports[(clove_net::hash::hash_tuple(&flow, flowlet_id ^ 0x1DEAD) % ports.len() as u64) as usize];
+            }
+            if wrr_tier {
+                if let Some(port) = wrr.pick() {
+                    stats.degraded_picks += 1;
+                    return port;
+                }
+            }
             paths.least_utilized(now, stale).unwrap_or_else(|| Self::fallback_port(&flow, flowlet_id))
         })
     }
@@ -88,14 +154,23 @@ impl clove_overlay::EdgePolicy for CloveIntPolicy {
     fn on_feedback(&mut self, now: Time, dst_hv: HostId, fb: &Feedback) {
         if let Feedback::Util { sport, util_pm } = *fb {
             self.stats.feedback += 1;
-            if let Some(paths) = self.dsts.get_mut(&dst_hv) {
-                paths.record_util(now, sport, util_pm);
+            if let Some(dst) = self.dsts.get_mut(&dst_hv) {
+                dst.paths.record_util(now, sport, util_pm);
+                // Keep the fallback WRR primed: a lightly loaded path earns
+                // a proportionally larger share should the loop go quiet.
+                dst.wrr.set_weight(sport, f64::from(1050 - util_pm.min(1000)) / 1000.0);
             }
         }
     }
 
     fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
-        self.dsts.entry(dst_hv).or_default().set_ports(ports);
+        let dst = self.dsts.entry(dst_hv).or_default();
+        dst.paths.set_ports(ports);
+        dst.wrr.set_ports(ports);
+    }
+
+    fn flowlet_len(&self) -> Option<usize> {
+        Some(self.flowlets.len())
     }
 }
 
@@ -149,18 +224,21 @@ impl clove_overlay::EdgePolicy for CloveLatencyPolicy {
         };
         self.stats.feedback += 1;
         let paths = self.dsts.entry(dst_hv).or_default();
-        paths.record_latency(sport, one_way);
+        paths.record_latency(now, sport, one_way);
         if self.cfg.adaptive_gap {
             // Stretch the gap by the worst-case inter-path skew so a
             // re-routed flowlet cannot overtake its predecessor.
             let spread = paths.latency_spread().unwrap_or(Duration::ZERO);
             self.flowlets.set_gap(self.base_gap + spread);
         }
-        let _ = now;
     }
 
     fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
         self.dsts.entry(dst_hv).or_default().set_ports(ports);
+    }
+
+    fn flowlet_len(&self) -> Option<usize> {
+        Some(self.flowlets.len())
     }
 }
 
@@ -212,6 +290,88 @@ mod tests {
         p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20]);
         p.on_feedback(Time::ZERO, HostId(1), &Feedback::Ecn { sport: 10, congested: true });
         assert_eq!(p.stats.feedback, 0);
+    }
+
+    /// Keep one flow transmitting (every 3 RTTs) so the ladder's silence
+    /// clock keeps running — an idle tx gap resets it by design.
+    fn keep_transmitting(p: &mut CloveIntPolicy, from: Time, to: Time) {
+        let mut t = from;
+        while t < to {
+            let mut a = pkt(9999);
+            p.select_port(t, HostId(1), &mut a);
+            t += RTT * 3;
+        }
+    }
+
+    /// Drive many one-packet flowlets and count port usage.
+    fn spread(p: &mut CloveIntPolicy, n: usize, start: Time) -> std::collections::HashMap<u16, usize> {
+        let mut m = std::collections::HashMap::new();
+        let mut t = start;
+        for i in 0..n {
+            let mut a = pkt(5000 + i as u16);
+            *m.entry(p.select_port(t, HostId(1), &mut a)).or_insert(0) += 1;
+            t += Duration::from_micros(1);
+        }
+        m
+    }
+
+    #[test]
+    fn int_stale_tier_uses_weighted_round_robin() {
+        let mut p = CloveIntPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30]);
+        let t = Time::from_micros(10);
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 10, util_pm: 950 });
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 20, util_pm: 50 });
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 30, util_pm: 500 });
+        // stale_after = 8×RTT = 800µs; at 2ms the reports are stale but not
+        // dead (dead_horizon = 6.4ms): ECN-style WRR over last-known utils.
+        // Traffic keeps flowing so the silence clock keeps running.
+        keep_transmitting(&mut p, Time::from_micros(50), Time::from_micros(2000));
+        let m = spread(&mut p, 300, Time::from_micros(2000));
+        assert!(p.stats.degraded_picks > 0, "stale tier never engaged");
+        let hot = m.get(&10).copied().unwrap_or(0);
+        let cool = m.get(&20).copied().unwrap_or(0);
+        assert!(cool > hot, "WRR ignores last-known utilization: {m:?}");
+        // All paths still carry *some* traffic (WRR floor, no starvation).
+        for port in [10, 20, 30] {
+            assert!(m.get(&port).copied().unwrap_or(0) > 0, "port {port} starved: {m:?}");
+        }
+    }
+
+    #[test]
+    fn int_dead_tier_hash_spreads_uniformly() {
+        let mut p = CloveIntPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30, 40]);
+        let t = Time::from_micros(10);
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 10, util_pm: 990 });
+        // Way past dead_horizon: even the hottest path gets a uniform share.
+        // Traffic keeps flowing the whole time, so the silence is real.
+        keep_transmitting(&mut p, Time::from_micros(100), Time::from_millis(20));
+        let m = spread(&mut p, 400, Time::from_millis(20));
+        assert!(p.stats.degraded_picks > 0);
+        let hot = m.get(&10).copied().unwrap_or(0);
+        assert!(hot > 50, "dead tier still avoids port 10: {m:?}");
+        for port in [10, 20, 30, 40] {
+            assert!(m.get(&port).copied().unwrap_or(0) > 0, "port {port} unused: {m:?}");
+        }
+    }
+
+    #[test]
+    fn int_fresh_feedback_restores_least_utilized() {
+        let mut p = CloveIntPolicy::new(CloveUtilConfig::for_rtt(RTT));
+        p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20]);
+        p.on_feedback(Time::from_micros(10), HostId(1), &Feedback::Util { sport: 10, util_pm: 900 });
+        keep_transmitting(&mut p, Time::from_micros(100), Time::from_millis(20));
+        let _ = spread(&mut p, 20, Time::from_millis(20));
+        let degraded = p.stats.degraded_picks;
+        assert!(degraded > 0);
+        // The loop comes back: fresh utilization, fresh tier.
+        let t = Time::from_millis(30);
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 10, util_pm: 900 });
+        p.on_feedback(t, HostId(1), &Feedback::Util { sport: 20, util_pm: 100 });
+        let mut a = pkt(9999);
+        assert_eq!(p.select_port(t, HostId(1), &mut a), 20);
+        assert_eq!(p.stats.degraded_picks, degraded);
     }
 
     #[test]

@@ -47,6 +47,19 @@ pub struct DiscoveryConfig {
     /// Consecutive rounds a *selected* port may yield a truncated (or
     /// absent) trace before it is declared black-holed and evicted.
     pub blackhole_rounds: u32,
+    /// Extra attempts when a round closes with zero replies (probe or
+    /// reply loss ate the whole round). 0 disables retrying.
+    pub max_retries: u32,
+    /// Base delay before the first retry; attempt `n` waits
+    /// `retry_backoff × 2^(n-1)` plus jitter (exponential backoff).
+    pub retry_backoff: Duration,
+    /// Jitter fraction added to each backoff delay, in [0, 1): the actual
+    /// wait is uniform in `[backoff, backoff × (1 + jitter)]` so retrying
+    /// daemons don't synchronize.
+    pub backoff_jitter: f64,
+    /// Upper bound on unanswered probes in flight across all destinations
+    /// — a lossy fabric must not let the daemon flood the network.
+    pub max_outstanding: usize,
 }
 
 impl Default for DiscoveryConfig {
@@ -60,6 +73,10 @@ impl Default for DiscoveryConfig {
             port_base: 49152,
             port_span: 16000,
             blackhole_rounds: 3,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            backoff_jitter: 0.25,
+            max_outstanding: 1024,
         }
     }
 }
@@ -100,6 +117,16 @@ impl DiscoveryConfig {
                         selected port on any single lost trace"
                 .to_string());
         }
+        if !(0.0..1.0).contains(&self.backoff_jitter) {
+            return Err(format!("backoff_jitter ({}) must be in [0, 1)", self.backoff_jitter));
+        }
+        if self.max_outstanding < self.max_ttl as usize {
+            return Err(format!(
+                "max_outstanding ({}) must be at least max_ttl ({}): tracing a single \
+                 path needs one probe per TTL step",
+                self.max_outstanding, self.max_ttl
+            ));
+        }
         Ok(())
     }
 }
@@ -114,6 +141,10 @@ struct Round {
     /// sport → hops by TTL.
     traces: HashMap<u16, BTreeMap<u8, Hop>>,
     open: bool,
+    /// Probes emitted this round still awaiting a reply (budget tracking).
+    unanswered: usize,
+    /// Retry attempts consumed for the current probing interval.
+    attempt: u32,
 }
 
 /// Something the caller must act on.
@@ -148,6 +179,13 @@ pub struct DiscoveryStats {
     pub rounds: u64,
     /// Selected ports evicted as black-holed.
     pub paths_evicted: u64,
+    /// Rounds re-probed after closing with zero replies.
+    pub round_retries: u64,
+    /// Rounds abandoned because their state vanished mid-start (should
+    /// never happen; counted instead of aborting the simulation).
+    pub rounds_aborted: u64,
+    /// Probes withheld by the outstanding-probe budget.
+    pub probes_suppressed: u64,
 }
 
 /// The per-hypervisor traceroute daemon. See module docs.
@@ -161,6 +199,8 @@ pub struct ProbeDaemon {
     selections: HashMap<HostId, Vec<u16>>,
     /// Consecutive truncated-trace rounds per selected (dst, port).
     silence: HashMap<(HostId, u16), u32>,
+    /// Unanswered probes in flight across all destinations.
+    outstanding: usize,
     next_probe_id: u64,
     uid_counter: u64,
     /// Counters.
@@ -177,6 +217,7 @@ impl ProbeDaemon {
             rounds: HashMap::new(),
             selections: HashMap::new(),
             silence: HashMap::new(),
+            outstanding: 0,
             next_probe_id: (host.0 as u64) << 40,
             uid_counter: 0,
             stats: DiscoveryStats::default(),
@@ -204,10 +245,16 @@ impl ProbeDaemon {
     /// lets [`ProbeDaemon::finish_round`] detect a selected port that has
     /// started black-holing traffic.
     pub fn start_round(&mut self, now: Time, dst: HostId) -> Vec<Packet> {
-        let round = self.rounds.entry(dst).or_default();
-        round.probes.clear();
-        round.traces.clear();
-        round.open = true;
+        {
+            let round = self.rounds.entry(dst).or_default();
+            // Probes of the superseded round will never be answered:
+            // return their budget before opening the new round.
+            self.outstanding = self.outstanding.saturating_sub(round.unanswered);
+            round.probes.clear();
+            round.traces.clear();
+            round.unanswered = 0;
+            round.open = true;
+        }
         // Current selection first, then distinct random candidate ports.
         let mut ports: Vec<u16> = self.selections.get(&dst).cloned().unwrap_or_default();
         ports.truncate(self.cfg.candidates);
@@ -218,11 +265,21 @@ impl ProbeDaemon {
             }
         }
         let mut out = Vec::with_capacity(ports.len() * self.cfg.max_ttl as usize);
-        for &sport in &ports {
+        let mut entries: Vec<(u64, u16)> = Vec::with_capacity(out.capacity());
+        'ports: for &sport in &ports {
             for ttl in 1..=self.cfg.max_ttl {
+                // Bounded outstanding-probe budget: under heavy loss the
+                // unanswered backlog grows; stop emitting rather than
+                // flooding (selected ports were queued first, so they are
+                // the last to be suppressed).
+                if self.outstanding + out.len() >= self.cfg.max_outstanding {
+                    let remaining = ports.len() * self.cfg.max_ttl as usize - out.len();
+                    self.stats.probes_suppressed += remaining as u64;
+                    break 'ports;
+                }
                 self.next_probe_id += 1;
                 let probe_id = self.next_probe_id;
-                self.rounds.get_mut(&dst).expect("round exists").probes.insert(probe_id, sport);
+                entries.push((probe_id, sport));
                 self.uid_counter += 1;
                 let mut pkt = Packet::new(
                     ((self.host.0 as u64) << 44) | self.uid_counter,
@@ -236,6 +293,15 @@ impl ProbeDaemon {
                 out.push(pkt);
             }
         }
+        // The round was (re)created above, but if it vanished anyway, log
+        // and send nothing rather than aborting the whole simulation.
+        let Some(round) = self.rounds.get_mut(&dst) else {
+            self.stats.rounds_aborted += 1;
+            return Vec::new();
+        };
+        round.probes.extend(entries);
+        round.unanswered += out.len();
+        self.outstanding += out.len();
         self.stats.probes_sent += out.len() as u64;
         out
     }
@@ -248,12 +314,54 @@ impl ProbeDaemon {
                 continue;
             }
             if let Some(&sport) = round.probes.get(&probe_id) {
+                round.unanswered = round.unanswered.saturating_sub(1);
+                self.outstanding = self.outstanding.saturating_sub(1);
                 let hop = (switch, ingress.unwrap_or(LinkId(u32::MAX)));
                 round.traces.entry(sport).or_default().insert(ttl_sent, hop);
                 return;
             }
         }
         // Reply for a closed/unknown round: stale, drop silently.
+    }
+
+    /// Close the round for `dst` like [`ProbeDaemon::finish_round`] — but
+    /// when the round collected *zero* replies (probe or reply loss ate
+    /// all of it) and retry budget remains, returns `Err(backoff)`
+    /// instead: the caller should re-open the round (via
+    /// [`ProbeDaemon::start_round`]) after that delay rather than waiting
+    /// out a full probe interval on dead state. The backoff is
+    /// exponential per attempt with deterministic jitter drawn from the
+    /// daemon's seeded RNG.
+    pub fn finish_round_or_retry(&mut self, now: Time, dst: HostId) -> Result<Vec<DiscoveryEvent>, Duration> {
+        let retry = match self.rounds.get_mut(&dst) {
+            Some(round) if round.open && round.traces.is_empty() && round.attempt < self.cfg.max_retries => {
+                round.attempt += 1;
+                // Close the attempt; start_round re-opens and reclaims the
+                // unanswered budget.
+                round.open = false;
+                Some(round.attempt)
+            }
+            _ => None,
+        };
+        match retry {
+            Some(attempt) => {
+                self.stats.round_retries += 1;
+                let base = self.cfg.retry_backoff * (1u64 << (attempt - 1).min(16));
+                let jitter = base.mul_f64(self.cfg.backoff_jitter * self.rng.f64());
+                Err(base + jitter)
+            }
+            None => Ok(self.finish_round(now, dst)),
+        }
+    }
+
+    /// Unanswered probes currently in flight (budget introspection).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The configured outstanding-probe budget (invariant checks).
+    pub fn max_outstanding(&self) -> usize {
+        self.cfg.max_outstanding
     }
 
     /// Close the round for `dst` and compute the port selection from the
@@ -281,13 +389,26 @@ impl ProbeDaemon {
             return events;
         }
         round.open = false;
+        // Unanswered probes are written off: return their budget.
+        self.outstanding = self.outstanding.saturating_sub(round.unanswered);
+        round.unanswered = 0;
+        round.attempt = 0;
         self.stats.rounds += 1;
-        // Build signatures: ordered hop list per candidate port.
-        let mut candidates: Vec<(u16, Vec<Hop>)> =
-            round.traces.iter().map(|(&sport, hops)| (sport, hops.values().copied().collect())).filter(|(_, sig): &(u16, Vec<Hop>)| !sig.is_empty()).collect();
-        candidates.sort_by_key(|&(sport, _)| sport); // determinism
-        let full_len = candidates.iter().map(|(_, sig)| sig.len()).max().unwrap_or(0);
-        let healthy: Vec<(u16, Vec<Hop>)> = candidates.iter().filter(|(_, sig)| sig.len() == full_len).cloned().collect();
+        // Build signatures: ordered hop list per candidate port, tagged
+        // with the deepest TTL that answered. Health is judged on *depth*,
+        // not signature length: a trace with a lost mid-TTL reply still
+        // proves the path reaches the deepest tier (partial-round
+        // acceptance under reply loss), while a truncated trace — nothing
+        // past some early hop — is the black-hole signature.
+        let mut candidates: Vec<(u16, u8, Vec<Hop>)> = round
+            .traces
+            .iter()
+            .map(|(&sport, hops)| (sport, hops.keys().max().copied().unwrap_or(0), hops.values().copied().collect()))
+            .filter(|(_, _, sig): &(u16, u8, Vec<Hop>)| !sig.is_empty())
+            .collect();
+        candidates.sort_by_key(|&(sport, _, _)| sport); // determinism
+        let full_depth = candidates.iter().map(|&(_, depth, _)| depth).max().unwrap_or(0);
+        let healthy: Vec<(u16, Vec<Hop>)> = candidates.iter().filter(|&&(_, depth, _)| depth == full_depth).map(|(p, _, sig)| (*p, sig.clone())).collect();
         // Silence bookkeeping for the current selection: healthy traces
         // clear the counter, truncated/missing ones advance it; a port at
         // the threshold is evicted, the rest stay on benefit of the doubt.
@@ -622,6 +743,96 @@ mod tests {
     }
 
     #[test]
+    fn empty_round_retries_with_exponential_backoff() {
+        let mut d = daemon();
+        let dst = HostId(1);
+        // All probes vanish: the first two closes ask for a retry.
+        d.start_round(Time::ZERO, dst);
+        let b1 = d.finish_round_or_retry(Time::from_millis(2), dst).expect_err("first retry");
+        d.start_round(Time::from_millis(3), dst);
+        let b2 = d.finish_round_or_retry(Time::from_millis(5), dst).expect_err("second retry");
+        // Exponential: the second backoff's floor is twice the first's.
+        let base = DiscoveryConfig::default().retry_backoff;
+        assert!(b1 >= base && b1 <= base.mul_f64(1.25), "b1 = {b1:?}");
+        assert!(b2 >= base * 2 && b2 <= (base * 2).mul_f64(1.25), "b2 = {b2:?}");
+        // Retry budget (max_retries = 2) exhausted: the round completes.
+        d.start_round(Time::from_millis(8), dst);
+        let evs = d.finish_round_or_retry(Time::from_millis(10), dst).expect("gives up after max_retries");
+        assert!(evs.is_empty());
+        assert_eq!(d.stats.round_retries, 2);
+        // A fresh interval starts the ladder over.
+        d.start_round(Time::from_millis(50), dst);
+        assert!(d.finish_round_or_retry(Time::from_millis(52), dst).is_err());
+        assert_eq!(d.stats.round_retries, 3);
+    }
+
+    #[test]
+    fn round_with_replies_never_retries() {
+        let mut d = daemon();
+        let dst = HostId(1);
+        let probes = d.start_round(Time::ZERO, dst);
+        let PacketKind::Probe { probe_id, ttl_sent } = probes[0].kind else { unreachable!() };
+        d.on_reply(probe_id, ttl_sent, SwitchId(1), Some(LinkId(1)));
+        assert!(d.finish_round_or_retry(Time::from_millis(2), dst).is_ok());
+        assert_eq!(d.stats.round_retries, 0);
+    }
+
+    #[test]
+    fn mid_trace_reply_loss_does_not_disqualify_path() {
+        // Port A loses its TTL-2 reply but answers at TTL 3 — the path
+        // demonstrably reaches the deepest tier, so it stays healthy.
+        let mut d = daemon();
+        let dst = HostId(1);
+        let evs = run_round(&mut d, dst, Time::ZERO, |sport, ttl| {
+            let q = (sport % 2) as u32;
+            if sport % 2 == 0 && ttl == 2 {
+                return None; // lost mid-trace reply, not a black hole
+            }
+            match ttl {
+                1 => Some((SwitchId(1), LinkId(1))),
+                2 => Some((SwitchId(10 + q), LinkId(100 + q))),
+                3 => Some((SwitchId(2), LinkId(200 + q))),
+                _ => None,
+            }
+        });
+        let DiscoveryEvent::PathsUpdated { ports, .. } = evs[0].clone() else { panic!() };
+        assert_eq!(ports.len(), 2, "both parities selected: {ports:?}");
+        assert_ne!(ports[0] % 2, ports[1] % 2);
+    }
+
+    #[test]
+    fn outstanding_budget_caps_probes_in_flight() {
+        let cfg = DiscoveryConfig { max_outstanding: 40, ..DiscoveryConfig::default() };
+        let mut d = ProbeDaemon::new(HostId(0), cfg, 7);
+        let probes = d.start_round(Time::ZERO, HostId(1));
+        assert_eq!(probes.len(), 40, "emission stops at the budget");
+        assert_eq!(d.outstanding(), 40);
+        assert_eq!(d.stats.probes_suppressed, (24 * 4 - 40) as u64);
+        // Replies free budget...
+        for p in &probes {
+            let PacketKind::Probe { probe_id, ttl_sent } = p.kind else { unreachable!() };
+            d.on_reply(probe_id, ttl_sent, SwitchId(1), Some(LinkId(1)));
+        }
+        assert_eq!(d.outstanding(), 0);
+        // ...and closing a round writes off its unanswered probes.
+        d.start_round(Time::from_millis(50), HostId(1));
+        assert_eq!(d.outstanding(), 40);
+        d.finish_round(Time::from_millis(52), HostId(1));
+        assert_eq!(d.outstanding(), 0);
+    }
+
+    #[test]
+    fn superseded_round_returns_its_budget() {
+        let cfg = DiscoveryConfig { max_outstanding: 200, ..DiscoveryConfig::default() };
+        let mut d = ProbeDaemon::new(HostId(0), cfg, 7);
+        d.start_round(Time::ZERO, HostId(1));
+        assert_eq!(d.outstanding(), 96);
+        // Restarting without finishing must not leak the old budget.
+        d.start_round(Time::from_millis(50), HostId(1));
+        assert_eq!(d.outstanding(), 96);
+    }
+
+    #[test]
     fn validate_rejects_inconsistent_configs() {
         assert!(DiscoveryConfig::default().validate().is_ok());
         let bad_timeout = DiscoveryConfig { round_timeout: Duration::from_millis(50), probe_interval: Duration::from_millis(50), ..DiscoveryConfig::default() };
@@ -634,5 +845,9 @@ mod tests {
         assert!(bad_cand.validate().unwrap_err().contains("candidates"));
         let bad_bh = DiscoveryConfig { blackhole_rounds: 0, ..DiscoveryConfig::default() };
         assert!(bad_bh.validate().unwrap_err().contains("blackhole_rounds"));
+        let bad_jitter = DiscoveryConfig { backoff_jitter: 1.0, ..DiscoveryConfig::default() };
+        assert!(bad_jitter.validate().unwrap_err().contains("backoff_jitter"));
+        let bad_budget = DiscoveryConfig { max_outstanding: 2, ..DiscoveryConfig::default() };
+        assert!(bad_budget.validate().unwrap_err().contains("max_outstanding"));
     }
 }

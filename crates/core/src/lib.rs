@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # clove-core — the paper's contribution
 //!
@@ -89,6 +90,10 @@ impl clove_overlay::EdgePolicy for EdgeFlowletPolicy {
 
     fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
         self.paths.insert(dst_hv, ports.to_vec());
+    }
+
+    fn flowlet_len(&self) -> Option<usize> {
+        Some(self.flowlets.len())
     }
 }
 

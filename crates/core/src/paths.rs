@@ -22,11 +22,14 @@ pub struct PathInfo {
     pub util_at: Option<Time>,
     /// Latest relayed one-way latency, if latency feedback is on.
     pub latency: Option<Duration>,
+    /// Last time *any* feedback (ECN, utilization or latency) arrived for
+    /// this path — the staleness clock for the degradation ladder.
+    pub last_feedback: Option<Time>,
 }
 
 impl PathInfo {
     fn new(port: u16) -> PathInfo {
-        PathInfo { port, last_congested: None, util_pm: None, util_at: None, latency: None }
+        PathInfo { port, last_congested: None, util_pm: None, util_at: None, latency: None, last_feedback: None }
     }
 }
 
@@ -100,6 +103,7 @@ impl PathSet {
             } else {
                 p.last_congested = None;
             }
+            p.last_feedback = Some(now);
         }
     }
 
@@ -108,14 +112,31 @@ impl PathSet {
         if let Some(p) = self.get_mut(port) {
             p.util_pm = Some(util_pm);
             p.util_at = Some(now);
+            p.last_feedback = Some(now);
         }
     }
 
     /// Record latency feedback for `port`.
-    pub fn record_latency(&mut self, port: u16, latency: Duration) {
+    pub fn record_latency(&mut self, now: Time, port: u16, latency: Duration) {
         if let Some(p) = self.get_mut(port) {
             p.latency = Some(latency);
+            p.last_feedback = Some(now);
         }
+    }
+
+    /// The most recent feedback timestamp across all paths, or `None` if
+    /// no feedback has ever arrived for this destination. Drives the
+    /// staleness degradation ladder: a destination whose *freshest* entry
+    /// is old has lost its control loop entirely.
+    pub fn freshest_feedback(&self) -> Option<Time> {
+        self.paths.iter().filter_map(|p| p.last_feedback).max()
+    }
+
+    /// Age of the freshest feedback at `now`. `None` means feedback has
+    /// never arrived — callers treat that as "not stale" because there is
+    /// nothing learned to distrust yet.
+    pub fn feedback_age(&self, now: Time) -> Option<Duration> {
+        self.freshest_feedback().map(|t| now.saturating_since(t))
     }
 
     /// Is `port` considered congested at `now` (ECN within `window`)?
@@ -159,12 +180,17 @@ impl PathSet {
     /// Latency spread across paths (adaptive flowlet-gap extension §7):
     /// `max - min` over paths with known latency.
     pub fn latency_spread(&self) -> Option<Duration> {
-        let known: Vec<Duration> = self.paths.iter().filter_map(|p| p.latency).collect();
-        if known.len() < 2 {
+        let mut known = self.paths.iter().filter_map(|p| p.latency);
+        let first = known.next()?;
+        let (mut min, mut max, mut rest) = (first, first, 0usize);
+        for d in known {
+            min = min.min(d);
+            max = max.max(d);
+            rest += 1;
+        }
+        if rest == 0 {
             return None;
         }
-        let max = known.iter().copied().max().unwrap();
-        let min = known.iter().copied().min().unwrap();
         Some(max - min)
     }
 }
@@ -243,12 +269,33 @@ mod tests {
     #[test]
     fn least_latency() {
         let mut s = set();
-        s.record_latency(10, Duration::from_micros(80));
-        s.record_latency(20, Duration::from_micros(40));
-        s.record_latency(30, Duration::from_micros(120));
-        s.record_latency(40, Duration::from_micros(60));
+        let t = Time::from_micros(100);
+        s.record_latency(t, 10, Duration::from_micros(80));
+        s.record_latency(t, 20, Duration::from_micros(40));
+        s.record_latency(t, 30, Duration::from_micros(120));
+        s.record_latency(t, 40, Duration::from_micros(60));
         assert_eq!(s.least_latency(), Some(20));
         assert_eq!(s.latency_spread(), Some(Duration::from_micros(80)));
+    }
+
+    #[test]
+    fn feedback_age_tracks_freshest_path() {
+        let mut s = set();
+        // Never heard anything: no age at all.
+        assert_eq!(s.freshest_feedback(), None);
+        assert_eq!(s.feedback_age(Time::from_micros(500)), None);
+        // All three feedback kinds bump the clock.
+        s.record_ecn(Time::from_micros(100), 10, false);
+        s.record_util(Time::from_micros(200), 20, 500);
+        s.record_latency(Time::from_micros(300), 30, Duration::from_micros(50));
+        assert_eq!(s.freshest_feedback(), Some(Time::from_micros(300)));
+        assert_eq!(s.feedback_age(Time::from_micros(450)), Some(Duration::from_micros(150)));
+        // Feedback for an unknown port does not count.
+        s.record_util(Time::from_micros(900), 77, 100);
+        assert_eq!(s.freshest_feedback(), Some(Time::from_micros(300)));
+        // Evicting the freshest path makes the remaining set look older.
+        s.remove_port(30);
+        assert_eq!(s.freshest_feedback(), Some(Time::from_micros(200)));
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl Wrr {
     /// weight remainder is then spread equally across all the other
     /// uncongested paths" (paper §3.2). No-op if `receivers` is empty.
     pub fn cut_and_redistribute(&mut self, port: u16, factor: f64, receivers: &[u16]) {
-        if receivers.is_empty() {
+        if receivers.is_empty() || !factor.is_finite() {
             return;
         }
         let Some(item) = self.items.iter_mut().find(|i| i.port == port) else {
@@ -305,6 +305,41 @@ mod tests {
         let mut fresh = Wrr::new();
         fresh.add_port(9);
         assert_eq!(fresh.weight(9), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_neutralized() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2, 3]);
+        let before: Vec<f64> = [1, 2, 3].iter().map(|&p| w.weight(p).unwrap()).collect();
+        // A NaN/infinite cut factor must not poison any weight.
+        w.cut_and_redistribute(1, f64::NAN, &[2, 3]);
+        w.cut_and_redistribute(1, f64::INFINITY, &[2, 3]);
+        let after: Vec<f64> = [1, 2, 3].iter().map(|&p| w.weight(p).unwrap()).collect();
+        assert_eq!(before, after);
+        // NaN / negative set_weight collapses to the floor, never NaN.
+        w.set_weight(2, f64::NAN);
+        w.set_weight(3, -5.0);
+        for p in [1, 2, 3] {
+            let wt = w.weight(p).unwrap();
+            assert!(wt.is_finite() && wt > 0.0, "port {p} weight {wt}");
+        }
+    }
+
+    #[test]
+    fn pick_terminates_uniform_after_total_collapse() {
+        let mut w = Wrr::new();
+        w.set_ports(&[1, 2, 3, 4]);
+        // Drive every weight to the floor (simulates feedback gone haywire).
+        for p in [1, 2, 3, 4] {
+            w.set_weight(p, 0.0);
+        }
+        w.decay_toward_uniform(0.0); // normalize via public API
+        let c = counts(&mut w, 400);
+        // All-floor weights normalize back to uniform: even rotation.
+        for p in [1, 2, 3, 4] {
+            assert_eq!(c[&p], 100, "port {p}: {c:?}");
+        }
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Run a Clove experiment described by a JSON file.
 //!
 //! ```text
-//! clove-run <spec.json> [--jobs N]   # prints a RunReport as JSON on stdout
+//! clove-run <spec.json> [--jobs N] [--strict]
+//!                                    # prints a RunReport as JSON on stdout
 //! clove-run --example                # prints a commented example spec
 //! ```
 //!
 //! `--jobs N` fans the spec's `seeds` out over N worker threads; the
-//! report is byte-identical at any N.
+//! report is byte-identical at any N. `--strict` runs every seed under the
+//! invariant monitor and exits non-zero on any violation (the spec's own
+//! `"strict": true` field does the same).
 
 use clove_harness::config::ScenarioSpec;
 
@@ -59,13 +62,16 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let spec: ScenarioSpec = match ScenarioSpec::from_json_str(&text) {
+    let mut spec: ScenarioSpec = match ScenarioSpec::from_json_str(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("clove-run: bad spec: {e}");
             std::process::exit(1);
         }
     };
+    if args.iter().any(|a| a == "--strict") {
+        spec.strict = true;
+    }
     match spec.run_jobs(jobs) {
         Ok(report) => println!("{}", report.to_json().render_pretty()),
         Err(e) => {

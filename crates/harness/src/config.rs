@@ -222,6 +222,15 @@ pub struct ScenarioSpec {
     pub flowlet_gap_us: Option<u64>,
     /// ECN threshold override in MTU packets.
     pub ecn_threshold_pkts: Option<u32>,
+    /// Optional control-loop loss rate in [0, 1): probes, probe replies
+    /// and congestion feedback are all dropped at this rate (the
+    /// feedback-degradation knob).
+    pub control_loss: Option<f64>,
+    /// When the control-loop loss starts, in milliseconds (default 0).
+    pub control_loss_at_ms: Option<u64>,
+    /// Run under the invariant monitor and fail the run on any violation
+    /// (`clove-run --strict` forces this on).
+    pub strict: bool,
 }
 
 impl ScenarioSpec {
@@ -256,6 +265,21 @@ impl ScenarioSpec {
             fail_at_ms: opt_u64("fail_at_ms")?,
             flowlet_gap_us: opt_u64("flowlet_gap_us")?,
             ecn_threshold_pkts: opt_u64("ecn_threshold_pkts")?.map(|x| x as u32),
+            control_loss: match v.get("control_loss") {
+                None | Some(Json::Null) => None,
+                Some(x) => {
+                    let rate = x.as_f64().ok_or_else(|| "'control_loss' must be a number".to_string())?;
+                    if !(0.0..1.0).contains(&rate) {
+                        return Err("'control_loss' must be in [0, 1)".to_string());
+                    }
+                    Some(rate)
+                }
+            },
+            control_loss_at_ms: opt_u64("control_loss_at_ms")?,
+            strict: match v.get("strict") {
+                None | Some(Json::Null) => false,
+                Some(x) => x.as_bool().ok_or_else(|| "'strict' must be a boolean".to_string())?,
+            },
         })
     }
 
@@ -275,6 +299,9 @@ impl ScenarioSpec {
             ("fail_at_ms".to_string(), opt(self.fail_at_ms)),
             ("flowlet_gap_us".to_string(), opt(self.flowlet_gap_us)),
             ("ecn_threshold_pkts".to_string(), opt(self.ecn_threshold_pkts.map(u64::from))),
+            ("control_loss".to_string(), self.control_loss.map(Json::Num).unwrap_or(Json::Null)),
+            ("control_loss_at_ms".to_string(), opt(self.control_loss_at_ms)),
+            ("strict".to_string(), Json::Bool(self.strict)),
         ])
     }
 
@@ -301,6 +328,10 @@ impl ScenarioSpec {
         if let Some(ms) = self.fail_at_ms {
             s.fail_at(Time::from_millis(ms));
         }
+        if let Some(rate) = self.control_loss {
+            s.control_faults = clove_net::fault::ControlFaultPlan::lossy_control(Time::from_millis(self.control_loss_at_ms.unwrap_or(0)), rate);
+        }
+        s.strict = self.strict;
         let mut profile = Profile::default();
         if let Some(us) = self.flowlet_gap_us {
             profile.flowlet_gap = Duration::from_micros(us);
@@ -327,6 +358,7 @@ impl ScenarioSpec {
         let outs = crate::experiments::run_matrix(&seeds, jobs, |&seed| self.to_scenario_seeded(seed).run_rpc(&dist));
         let mut fct: Option<clove_workload::FctSummary> = None;
         let (mut sim_time, mut events, mut drops, mut ecn_marks, mut timeouts, mut retransmits) = (0.0f64, 0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut violations: Vec<String> = Vec::new();
         for out in outs {
             match fct.as_mut() {
                 None => fct = Some(out.fct),
@@ -338,6 +370,10 @@ impl ScenarioSpec {
             ecn_marks += out.ecn_marks;
             timeouts += out.timeouts;
             retransmits += out.retransmits;
+            violations.extend(out.violations);
+        }
+        if !violations.is_empty() {
+            return Err(format!("strict mode: {} invariant violation(s): {}", violations.len(), violations.join("; ")));
         }
         let mut fct = fct.expect("at least one seed");
         Ok(RunReport {
@@ -357,6 +393,7 @@ impl ScenarioSpec {
             ecn_marks,
             timeouts,
             retransmits,
+            strict: self.strict,
         })
     }
 }
@@ -396,6 +433,10 @@ pub struct RunReport {
     pub timeouts: u64,
     /// TCP retransmissions.
     pub retransmits: u64,
+    /// Whether the run executed under the invariant monitor. A strict
+    /// report only renders when no invariant was violated (violations turn
+    /// the run into an error instead).
+    pub strict: bool,
 }
 
 impl RunReport {
@@ -418,6 +459,7 @@ impl RunReport {
             ("ecn_marks".to_string(), Json::Num(self.ecn_marks as f64)),
             ("timeouts".to_string(), Json::Num(self.timeouts as f64)),
             ("retransmits".to_string(), Json::Num(self.retransmits as f64)),
+            ("strict".to_string(), Json::Bool(self.strict)),
         ])
     }
 }
@@ -441,12 +483,41 @@ mod tests {
             fail_at_ms: Some(100),
             flowlet_gap_us: Some(150),
             ecn_threshold_pkts: Some(30),
+            control_loss: Some(0.2),
+            control_loss_at_ms: Some(20),
+            strict: true,
         };
         let json = spec.to_json().render_pretty();
         let back = ScenarioSpec::from_json_str(&json).unwrap();
         assert_eq!(back.load, 0.7);
         assert_eq!(back.scheme, SchemeSpec::CloveEcn);
         assert_eq!(back.fail_at_ms, Some(100));
+        assert_eq!(back.control_loss, Some(0.2));
+        assert_eq!(back.control_loss_at_ms, Some(20));
+        assert!(back.strict);
+        let s = back.to_scenario();
+        assert!(s.strict);
+        assert_eq!(s.control_faults.expand().len(), 3, "lossy_control covers probes, replies and feedback");
+    }
+
+    #[test]
+    fn control_loss_rate_is_validated() {
+        let json = r#"{"scheme":{"name":"ecmp"},"topology":{"kind":"symmetric"},"load":0.5,"control_loss":1.5}"#;
+        assert!(ScenarioSpec::from_json_str(json).is_err());
+        let json = r#"{"scheme":{"name":"ecmp"},"topology":{"kind":"symmetric"},"load":0.5,"strict":"yes"}"#;
+        assert!(ScenarioSpec::from_json_str(json).is_err());
+    }
+
+    #[test]
+    fn strict_lossy_spec_runs_clean_end_to_end() {
+        let json = r#"{"scheme":{"name":"clove-ecn"},"topology":{"kind":"symmetric"},
+                       "load":0.3,"jobs_per_conn":2,"conns_per_client":1,"horizon_secs":10,
+                       "control_loss":0.5,"control_loss_at_ms":5,"strict":true}"#;
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
+        let report = spec.run().unwrap();
+        assert!(report.strict);
+        assert!(report.flows_completed > 0);
+        assert!(report.to_json().render().contains("\"strict\":true"));
     }
 
     #[test]

@@ -19,12 +19,12 @@
 //! therefore byte-identical at any [`ExpConfig::jobs`] setting — the
 //! regression test `determinism_parallel.rs` pins this.
 
-use crate::report::{FigureTable, ResilienceRow, ResilienceTable};
-use crate::scenario::{Scenario, TopologyKind};
+use crate::report::{FeedbackRow, FeedbackTable, FigureTable, ResilienceRow, ResilienceTable};
+use crate::scenario::{RpcOutcome, Scenario, TopologyKind};
 use crate::scheme::Scheme;
-use clove_net::fault::{CableSelector, FaultPlan, FaultStats};
+use clove_net::fault::{CableSelector, ControlFaultPlan, ControlFaultStats, FaultPlan, FaultStats};
 use clove_sim::{Duration, Time};
-use clove_workload::{web_search, FctSummary};
+use clove_workload::{web_search, FctSummary, FlowSizeDist};
 use rayon::prelude::*;
 
 /// Shared experiment sizing.
@@ -41,22 +41,31 @@ pub struct ExpConfig {
     /// Worker threads for the experiment matrix (1 = serial). Output is
     /// identical at any setting; see the module docs.
     pub jobs: usize,
+    /// Run every cell under the [`crate::invariants::InvariantMonitor`]
+    /// and panic on any violation (`figures --strict`, integration tests).
+    pub strict: bool,
 }
 
 impl ExpConfig {
     /// A configuration suitable for generating the committed figures.
     pub fn full() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1 }
+        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1, strict: false }
     }
 
     /// A tiny configuration for benches and CI smoke tests.
     pub fn quick() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1 }
+        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false }
     }
 
     /// The same configuration with a different worker count.
     pub fn with_jobs(mut self, jobs: usize) -> ExpConfig {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The same configuration with strict invariant checking toggled.
+    pub fn with_strict(mut self, strict: bool) -> ExpConfig {
+        self.strict = strict;
         self
     }
 }
@@ -97,7 +106,18 @@ fn scenario(scheme: Scheme, topology: TopologyKind, load: f64, seed: u64, cfg: &
     s.jobs_per_conn = cfg.jobs_per_conn;
     s.conns_per_client = cfg.conns_per_client;
     s.horizon = Time::from_secs(cfg.horizon_secs);
+    s.strict = cfg.strict;
     s
+}
+
+/// Run one scenario, failing loudly on strict-mode invariant violations
+/// (the outcome carries them only when the scenario ran strict). Every
+/// figure/ablation driver funnels its RPC runs through here so `--strict`
+/// covers the whole experiment surface.
+fn run_rpc_checked(s: &Scenario, dist: &FlowSizeDist) -> RpcOutcome {
+    let out = s.run_rpc(dist);
+    assert!(out.violations.is_empty(), "invariant violations in {} (seed {}): {:#?}", s.scheme.label(), s.seed, out.violations);
+    out
 }
 
 /// Run one (scheme, topology, load) point over the configured seeds and
@@ -116,7 +136,7 @@ pub fn rpc_point_detailed(scheme: &Scheme, topology: TopologyKind, load: f64, cf
     let seeds: Vec<u64> = (0..cfg.seeds).map(|s| 1000 + s as u64).collect();
     let outs = run_matrix(&seeds, cfg.jobs, |&seed| {
         let s = scenario(scheme.clone(), topology, load, seed, cfg);
-        let out = s.run_rpc(&dist);
+        let out = run_rpc_checked(&s, &dist);
         (out.fct, out.events)
     });
     let mut pooled: Option<FctSummary> = None;
@@ -189,7 +209,7 @@ impl PointCache {
         let cells: Vec<(usize, f64, u64)> = missing.iter().flat_map(|&(si, load)| (0..cfg.seeds).map(move |s| (si, load, 1000 + s as u64))).collect();
         let results = run_matrix(&cells, cfg.jobs, |&(si, load, seed)| {
             let s = scenario(schemes[si].clone(), topology, load, seed, cfg);
-            let out = s.run_rpc(&dist);
+            let out = run_rpc_checked(&s, &dist);
             (out.fct, out.events)
         });
         let per_point = cfg.seeds as usize;
@@ -301,7 +321,7 @@ pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
         // the paper's "1×RTT best" operating point).
         s.profile.flowlet_gap = Duration::from_secs_f64(s.profile.flowlet_gap.as_secs_f64() * gap_mult);
         s.profile.ecn_threshold_pkts = ecn_pkts;
-        s.run_rpc(&dist).fct
+        run_rpc_checked(&s, &dist).fct
     });
     let mut table = FigureTable::new("Fig 6 — Clove-ECN parameter sensitivity, asymmetric, avg FCT (s)", "load %", loads.iter().map(|l| l * 100.0).collect());
     let per_point = cfg.seeds as usize;
@@ -333,6 +353,7 @@ pub fn fig7(fanouts: &[u32], requests: u32, cfg: &ExpConfig) -> FigureTable {
     let results = run_matrix(&cells, cfg.jobs, |&(si, fanout, seed)| {
         let s = scenario(schemes[si].clone(), TopologyKind::Symmetric, 0.5, seed, cfg);
         let out = s.run_incast(fanout, requests, 10_000_000);
+        assert!(out.invariant_violations == 0, "{} invariant violations in incast {} (seed {})", out.invariant_violations, schemes[si].label(), seed);
         out.goodput_bps / 1e9
     });
     let mut table = FigureTable::new("Fig 7 — incast: client goodput (Gbps) vs request fan-in", "fan-in", fanouts.iter().map(|&f| f as f64).collect());
@@ -482,7 +503,7 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
         let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg);
         s.profile.probe_interval = Duration::from_millis(5);
         s.faults = FaultCase::ALL[ci].plan(RESILIENCE_FAULT_AT, s.profile.probe_interval);
-        let out = s.run_rpc(&dist);
+        let out = run_rpc_checked(&s, &dist);
         ResilienceRun { fct: out.fct, evictions: out.path_evictions, fault_stats: out.fault_stats, recovery: out.recovery }
     });
     let mut table =
@@ -519,6 +540,90 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
                 recovery_ms: if recovered_ms.is_empty() { None } else { Some(recovered_ms.iter().sum::<f64>() / recovered_ms.len() as f64) },
                 path_evictions: evictions,
                 stats,
+            });
+        }
+    }
+    table
+}
+
+/// The control-loop loss rates the feedback-degradation sweep covers,
+/// clean first (the sweep relies on that ordering to have the baseline
+/// before computing slowdowns).
+pub const FEEDBACK_LOSS_RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.20, 0.50];
+
+/// Per-run payload of one feedback-degradation cell, pre-fold.
+struct FeedbackRun {
+    fct: FctSummary,
+    control: ControlFaultStats,
+    recovery: Option<Duration>,
+}
+
+/// The feedback-degradation sweep: `{0, 1, 5, 20, 50}%` control-loop loss
+/// (probes, probe replies *and* congestion feedback all dropped at the
+/// rate, via [`ControlFaultPlan::lossy_control`]) × `schemes` at 60% load
+/// on the symmetric testbed topology. Reports average and p99 FCT slowdown
+/// vs. the scheme's clean run plus time-to-recover — the degradation
+/// ladder's report card: schemes that *depend* on feedback (Clove-ECN/INT)
+/// should degrade toward Edge-Flowlet, not below it.
+///
+/// The data plane is untouched: only the control loop is damaged, so any
+/// slowdown is pure feedback starvation. Probing is tightened to 5 ms
+/// rounds, as in [`resilience`], so staleness horizons are crossed within
+/// the run.
+pub fn feedback_degradation(schemes: &[Scheme], cfg: &ExpConfig) -> FeedbackTable {
+    let dist = web_search();
+    let load = 0.6;
+    // Flat (scheme, rate, seed) cells, folded scheme-major (rates in
+    // FEEDBACK_LOSS_RATES order so the clean baseline arrives first) in
+    // cell order.
+    let cells: Vec<(usize, usize, u64)> =
+        (0..schemes.len()).flat_map(|si| (0..FEEDBACK_LOSS_RATES.len()).flat_map(move |ri| (0..cfg.seeds).map(move |s| (si, ri, 5000 + s as u64)))).collect();
+    let results = run_matrix(&cells, cfg.jobs, |&(si, ri, seed)| {
+        let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg);
+        s.profile.probe_interval = Duration::from_millis(5);
+        let rate = FEEDBACK_LOSS_RATES[ri];
+        if rate > 0.0 {
+            s.control_faults = ControlFaultPlan::lossy_control(RESILIENCE_FAULT_AT, rate);
+        }
+        let out = run_rpc_checked(&s, &dist);
+        FeedbackRun { fct: out.fct, control: out.control_stats, recovery: out.recovery }
+    });
+    let mut table = FeedbackTable::new(format!(
+        "Feedback degradation — lossy control loop from {} ms, symmetric, {:.0}% load",
+        RESILIENCE_FAULT_AT.0 / 1_000_000,
+        load * 100.0
+    ));
+    let per_point = cfg.seeds as usize;
+    let mut chunks = results.chunks(per_point);
+    for scheme in schemes {
+        let mut clean: Option<(f64, f64)> = None;
+        for rate in FEEDBACK_LOSS_RATES {
+            let chunk = chunks.next().expect("cell count matches schemes × rates");
+            let mut pooled: Option<FctSummary> = None;
+            let mut control = ControlFaultStats::default();
+            let mut recovered_ms = Vec::new();
+            for run in chunk {
+                control.absorb(&run.control);
+                if let Some(r) = run.recovery {
+                    recovered_ms.push(r.as_secs_f64() * 1e3);
+                }
+                match pooled.as_mut() {
+                    None => pooled = Some(run.fct.clone()),
+                    Some(p) => p.merge(&run.fct),
+                }
+            }
+            let mut fct = pooled.expect("at least one seed");
+            let (avg, p99) = (fct.avg(), fct.p99());
+            let (clean_avg, clean_p99) = *clean.get_or_insert((avg, p99));
+            table.rows.push(FeedbackRow {
+                rate_pct: rate * 100.0,
+                scheme: scheme.label().to_string(),
+                avg_fct_s: avg,
+                avg_slowdown: if clean_avg > 0.0 { avg / clean_avg } else { 1.0 },
+                p99_fct_s: p99,
+                p99_slowdown: if clean_p99 > 0.0 { p99 / clean_p99 } else { 1.0 },
+                recovery_ms: if recovered_ms.is_empty() { None } else { Some(recovered_ms.iter().sum::<f64>() / recovered_ms.len() as f64) },
+                control,
             });
         }
     }

@@ -18,9 +18,11 @@
 //!   incast entry points).
 //! * [`experiments`] — one function per paper figure, returning tables.
 //! * [`report`] — plain-text table rendering for figures/EXPERIMENTS.md.
+//! * [`invariants`] — the strict-mode runtime invariant monitor.
 
 pub mod config;
 pub mod experiments;
+pub mod invariants;
 pub mod json;
 pub mod profile;
 pub mod report;
@@ -28,6 +30,7 @@ pub mod scenario;
 pub mod scheme;
 pub mod stack;
 
+pub use invariants::InvariantMonitor;
 pub use profile::Profile;
 pub use scenario::{IncastOutcome, RpcOutcome, Scenario, TopologyKind};
 pub use scheme::Scheme;

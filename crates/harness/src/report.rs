@@ -1,6 +1,6 @@
 //! Plain-text rendering of experiment tables (the figures, as text).
 
-use clove_net::fault::FaultStats;
+use clove_net::fault::{ControlFaultStats, FaultStats};
 use std::fmt::Write as _;
 
 /// A table of `series × x-points`, e.g. average FCT per scheme per load.
@@ -178,6 +178,111 @@ impl ResilienceTable {
     }
 }
 
+/// One (feedback-loss rate, scheme) row of the feedback-degradation
+/// report.
+#[derive(Debug, Clone)]
+pub struct FeedbackRow {
+    /// Injected control-loop loss rate in percent (0 = clean baseline).
+    pub rate_pct: f64,
+    /// Scheme label, e.g. "Clove-ECN".
+    pub scheme: String,
+    /// Pooled average FCT in seconds.
+    pub avg_fct_s: f64,
+    /// Average FCT relative to the same scheme's clean run (1.0 = no
+    /// slowdown).
+    pub avg_slowdown: f64,
+    /// Pooled 99th-percentile FCT in seconds.
+    pub p99_fct_s: f64,
+    /// p99 FCT relative to the same scheme's clean run.
+    pub p99_slowdown: f64,
+    /// Mean time-to-recover in milliseconds over the seeds that recovered;
+    /// `None` when nothing was injected or no seed recovered.
+    pub recovery_ms: Option<f64>,
+    /// Control-plane damage counters (summed over seeds).
+    pub control: ControlFaultStats,
+}
+
+/// The feedback-degradation sweep as a flat `rate × scheme` table.
+#[derive(Debug, Clone)]
+pub struct FeedbackTable {
+    /// Caption, e.g. "Feedback degradation — lossy control loop at 20 ms".
+    pub title: String,
+    /// One row per (loss rate, scheme) pair.
+    pub rows: Vec<FeedbackRow>,
+}
+
+impl FeedbackTable {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>) -> FeedbackTable {
+        FeedbackTable { title: title.into(), rows: Vec::new() }
+    }
+
+    /// The row for `(rate_pct, scheme)`, if present.
+    pub fn row(&self, rate_pct: f64, scheme: &str) -> Option<&FeedbackRow> {
+        self.rows.iter().find(|r| (r.rate_pct - rate_pct).abs() < 1e-9 && r.scheme == scheme)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let scheme_w = self.rows.iter().map(|r| r.scheme.len()).max().unwrap_or(6).max("scheme".len());
+        let _ = writeln!(
+            out,
+            "{:>7} {:<scheme_w$} {:>10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>8} {:>8}",
+            "loss%", "scheme", "avgFCT(s)", "avg(x)", "p99FCT(s)", "p99(x)", "recov(ms)", "prbDrop", "rplDrop", "fbDrop",
+        );
+        for r in &self.rows {
+            let recov = r.recovery_ms.map_or("-".to_string(), |ms| format!("{ms:.1}"));
+            let _ = writeln!(
+                out,
+                "{:>7} {:<scheme_w$} {:>10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>8} {:>8}",
+                format!("{:.0}", r.rate_pct),
+                r.scheme,
+                format_num(r.avg_fct_s),
+                format!("{:.2}", r.avg_slowdown),
+                format_num(r.p99_fct_s),
+                format!("{:.2}", r.p99_slowdown),
+                recov,
+                r.control.probes_dropped,
+                r.control.replies_dropped,
+                r.control.feedback_dropped,
+            );
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "rate_pct,scheme,avg_fct_s,avg_slowdown,p99_fct_s,p99_slowdown,recovery_ms,\
+             probes_dropped,replies_dropped,feedback_dropped,feedback_delayed,\
+             feedback_corrupted,control_faults_applied\n",
+        );
+        for r in &self.rows {
+            let recov = r.recovery_ms.map_or(String::new(), |ms| format!("{ms}"));
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.rate_pct,
+                r.scheme,
+                r.avg_fct_s,
+                r.avg_slowdown,
+                r.p99_fct_s,
+                r.p99_slowdown,
+                recov,
+                r.control.probes_dropped,
+                r.control.replies_dropped,
+                r.control.feedback_dropped,
+                r.control.feedback_delayed,
+                r.control.feedback_corrupted,
+                r.control.control_faults_applied,
+            );
+        }
+        out
+    }
+}
+
 fn format_num(v: f64) -> String {
     if v == 0.0 {
         "0".into()
@@ -268,6 +373,55 @@ mod tests {
         assert!(s.contains("recov(ms)"));
         assert_eq!(t.row("single-cut", "ECMP").unwrap().path_evictions, 2);
         assert!(t.row("flapping", "ECMP").is_none());
+    }
+
+    fn feedback_table() -> FeedbackTable {
+        let mut t = FeedbackTable::new("Feedback degradation");
+        t.rows.push(FeedbackRow {
+            rate_pct: 0.0,
+            scheme: "Clove-ECN".into(),
+            avg_fct_s: 0.1,
+            avg_slowdown: 1.0,
+            p99_fct_s: 0.4,
+            p99_slowdown: 1.0,
+            recovery_ms: None,
+            control: ControlFaultStats::default(),
+        });
+        t.rows.push(FeedbackRow {
+            rate_pct: 50.0,
+            scheme: "Clove-ECN".into(),
+            avg_fct_s: 0.12,
+            avg_slowdown: 1.2,
+            p99_fct_s: 0.6,
+            p99_slowdown: 1.5,
+            recovery_ms: Some(7.5),
+            control: ControlFaultStats { probes_dropped: 11, feedback_dropped: 42, control_faults_applied: 3, ..ControlFaultStats::default() },
+        });
+        t
+    }
+
+    #[test]
+    fn feedback_render_and_lookup() {
+        let t = feedback_table();
+        let s = t.render();
+        assert!(s.contains("Feedback degradation"));
+        assert!(s.contains("recov(ms)"));
+        assert!(s.contains("7.5"));
+        assert!(s.contains("42"));
+        assert_eq!(t.row(50.0, "Clove-ECN").unwrap().control.probes_dropped, 11);
+        assert!(t.row(5.0, "Clove-ECN").is_none());
+        assert!(t.row(50.0, "ECMP").is_none());
+    }
+
+    #[test]
+    fn feedback_csv_shape() {
+        let csv = feedback_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("rate_pct,scheme,avg_fct_s"));
+        // The clean baseline leaves the recovery cell empty.
+        assert!(lines[1].contains(",,"));
+        assert!(lines[2].starts_with("50,Clove-ECN,0.12,1.2,0.6,1.5,7.5,11,"));
     }
 
     #[test]

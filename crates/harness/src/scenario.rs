@@ -7,11 +7,12 @@
 //! [`Scenario::run_incast`] executes the Figure-7 partition-aggregate
 //! workload and returns client goodput.
 
+use crate::invariants::InvariantMonitor;
 use crate::profile::Profile;
 use crate::scheme::Scheme;
 use crate::stack::HostStack;
 use clove_net::fabric::Event;
-use clove_net::fault::{CableSelector, FaultPlan, FaultStats};
+use clove_net::fault::{CableSelector, ControlFaultPlan, ControlFaultStats, FaultPlan, FaultStats};
 use clove_net::topology::{LeafSpine, Topology};
 use clove_net::types::{HostId, NodeId};
 use clove_net::Network;
@@ -60,6 +61,12 @@ pub struct Scenario {
     /// stochastic loss — see [`clove_net::fault`]). Cables are named by
     /// [`CableSelector`], resolved against the built topology at run time.
     pub faults: FaultPlan,
+    /// Control-plane fault timeline (probe/reply/feedback loss, delay,
+    /// corruption) applied fabric-wide — the feedback-degradation knob.
+    pub control_faults: ControlFaultPlan,
+    /// Run the [`InvariantMonitor`] at every run-loop chunk boundary and
+    /// report its violations in the outcome (`clove-run --strict`).
+    pub strict: bool,
 }
 
 impl Scenario {
@@ -75,6 +82,8 @@ impl Scenario {
             profile: Profile::default(),
             horizon: Time::from_secs(30),
             faults: FaultPlan::none(),
+            control_faults: ControlFaultPlan::none(),
+            strict: false,
         }
     }
 
@@ -98,9 +107,10 @@ impl Scenario {
     }
 
     /// Schedule every expanded fault action against both directions of its
-    /// resolved cable. Panics (with the offending selector) when the plan
-    /// names a cable the topology cannot resolve — a mis-written scenario,
-    /// not a runtime condition.
+    /// resolved cable, plus every control-plane fault (fabric-wide, no
+    /// cable to resolve). Panics (with the offending selector) when the
+    /// plan names a cable the topology cannot resolve — a mis-written
+    /// scenario, not a runtime condition.
     fn schedule_faults(&self, topo: &Topology, queue: &mut EventQueue<Event>) {
         for action in self.effective_faults().expand() {
             let (a, b) = topo
@@ -109,6 +119,9 @@ impl Scenario {
             for link in [a, b] {
                 queue.push(action.at, Event::Fault { link, action: action.action, announced: action.announced });
             }
+        }
+        for action in self.control_faults.expand() {
+            queue.push(action.at, Event::ControlFault { action: action.action });
         }
     }
 
@@ -176,12 +189,21 @@ impl Scenario {
             queue.push(Time::ZERO, Event::HulaTick);
         }
         self.schedule_faults(&topo, &mut queue);
-        // Recovery is measured against the first *mid-run* fault (a t=0
-        // cut is a static asymmetry, not an incident to recover from).
-        let first_fault = self.effective_faults().expand().into_iter().map(|a| a.at).find(|&at| at > Time::ZERO);
+        // Recovery is measured against the first *mid-run* fault — link or
+        // control-plane (a t=0 cut is a static asymmetry, not an incident
+        // to recover from).
+        let first_fault = self
+            .effective_faults()
+            .expand()
+            .into_iter()
+            .map(|a| a.at)
+            .chain(self.control_faults.expand().into_iter().map(|a| a.at))
+            .filter(|&at| at > Time::ZERO)
+            .min();
 
         let mut net = Network::new(topo.fabric, stack);
-        let summary = run_to_completion(&mut net, &mut queue, self.horizon);
+        let mut monitor = self.strict.then(InvariantMonitor::new);
+        let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut());
         let events = summary.events;
         let end = summary.end_time;
 
@@ -205,10 +227,12 @@ impl Scenario {
             path_updates: net.hosts.stats.path_updates,
             path_evictions: net.hosts.stats.path_evictions,
             fault_stats: net.fabric.fault_stats(end),
+            control_stats: net.fabric.control_stats(),
             fct_windows: windows,
             recovery,
             stalled: net.hosts.stalled_report(),
             link_report: link_report(&net.fabric),
+            violations: monitor.map(|m| m.violations).unwrap_or_default(),
         }
     }
 
@@ -249,16 +273,32 @@ impl Scenario {
         self.schedule_faults(&topo, &mut queue);
 
         let mut net = Network::new(topo.fabric, stack);
-        let summary = run_to_completion(&mut net, &mut queue, self.horizon);
+        let mut monitor = self.strict.then(InvariantMonitor::new);
+        let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut());
         let (rounds, elapsed) = net.hosts.incast_result().expect("incast configured");
         let bytes = rounds as u64 * object_bytes;
         let goodput_bps = if elapsed.is_zero() { 0.0 } else { bytes as f64 * 8.0 / elapsed.as_secs_f64() };
-        IncastOutcome { goodput_bps, rounds, sim_time: summary.end_time, events: summary.events, timeouts: net.hosts.stats.timeouts }
+        IncastOutcome {
+            goodput_bps,
+            rounds,
+            sim_time: summary.end_time,
+            events: summary.events,
+            timeouts: net.hosts.stats.timeouts,
+            invariant_violations: monitor.map(|m| m.violations.len() as u64).unwrap_or(0),
+        }
     }
 }
 
-/// Drive the network until all jobs complete or the horizon passes.
-fn run_to_completion(net: &mut Network<HostStack>, queue: &mut EventQueue<Event>, horizon: Time) -> clove_sim::RunSummary {
+/// Drive the network until all jobs complete or the horizon passes. When a
+/// monitor is supplied it checks the full invariant set at every chunk
+/// boundary (including the final state), so a violation is caught within
+/// 50 ms of simulated time of its cause.
+fn run_to_completion(
+    net: &mut Network<HostStack>,
+    queue: &mut EventQueue<Event>,
+    horizon: Time,
+    mut monitor: Option<&mut InvariantMonitor>,
+) -> clove_sim::RunSummary {
     let chunk = Duration::from_millis(50);
     let mut upto = Time::ZERO + chunk;
     let mut total = clove_sim::RunSummary { events: 0, end_time: Time::ZERO, hit_horizon: false };
@@ -267,6 +307,9 @@ fn run_to_completion(net: &mut Network<HostStack>, queue: &mut EventQueue<Event>
         total.events += s.events;
         total.end_time = total.end_time.max(s.end_time);
         total.hit_horizon = s.hit_horizon;
+        if let Some(m) = monitor.as_deref_mut() {
+            m.check(total.end_time, net);
+        }
         let done = net.hosts.fct.completed() as u64 >= net.hosts.total_jobs;
         if done || !s.hit_horizon || upto >= horizon {
             return total;
@@ -302,6 +345,9 @@ pub struct RpcOutcome {
     pub path_evictions: u64,
     /// Aggregated fault damage: drops by cause, down/degraded link-time.
     pub fault_stats: FaultStats,
+    /// Control-plane fault damage: probes/replies/feedback lost, delayed
+    /// or corrupted by the injected control faults.
+    pub control_stats: ControlFaultStats,
     /// Mean FCT slowdown (FCT over the flow's unloaded ideal) per window
     /// of completion time — the resilience experiments' time series.
     pub fct_windows: Vec<(Time, f64)>,
@@ -314,6 +360,9 @@ pub struct RpcOutcome {
     pub stalled: Vec<String>,
     /// Per-fabric-link utilization diagnostics.
     pub link_report: Vec<String>,
+    /// Invariant violations detected by the strict-mode monitor (empty
+    /// when the run was clean, or when `strict` was off).
+    pub violations: Vec<String>,
 }
 
 /// Recovery bound: the run counts as recovered once the per-window mean
@@ -409,4 +458,7 @@ pub struct IncastOutcome {
     pub events: u64,
     /// TCP timeouts.
     pub timeouts: u64,
+    /// Invariant violations counted by the strict-mode monitor (0 when
+    /// clean or when `strict` was off).
+    pub invariant_violations: u64,
 }

@@ -40,6 +40,7 @@ const T_PROBE_START: u64 = 4;
 const T_PROBE_FINISH: u64 = 5;
 const T_PRESTO_POLL: u64 = 6;
 const T_INCAST_SERVE: u64 = 7;
+const T_PROBE_RETRY: u64 = 8; // payload = destination HostId
 
 fn token(kind: u64, payload: u64) -> u64 {
     (payload << 8) | kind
@@ -607,7 +608,13 @@ impl HostLogic for HostStack {
                 let peers = host_state.peers.clone();
                 let mut events = Vec::new();
                 for dst in peers {
-                    events.extend(daemon.finish_round(now, dst));
+                    match daemon.finish_round_or_retry(now, dst) {
+                        Ok(evs) => events.extend(evs),
+                        // Nothing came back at all (probe/reply loss): retry
+                        // the round after a jittered exponential backoff
+                        // instead of waiting a whole probe interval.
+                        Err(backoff) => ctx.timer_in(backoff, token(T_PROBE_RETRY, dst.0 as u64)),
+                    }
                 }
                 for ev in events {
                     match ev {
@@ -622,6 +629,20 @@ impl HostLogic for HostStack {
                             host_state.vswitch.policy_mut().on_path_dead(now, dst, port);
                         }
                     }
+                }
+            }
+            T_PROBE_RETRY => {
+                let host_state = &mut self.hosts[hi];
+                let Some(daemon) = host_state.daemon.as_mut() else { return };
+                let dst = HostId(payload as u32);
+                let probes = daemon.start_round(now, dst);
+                let timeout = daemon.round_timeout();
+                let any = !probes.is_empty();
+                for p in probes {
+                    ctx.send(p);
+                }
+                if any {
+                    ctx.timer_in(timeout, token(T_PROBE_FINISH, 0));
                 }
             }
             T_PRESTO_POLL => {

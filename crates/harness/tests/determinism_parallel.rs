@@ -8,7 +8,7 @@ use clove_harness::Scheme;
 
 fn smoke() -> ExpConfig {
     // seeds = 2 so the seed axis actually fans out.
-    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs: 1 }
+    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs: 1, strict: false }
 }
 
 #[test]
@@ -32,5 +32,13 @@ fn resilience_csv_identical_serial_vs_jobs8() {
     let schemes = [Scheme::Ecmp, Scheme::CloveEcn];
     let serial = experiments::resilience(&schemes, &smoke());
     let parallel = experiments::resilience(&schemes, &smoke().with_jobs(8));
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn feedback_csv_identical_serial_vs_jobs8() {
+    let schemes = [Scheme::EdgeFlowlet, Scheme::CloveEcn];
+    let serial = experiments::feedback_degradation(&schemes, &smoke());
+    let parallel = experiments::feedback_degradation(&schemes, &smoke().with_jobs(8));
     assert_eq!(serial.to_csv(), parallel.to_csv());
 }

@@ -19,10 +19,10 @@
 //! * `LinkAdmin` → link state flips and routes are recomputed — this is
 //!   how experiments inject mid-run failures.
 
-use crate::fault::{FaultStats, LinkAction};
+use crate::fault::{ControlAction, ControlFaultStats, FaultStats, LinkAction};
 use crate::hash::ecmp_select;
 use crate::link::{EnqueueOutcome, Link};
-use crate::packet::{CongaTag, Packet, PacketKind};
+use crate::packet::{CongaTag, Feedback, Packet, PacketKind};
 use crate::switch::{CongaConfig, FabricScheme, FlowletEntry, Switch};
 use crate::types::{FlowKey, HostId, LinkId, NodeId, SwitchId};
 use clove_sim::{Duration, EventQueue, SimRng, Time, World};
@@ -85,6 +85,38 @@ pub enum Event {
         /// Whether the control plane notices (recompute routes).
         announced: bool,
     },
+    /// Apply one expanded control-plane fault action (probe/feedback
+    /// attacks, see [`crate::fault::ControlFaultPlan`]). These are always
+    /// "silent": nothing reroutes, the edge just sees fewer signals.
+    ControlFault {
+        /// The setting change.
+        action: ControlAction,
+    },
+}
+
+/// Current control-plane fault settings, mutated by
+/// [`Event::ControlFault`] and consulted on the probe/feedback hot paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControlPlaneFaults {
+    /// Per-probe drop probability at the host uplink.
+    pub probe_loss: f64,
+    /// Per-reply drop probability at generation.
+    pub reply_loss: f64,
+    /// Per-entry feedback strip probability.
+    pub feedback_loss: f64,
+    /// Extra one-way delay applied to every feedback entry
+    /// (`Duration::ZERO`: off).
+    pub feedback_delay: Duration,
+    /// Per-entry feedback corruption probability.
+    pub feedback_corrupt: f64,
+}
+
+impl ControlPlaneFaults {
+    /// True when no control-plane fault is currently active (the common
+    /// case — keeps the per-packet cost to one branch).
+    fn is_clean(&self) -> bool {
+        self.probe_loss == 0.0 && self.feedback_loss == 0.0 && self.feedback_delay == Duration::ZERO && self.feedback_corrupt == 0.0
+    }
 }
 
 /// Fabric-wide counters.
@@ -97,6 +129,8 @@ pub struct FabricStats {
     pub probe_replies: u64,
     /// Atomic fault actions applied via [`Event::Fault`].
     pub faults_applied: u64,
+    /// Control-plane damage counters (probe/feedback attacks).
+    pub control: ControlFaultStats,
 }
 
 /// The physical network: switches, links, host attachments, and the
@@ -114,6 +148,8 @@ pub struct Fabric {
     pub stats: FabricStats,
     /// Deterministic randomness for in-switch decisions (LetFlow).
     pub rng: SimRng,
+    /// Active control-plane fault settings.
+    pub control: ControlPlaneFaults,
     /// Packet uid source for switch-originated packets (probe replies).
     next_uid: u64,
 }
@@ -128,6 +164,7 @@ impl Fabric {
             scheme,
             stats: FabricStats::default(),
             rng: SimRng::new(seed ^ 0xFAB0_5EED),
+            control: ControlPlaneFaults::default(),
             // High bit set: never collides with host-assigned uids.
             next_uid: 1 << 63,
         }
@@ -154,9 +191,88 @@ impl Fabric {
     }
 
     /// Transmit a host-originated packet onto the host's access uplink.
-    pub fn host_transmit(&mut self, now: Time, host: HostId, pkt: Packet, q: &mut EventQueue<Event>) {
+    pub fn host_transmit(&mut self, now: Time, host: HostId, mut pkt: Packet, q: &mut EventQueue<Event>) {
+        if !self.control.is_clean() && !self.apply_control_to_packet(now, &mut pkt, q) {
+            return;
+        }
         let uplink = self.hosts[host.0 as usize].uplink;
         self.enqueue_on(now, uplink, pkt, q);
+    }
+
+    /// Apply active control-plane faults to one outbound packet. Returns
+    /// `false` when the packet itself is consumed (probe dropped).
+    fn apply_control_to_packet(&mut self, now: Time, pkt: &mut Packet, q: &mut EventQueue<Event>) -> bool {
+        if matches!(pkt.kind, PacketKind::Probe { .. }) {
+            if self.control.probe_loss > 0.0 && self.rng.chance(self.control.probe_loss) {
+                self.stats.control.probes_dropped += 1;
+                return false;
+            }
+            return true;
+        }
+        if pkt.feedback.is_none() {
+            return true;
+        }
+        if self.control.feedback_loss > 0.0 && self.rng.chance(self.control.feedback_loss) {
+            pkt.feedback = None;
+            self.stats.control.feedback_dropped += 1;
+            return true;
+        }
+        if self.control.feedback_corrupt > 0.0 && self.rng.chance(self.control.feedback_corrupt) {
+            if let Some(fb) = pkt.feedback.as_mut() {
+                *fb = Self::corrupt_feedback(*fb);
+                self.stats.control.feedback_corrupted += 1;
+            }
+        }
+        if self.control.feedback_delay > Duration::ZERO {
+            if let Some(fb) = pkt.feedback.take() {
+                self.stats.control.feedback_delayed += 1;
+                let carrier = self.feedback_carrier(now, pkt, fb);
+                let dst = carrier.routed_dst();
+                let downlink = self.hosts[dst.0 as usize].downlink;
+                q.push(now + self.control.feedback_delay, Event::Arrive { node: NodeId::Host(dst), via: downlink, pkt: carrier });
+            }
+        }
+        true
+    }
+
+    /// A standalone relay packet carrying feedback detached from `orig`,
+    /// addressed so the destination vswitch attributes it to the right
+    /// source hypervisor.
+    fn feedback_carrier(&mut self, now: Time, orig: &Packet, fb: Feedback) -> Packet {
+        let key = orig.routed_key();
+        let mut carrier =
+            Packet::new(self.fresh_uid(), crate::wire::PROBE_REPLY_SIZE, FlowKey::tcp(key.src, key.dst, key.sport, key.dport), PacketKind::FeedbackOnly);
+        carrier.outer = orig.outer;
+        carrier.feedback = Some(fb);
+        carrier.sent_at = now;
+        carrier
+    }
+
+    /// Deterministic feedback corruption: the kind of damage a bit flip in
+    /// the STT context bits would do.
+    fn corrupt_feedback(fb: Feedback) -> Feedback {
+        match fb {
+            Feedback::Ecn { sport, congested } => Feedback::Ecn { sport, congested: !congested },
+            Feedback::Util { sport, util_pm } => Feedback::Util { sport, util_pm: 1000 - util_pm.min(1000) },
+            Feedback::Latency { sport, one_way } => Feedback::Latency { sport, one_way: one_way * 2 },
+        }
+    }
+
+    /// Apply one expanded control-plane fault action.
+    pub fn apply_control_fault(&mut self, action: ControlAction) {
+        match action {
+            ControlAction::SetProbeLoss(rate) => self.control.probe_loss = rate,
+            ControlAction::SetReplyLoss(rate) => self.control.reply_loss = rate,
+            ControlAction::SetFeedbackLoss(rate) => self.control.feedback_loss = rate,
+            ControlAction::SetFeedbackDelay(delay) => self.control.feedback_delay = delay,
+            ControlAction::SetFeedbackCorrupt(rate) => self.control.feedback_corrupt = rate,
+        }
+        self.stats.control.control_faults_applied += 1;
+    }
+
+    /// Control-plane damage so far.
+    pub fn control_stats(&self) -> ControlFaultStats {
+        self.stats.control
     }
 
     /// Enqueue on a specific link and schedule the TxDone if it went idle→busy.
@@ -200,6 +316,12 @@ impl Fabric {
         // Clove's path discovery is built on (paper §3.1).
         if pkt.ttl <= 1 {
             if let PacketKind::Probe { probe_id, ttl_sent } = pkt.kind {
+                // Injected reply loss: the ICMP time-exceeded never forms
+                // (rate-limited ICMP generation is the real-world analogue).
+                if self.control.reply_loss > 0.0 && self.rng.chance(self.control.reply_loss) {
+                    self.stats.control.replies_dropped += 1;
+                    return;
+                }
                 self.stats.probe_replies += 1;
                 let src = pkt.routed_key().src;
                 let reply_kind = PacketKind::ProbeReply { probe_id, ttl_sent, switch: sw, ingress: Some(via) };
@@ -652,6 +774,7 @@ impl<H: HostLogic> World for Network<H> {
             Event::HulaTick => self.fabric.hula_tick(now, queue),
             Event::LinkAdmin { link, up } => self.fabric.set_link_admin(link, up),
             Event::Fault { link, action, announced } => self.fabric.apply_fault(now, link, action, announced),
+            Event::ControlFault { action } => self.fabric.apply_control_fault(action),
         }
     }
 }

@@ -209,6 +209,209 @@ impl FaultPlan {
     }
 }
 
+/// What happens to the control plane (probes and feedback relays).
+///
+/// Unlike [`FaultKind`], these target the *edge control loop* rather than
+/// a cable: Clove's congestion awareness rides on TTL-stepped probes, the
+/// ICMP time-exceeded replies they elicit, and (sport, CE/util) feedback
+/// piggybacked on reverse traffic. A production deployment must keep
+/// making reasonable decisions when those signals are lossy, delayed, or
+/// corrupted — this is what the feedback-degradation experiment injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlFaultKind {
+    /// Drop each outbound probe packet with probability `rate`
+    /// (0 ≤ rate < 1; 0.0 turns the fault off).
+    ProbeLoss {
+        /// Per-probe drop probability.
+        rate: f64,
+    },
+    /// Drop each ICMP time-exceeded (probe reply) with probability `rate`
+    /// at the moment of generation.
+    ReplyLoss {
+        /// Per-reply drop probability.
+        rate: f64,
+    },
+    /// Strip each piggybacked feedback entry with probability `rate`.
+    FeedbackLoss {
+        /// Per-entry strip probability.
+        rate: f64,
+    },
+    /// Detach piggybacked feedback from its carrier and deliver it `delay`
+    /// later as a standalone relay packet (models a slow relay path).
+    /// `Duration::ZERO` turns delaying off.
+    FeedbackDelay {
+        /// Extra one-way delay applied to every feedback entry.
+        delay: Duration,
+    },
+    /// Corrupt each feedback entry with probability `rate`: the congested
+    /// bit flips, the utilization inverts, the latency doubles.
+    FeedbackCorrupt {
+        /// Per-entry corruption probability.
+        rate: f64,
+    },
+}
+
+/// One timed control-plane fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlFaultSpec {
+    /// When the fault takes effect.
+    pub at: Time,
+    /// What happens.
+    pub kind: ControlFaultKind,
+}
+
+/// An atomic expanded control-plane setting change, applied by the fabric
+/// as an `Event::ControlFault`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlAction {
+    /// Set the probe drop probability.
+    SetProbeLoss(f64),
+    /// Set the probe-reply drop probability.
+    SetReplyLoss(f64),
+    /// Set the feedback strip probability.
+    SetFeedbackLoss(f64),
+    /// Set the extra feedback relay delay.
+    SetFeedbackDelay(Duration),
+    /// Set the feedback corruption probability.
+    SetFeedbackCorrupt(f64),
+}
+
+/// One scheduled control-plane action, produced by
+/// [`ControlFaultPlan::expand`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlFaultAction {
+    /// When to apply it.
+    pub at: Time,
+    /// The setting change.
+    pub action: ControlAction,
+}
+
+/// An ordered timeline of control-plane faults for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControlFaultPlan {
+    /// The fault timeline (any insertion order; expansion sorts by time).
+    pub specs: Vec<ControlFaultSpec>,
+}
+
+impl ControlFaultPlan {
+    /// The empty plan (a healthy control plane).
+    pub fn none() -> ControlFaultPlan {
+        ControlFaultPlan::default()
+    }
+
+    /// True if no control faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Append a fault.
+    pub fn push(&mut self, spec: ControlFaultSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Probe loss at `rate` from `at` on.
+    pub fn probe_loss(at: Time, rate: f64) -> ControlFaultPlan {
+        ControlFaultPlan { specs: vec![ControlFaultSpec { at, kind: ControlFaultKind::ProbeLoss { rate } }] }
+    }
+
+    /// Probe-reply loss at `rate` from `at` on.
+    pub fn reply_loss(at: Time, rate: f64) -> ControlFaultPlan {
+        ControlFaultPlan { specs: vec![ControlFaultSpec { at, kind: ControlFaultKind::ReplyLoss { rate } }] }
+    }
+
+    /// Feedback strip at `rate` from `at` on.
+    pub fn feedback_loss(at: Time, rate: f64) -> ControlFaultPlan {
+        ControlFaultPlan { specs: vec![ControlFaultSpec { at, kind: ControlFaultKind::FeedbackLoss { rate } }] }
+    }
+
+    /// Extra feedback relay delay from `at` on.
+    pub fn feedback_delay(at: Time, delay: Duration) -> ControlFaultPlan {
+        ControlFaultPlan { specs: vec![ControlFaultSpec { at, kind: ControlFaultKind::FeedbackDelay { delay } }] }
+    }
+
+    /// Feedback corruption at `rate` from `at` on.
+    pub fn feedback_corrupt(at: Time, rate: f64) -> ControlFaultPlan {
+        ControlFaultPlan { specs: vec![ControlFaultSpec { at, kind: ControlFaultKind::FeedbackCorrupt { rate } }] }
+    }
+
+    /// The paper-matrix composite: probe, reply *and* feedback loss all at
+    /// `rate` from `at` on — "the control loop is `rate` lossy".
+    pub fn lossy_control(at: Time, rate: f64) -> ControlFaultPlan {
+        let mut plan = ControlFaultPlan::probe_loss(at, rate);
+        plan.extend(ControlFaultPlan::reply_loss(at, rate));
+        plan.extend(ControlFaultPlan::feedback_loss(at, rate));
+        plan
+    }
+
+    /// Merge another plan's specs into this one.
+    pub fn extend(&mut self, other: ControlFaultPlan) -> &mut Self {
+        self.specs.extend(other.specs);
+        self
+    }
+
+    /// Lower into atomic actions sorted by timestamp (stable: ties keep
+    /// spec order). Rates outside [0, 1) panic here, at plan time, rather
+    /// than mid-run.
+    pub fn expand(&self) -> Vec<ControlFaultAction> {
+        let mut out = Vec::new();
+        for spec in &self.specs {
+            let action = match spec.kind {
+                ControlFaultKind::ProbeLoss { rate } => {
+                    assert!((0.0..1.0).contains(&rate), "probe loss rate must be in [0, 1)");
+                    ControlAction::SetProbeLoss(rate)
+                }
+                ControlFaultKind::ReplyLoss { rate } => {
+                    assert!((0.0..1.0).contains(&rate), "reply loss rate must be in [0, 1)");
+                    ControlAction::SetReplyLoss(rate)
+                }
+                ControlFaultKind::FeedbackLoss { rate } => {
+                    assert!((0.0..1.0).contains(&rate), "feedback loss rate must be in [0, 1)");
+                    ControlAction::SetFeedbackLoss(rate)
+                }
+                ControlFaultKind::FeedbackDelay { delay } => ControlAction::SetFeedbackDelay(delay),
+                ControlFaultKind::FeedbackCorrupt { rate } => {
+                    assert!((0.0..1.0).contains(&rate), "feedback corrupt rate must be in [0, 1)");
+                    ControlAction::SetFeedbackCorrupt(rate)
+                }
+            };
+            out.push(ControlFaultAction { at: spec.at, action });
+        }
+        out.sort_by_key(|a| a.at);
+        out
+    }
+}
+
+/// Control-plane damage counters for one run, kept by the fabric and
+/// rendered in the feedback-degradation report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlFaultStats {
+    /// Outbound probe packets dropped by injected probe loss.
+    pub probes_dropped: u64,
+    /// Probe replies suppressed at generation by injected reply loss.
+    pub replies_dropped: u64,
+    /// Feedback entries stripped by injected feedback loss.
+    pub feedback_dropped: u64,
+    /// Feedback entries detached and re-delivered late.
+    pub feedback_delayed: u64,
+    /// Feedback entries corrupted in flight.
+    pub feedback_corrupted: u64,
+    /// Atomic control-fault actions applied.
+    pub control_faults_applied: u64,
+}
+
+impl ControlFaultStats {
+    /// Accumulate another run's damage into this one (pooling seeds).
+    pub fn absorb(&mut self, other: &ControlFaultStats) {
+        self.probes_dropped += other.probes_dropped;
+        self.replies_dropped += other.replies_dropped;
+        self.feedback_dropped += other.feedback_dropped;
+        self.feedback_delayed += other.feedback_delayed;
+        self.feedback_corrupted += other.feedback_corrupted;
+        self.control_faults_applied += other.control_faults_applied;
+    }
+}
+
 /// Aggregated fault damage for one run, built by
 /// `Fabric::fault_stats` and rendered in resilience reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -333,5 +536,65 @@ mod tests {
     #[should_panic(expected = "duty")]
     fn flap_rejects_bad_duty() {
         FaultPlan::flap(Time::ZERO, CableSelector::S2_L2, Duration::from_millis(1), 1.5, 1).expand();
+    }
+
+    #[test]
+    fn control_plan_expands_sorted_and_stable() {
+        let mut plan = ControlFaultPlan::none();
+        plan.push(ControlFaultSpec { at: Time::from_millis(20), kind: ControlFaultKind::FeedbackLoss { rate: 0.5 } });
+        plan.push(ControlFaultSpec { at: Time::from_millis(5), kind: ControlFaultKind::ProbeLoss { rate: 0.1 } });
+        plan.push(ControlFaultSpec { at: Time::from_millis(20), kind: ControlFaultKind::ReplyLoss { rate: 0.2 } });
+        let actions = plan.expand();
+        assert_eq!(actions.len(), 3);
+        assert_eq!(actions[0].action, ControlAction::SetProbeLoss(0.1));
+        // The two t=20 actions keep their insertion order.
+        assert_eq!(actions[1].action, ControlAction::SetFeedbackLoss(0.5));
+        assert_eq!(actions[2].action, ControlAction::SetReplyLoss(0.2));
+    }
+
+    #[test]
+    fn lossy_control_bundles_three_kinds() {
+        let plan = ControlFaultPlan::lossy_control(Time::from_millis(7), 0.2);
+        let actions = plan.expand();
+        assert_eq!(actions.len(), 3);
+        assert!(actions.iter().all(|a| a.at == Time::from_millis(7)));
+        assert_eq!(actions[0].action, ControlAction::SetProbeLoss(0.2));
+        assert_eq!(actions[1].action, ControlAction::SetReplyLoss(0.2));
+        assert_eq!(actions[2].action, ControlAction::SetFeedbackLoss(0.2));
+    }
+
+    #[test]
+    fn control_delay_and_corrupt_expand() {
+        let d = ControlFaultPlan::feedback_delay(Time::from_millis(3), Duration::from_micros(250)).expand();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].action, ControlAction::SetFeedbackDelay(Duration::from_micros(250)));
+        let c = ControlFaultPlan::feedback_corrupt(Time::from_millis(3), 0.05).expand();
+        assert_eq!(c[0].action, ControlAction::SetFeedbackCorrupt(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe loss rate")]
+    fn control_plan_rejects_bad_rate() {
+        ControlFaultPlan::probe_loss(Time::ZERO, 1.5).expand();
+    }
+
+    #[test]
+    fn control_stats_absorb_sums_all_fields() {
+        let mut a = ControlFaultStats {
+            probes_dropped: 1,
+            replies_dropped: 2,
+            feedback_dropped: 3,
+            feedback_delayed: 4,
+            feedback_corrupted: 5,
+            control_faults_applied: 6,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.probes_dropped, 2);
+        assert_eq!(a.replies_dropped, 4);
+        assert_eq!(a.feedback_dropped, 6);
+        assert_eq!(a.feedback_delayed, 8);
+        assert_eq!(a.feedback_corrupted, 10);
+        assert_eq!(a.control_faults_applied, 12);
     }
 }

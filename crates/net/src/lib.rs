@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # clove-net — packet-level datacenter fabric simulation
 //!
@@ -50,7 +51,10 @@ pub mod types;
 pub mod wire;
 
 pub use fabric::{Event, Fabric, HostCtx, HostLogic, Network};
-pub use fault::{CableSelector, FaultKind, FaultPlan, FaultSpec, FaultStats, LinkAction};
+pub use fault::{
+    CableSelector, ControlAction, ControlFaultAction, ControlFaultKind, ControlFaultPlan, ControlFaultSpec, ControlFaultStats, FaultKind, FaultPlan, FaultSpec,
+    FaultStats, LinkAction,
+};
 pub use link::{Link, LinkConfig};
 pub use packet::{Encap, Feedback, Packet, PacketKind};
 pub use switch::{FabricScheme, Switch};

@@ -29,6 +29,16 @@ pub const PROBE_SIZE: u32 = 100;
 /// Wire size of a probe reply (ICMP time-exceeded analogue).
 pub const PROBE_REPLY_SIZE: u32 = 100;
 
+/// Big-endian u32 from the first four bytes of `b` (caller checks length).
+fn be_u32(b: &[u8]) -> u32 {
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Big-endian u64 from the first eight bytes of `b` (caller checks length).
+fn be_u64(b: &[u8]) -> u64 {
+    u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
 /// Errors returned by `new_checked` constructors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
@@ -102,11 +112,11 @@ pub mod ipv4 {
         }
         /// Source address.
         pub fn src(&self) -> u32 {
-            u32::from_be_bytes(self.0.as_ref()[12..16].try_into().unwrap())
+            super::be_u32(&self.0.as_ref()[12..16])
         }
         /// Destination address.
         pub fn dst(&self) -> u32 {
-            u32::from_be_bytes(self.0.as_ref()[16..20].try_into().unwrap())
+            super::be_u32(&self.0.as_ref()[16..20])
         }
         /// Total length field.
         pub fn total_len(&self) -> u16 {
@@ -194,11 +204,11 @@ pub mod tcp {
         }
         /// Sequence number.
         pub fn seq(&self) -> u32 {
-            u32::from_be_bytes(self.0.as_ref()[4..8].try_into().unwrap())
+            super::be_u32(&self.0.as_ref()[4..8])
         }
         /// Acknowledgement number.
         pub fn ack(&self) -> u32 {
-            u32::from_be_bytes(self.0.as_ref()[8..12].try_into().unwrap())
+            super::be_u32(&self.0.as_ref()[8..12])
         }
         /// Flags byte (CWR ECE URG ACK PSH RST SYN FIN).
         pub fn flags(&self) -> u8 {
@@ -285,7 +295,7 @@ pub mod stt {
         }
         /// The raw 64-bit context id.
         pub fn context(&self) -> u64 {
-            u64::from_be_bytes(self.0.as_ref()[8..16].try_into().unwrap())
+            super::be_u64(&self.0.as_ref()[8..16])
         }
         /// Decode the feedback kind bits.
         pub fn fb_kind(&self) -> u8 {
@@ -389,9 +399,9 @@ pub mod probe {
             Ok(ProbePayload {
                 kind,
                 ttl_sent: buf[1],
-                probe_id: u64::from_be_bytes(buf[2..10].try_into().unwrap()),
-                switch: u32::from_be_bytes(buf[10..14].try_into().unwrap()),
-                ingress: u16::from_be_bytes(buf[14..16].try_into().unwrap()),
+                probe_id: super::be_u64(&buf[2..10]),
+                switch: super::be_u32(&buf[10..14]),
+                ingress: u16::from_be_bytes([buf[14], buf[15]]),
             })
         }
     }

@@ -1,12 +1,14 @@
 //! Property tests for fault plans: a randomly-ordered [`FaultPlan`] is
 //! expanded in timestamp order, and the fabric's final link state equals a
-//! straight fold of the sorted actions over a naive state model.
+//! straight fold of the sorted actions over a naive state model. The same
+//! contracts hold for [`ControlFaultPlan`], and control-plane damage is a
+//! pure function of the fabric seed.
 
 use clove_net::fabric::Event;
-use clove_net::fault::{CableSelector, FaultKind, FaultPlan, FaultSpec, LinkAction};
-use clove_net::packet::Packet;
+use clove_net::fault::{CableSelector, ControlFaultKind, ControlFaultPlan, ControlFaultSpec, FaultKind, FaultPlan, FaultSpec, LinkAction};
+use clove_net::packet::{Feedback, Packet, PacketKind};
 use clove_net::topology::LeafSpine;
-use clove_net::types::{HostId, LinkId};
+use clove_net::types::{FlowKey, HostId, LinkId};
 use clove_net::{HostCtx, HostLogic, Network};
 use clove_sim::{Duration, EventQueue, Time};
 use proptest::prelude::*;
@@ -67,6 +69,20 @@ impl LinkModel {
             LinkAction::SetLoss(r) => self.loss_rate = r,
         }
     }
+}
+
+/// Build one control-fault spec from sampled raw values, on the same
+/// disjoint 10 ms time grid as [`make_spec`].
+fn make_control_spec(i: usize, kind_i: u32, param: f64) -> ControlFaultSpec {
+    let at = Time::from_micros(i as u64 * 10_000);
+    let kind = match kind_i {
+        0 => ControlFaultKind::ProbeLoss { rate: param * 0.9 },
+        1 => ControlFaultKind::ReplyLoss { rate: param * 0.9 },
+        2 => ControlFaultKind::FeedbackLoss { rate: param * 0.9 },
+        3 => ControlFaultKind::FeedbackDelay { delay: Duration::from_micros((param * 1000.0) as u64) },
+        _ => ControlFaultKind::FeedbackCorrupt { rate: param * 0.9 },
+    };
+    ControlFaultSpec { at, kind }
 }
 
 proptest! {
@@ -148,5 +164,78 @@ proptest! {
                 link, got.loss_rate(), want.loss_rate
             );
         }
+    }
+
+    #[test]
+    fn control_expansion_is_sorted_complete_and_order_insensitive(
+        raw in prop::collection::vec((0u32..5, 0.05f64..0.95), 1..8),
+        rot in 0usize..8,
+    ) {
+        // Insert specs in a rotated (non-chronological) order; expansion
+        // must sort by timestamp, lower every spec into exactly one
+        // action, and agree with the in-order plan.
+        let mut rotated = ControlFaultPlan::none();
+        let n = raw.len();
+        for j in 0..n {
+            let i = (j + rot) % n;
+            let (kind_i, param) = raw[i];
+            rotated.push(make_control_spec(i, kind_i, param));
+        }
+        let mut in_order = ControlFaultPlan::none();
+        for (i, &(kind_i, param)) in raw.iter().enumerate() {
+            in_order.push(make_control_spec(i, kind_i, param));
+        }
+        let actions = rotated.expand();
+        prop_assert_eq!(actions.len(), n);
+        prop_assert!(actions.windows(2).all(|w| w[0].at <= w[1].at), "expansion must be timestamp-sorted");
+        prop_assert_eq!(actions, in_order.expand());
+        prop_assert_eq!(rotated.expand(), rotated.expand(), "expansion must be pure");
+    }
+
+    #[test]
+    fn control_damage_is_a_pure_function_of_the_seed(
+        probe_loss in 0.05f64..0.95,
+        feedback_loss in 0.05f64..0.95,
+        feedback_corrupt in 0.05f64..0.95,
+        seed in 0u64..1000,
+        schedule in prop::collection::vec((any::<bool>(), 0u16..64), 1..64),
+    ) {
+        // Two fabrics built from the same seed, fed the same packet
+        // schedule under the same active control faults, must tally
+        // byte-identical control damage — the per-run determinism contract
+        // the parallel experiment runner depends on.
+        let run = || {
+            let topo = LeafSpine::paper_testbed(1.0, seed).build();
+            let mut fabric = topo.fabric;
+            for action in ControlFaultPlan::lossy_control(Time::ZERO, probe_loss).expand() {
+                fabric.apply_control_fault(action.action);
+            }
+            fabric.apply_control_fault(
+                ControlFaultPlan::feedback_loss(Time::ZERO, feedback_loss).expand()[0].action,
+            );
+            fabric.apply_control_fault(
+                ControlFaultPlan::feedback_corrupt(Time::ZERO, feedback_corrupt).expand()[0].action,
+            );
+            let mut queue: EventQueue<Event> = EventQueue::new();
+            for (i, &(is_probe, sport)) in schedule.iter().enumerate() {
+                let now = Time::from_micros(i as u64);
+                let flow = FlowKey::tcp(HostId(0), HostId(17), 4000 + sport, 80);
+                let mut pkt = if is_probe {
+                    Packet::new(i as u64 + 1, 64, flow, PacketKind::Probe { probe_id: i as u64, ttl_sent: 2 })
+                } else {
+                    Packet::new(i as u64 + 1, 1500, flow, PacketKind::Data { seq: 0, len: 1400, dsn: 0 })
+                };
+                if !is_probe {
+                    pkt.feedback = Some(Feedback::Ecn { sport: 49152 + sport, congested: true });
+                }
+                fabric.host_transmit(now, HostId(0), pkt, &mut queue);
+            }
+            fabric.control_stats()
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(first, second);
+        let touched = first.probes_dropped + first.feedback_dropped + first.feedback_corrupted;
+        prop_assert!(touched <= schedule.len() as u64);
     }
 }

@@ -58,6 +58,13 @@ pub trait EdgePolicy {
     fn debug_weights(&self, _dst_hv: HostId) -> Option<Vec<(u16, f64)>> {
         None
     }
+
+    /// Introspection: live flowlet-table entry count, for policies that
+    /// keep one. The invariant monitor asserts it stays bounded (no state
+    /// leak); `None` for policies without flowlet state.
+    fn flowlet_len(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Deployment-wide vswitch configuration (identical on every hypervisor).
