@@ -8,7 +8,7 @@ use clove_harness::Scheme;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fig5_breakdowns(c: &mut Criterion) {
-    let cfg = ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false };
+    let cfg = ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false, ..ExpConfig::quick() };
     let mut g = c.benchmark_group("fig5_breakdowns_asymmetric");
     for scheme in [Scheme::Ecmp, Scheme::CloveEcn] {
         g.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &scheme, |b, s| {

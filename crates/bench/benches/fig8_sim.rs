@@ -8,7 +8,7 @@ use clove_harness::Scheme;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_cfg() -> ExpConfig {
-    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false }
+    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false, ..ExpConfig::quick() }
 }
 
 fn fig8a_symmetric(c: &mut Criterion) {

@@ -18,26 +18,31 @@
 //!    its traceroute component (ports no longer map to disjoint paths).
 //!
 //! The ablations are independent runs, so `--jobs N` executes them
-//! concurrently; results print in ablation order regardless.
+//! concurrently; results print in ablation order regardless. Completed
+//! ablations are checkpointed to `results/.journal/ablations/`; `--resume`
+//! serves them from disk after an interrupted run. An ablation that panics
+//! or stalls is quarantined and reported in place of its result line.
 
-use clove_harness::experiments::run_matrix;
+use clove_harness::orchestrator::{self, CellOutcome, ExecPolicy};
 use clove_harness::scenario::{Scenario, TopologyKind};
-use clove_harness::Scheme;
-use clove_sim::{Duration, Time};
+use clove_harness::{Journal, Scheme};
+use clove_sim::{Duration, RunControl, Time};
 use clove_workload::web_search;
+use std::sync::Arc;
 
 /// One ablation: display label plus the scenario tweak it applies.
-/// Plain function pointers keep the cell type `Sync` for `run_matrix`.
+/// Plain function pointers keep the cell type `Sync` for the orchestrator.
 struct Ablation {
     label: &'static str,
     tweak: fn(&mut Scenario),
 }
 
-fn run(cell: &Ablation, jobs_per_conn: u32) -> String {
+fn run(cell: &Ablation, jobs_per_conn: u32, control: &Arc<RunControl>) -> String {
     let mut s = Scenario::new(Scheme::CloveEcn, TopologyKind::Asymmetric, 0.6, 4040);
     s.jobs_per_conn = jobs_per_conn;
     s.conns_per_client = 2;
     s.horizon = Time::from_secs(30);
+    s.control = Some(Arc::clone(control));
     (cell.tweak)(&mut s);
     let out = s.run_rpc(&web_search());
     format!(
@@ -71,8 +76,16 @@ fn parse_jobs(args: &[String]) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
     let jobs = parse_jobs(&args);
     let jobs_per_conn = if quick { 20 } else { 100 };
+    let journal = match Journal::open("results/.journal/ablations", resume) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("ablations: warning: no checkpoint journal ({e}); running without one");
+            None
+        }
+    };
     println!("Clove-ECN ablations — asymmetric testbed, 60% load, {jobs_per_conn} jobs/conn\n");
 
     let cells = [
@@ -105,9 +118,31 @@ fn main() {
             },
         },
     ];
-    for line in run_matrix(&cells, jobs, |cell| run(cell, jobs_per_conn)) {
-        println!("{line}");
+    let (outcomes, stats) = orchestrator::run_journaled(
+        &cells,
+        jobs,
+        ExecPolicy::default(),
+        journal.as_ref().map(|j| (j, "ablations")),
+        |cell: &Ablation| format!("ablation|{}|jpc{}", cell.label, jobs_per_conn),
+        |cell, control| run(cell, jobs_per_conn, control),
+    );
+    let mut quarantined = 0u32;
+    for (cell, outcome) in cells.iter().zip(outcomes) {
+        match outcome {
+            CellOutcome::Ok(line) => println!("{line}"),
+            bad => {
+                println!("{:<34} QUARANTINED ({})", cell.label, bad.describe());
+                quarantined += 1;
+            }
+        }
+    }
+    if stats.journal_hits > 0 {
+        eprintln!("ablations: resumed {} ablation(s) from the journal", stats.journal_hits);
     }
     println!("\nBaseline should win or tie every ablation; the margins quantify");
     println!("each mechanism's contribution (DESIGN.md section 7).");
+    if quarantined > 0 {
+        eprintln!("ablations: {quarantined} ablation(s) quarantined");
+        std::process::exit(3);
+    }
 }

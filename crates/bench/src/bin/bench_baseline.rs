@@ -13,9 +13,17 @@
 //! `--check FILE` compares this run's serial throughput against a
 //! previously committed report and exits non-zero if aggregate
 //! events/sec regressed by more than 30% — the CI `bench-smoke` gate.
+//!
+//! Completed groups (their measured samples, timing included) are
+//! checkpointed to `results/.journal/bench/`; `--resume` serves groups an
+//! earlier interrupted invocation already timed, so only the remainder
+//! re-runs. The report is written atomically (temp file + rename), so a
+//! crash mid-write never corrupts a committed baseline.
 
 use clove_harness::experiments::{self, ExpConfig, PointCache};
 use clove_harness::json::Json;
+use clove_harness::{write_atomic, Journal};
+use std::path::Path;
 use std::time::Instant;
 
 /// One figure group: a name plus the runs it executes against a fresh
@@ -84,10 +92,29 @@ impl Sample {
     }
 }
 
+fn sample_from_json(v: &Json) -> Option<Sample> {
+    Some(Sample {
+        wall_s: v.get("wall_s").and_then(Json::as_f64)?,
+        events: v.get("events").and_then(Json::as_f64)? as u64,
+        jobs: v.get("jobs").and_then(Json::as_f64)? as usize,
+    })
+}
+
+/// The serial/parallel sample pair as one journal entry (a JSON string —
+/// the journal's `String` codec keeps this bin free of custom impls).
+fn pair_encode(serial: &Sample, parallel: &Sample) -> String {
+    Json::Obj(vec![("serial".to_string(), serial.to_json()), ("parallel".to_string(), parallel.to_json())]).render()
+}
+
+fn pair_decode(text: &str) -> Option<(Sample, Sample)> {
+    let doc = Json::parse(text).ok()?;
+    Some((sample_from_json(doc.get("serial")?)?, sample_from_json(doc.get("parallel")?)?))
+}
+
 fn time_group(group: &Group, jobs: usize) -> Sample {
     // Smoke scale: big enough that events/sec is stable, small enough for
     // CI. Seeds=2 so the seed axis parallelizes too.
-    let cfg = ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs, strict: false };
+    let cfg = ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs, strict: false, ..ExpConfig::quick() };
     let mut cache = PointCache::new();
     let start = Instant::now();
     (group.run)(&cfg, &mut cache);
@@ -113,13 +140,32 @@ fn main() {
     let jobs = parse_flag(&args, "--jobs").and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(|| cpus.max(2));
     let out_path = parse_flag(&args, "--out").unwrap_or("BENCH_baseline.json").to_string();
     let check_path = parse_flag(&args, "--check").map(str::to_string);
+    let resume = args.iter().any(|a| a == "--resume");
+    let journal = match Journal::open("results/.journal/bench", resume) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("bench_baseline: warning: no checkpoint journal ({e}); running without one");
+            None
+        }
+    };
 
     eprintln!("bench_baseline: {cpus} cpu(s), comparing --jobs 1 vs --jobs {jobs}");
     let mut figures = Vec::new();
     let (mut serial_wall, mut parallel_wall, mut serial_events) = (0.0f64, 0.0f64, 0u64);
     for group in &GROUPS {
-        let serial = time_group(group, 1);
-        let parallel = time_group(group, jobs);
+        let key = format!("{}|jobs{}", group.name, jobs);
+        let checkpoint = journal.as_ref().and_then(|j| j.load::<String>("bench", &key)).and_then(|text| pair_decode(&text));
+        let resumed = checkpoint.is_some();
+        let (serial, parallel) = checkpoint.unwrap_or_else(|| {
+            let pair = (time_group(group, 1), time_group(group, jobs));
+            if let Some(j) = &journal {
+                j.store("bench", &key, &pair_encode(&pair.0, &pair.1));
+            }
+            pair
+        });
+        if resumed {
+            eprintln!("  {:<12} resumed from the journal", group.name);
+        }
         assert_eq!(serial.events, parallel.events, "{}: event counts must not depend on --jobs", group.name);
         eprintln!(
             "  {:<12} serial {:.3}s  --jobs {} {:.3}s  ({:.2}x, {:.0} ev/s serial)",
@@ -169,7 +215,7 @@ fn main() {
             ]),
         ),
     ]);
-    if let Err(e) = std::fs::write(&out_path, report.render_pretty() + "\n") {
+    if let Err(e) = write_atomic(Path::new(&out_path), &(report.render_pretty() + "\n")) {
         eprintln!("bench_baseline: cannot write {out_path}: {e}");
         std::process::exit(1);
     }

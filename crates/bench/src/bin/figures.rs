@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|feedback|headline|all] [--quick] [--jobs N] [--strict]
+//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|feedback|headline|all] [--quick] [--jobs N] [--strict] [--resume]
 //! ```
 //!
 //! `--quick` uses the small experiment configuration (fast, noisier);
@@ -11,17 +11,42 @@
 //! over N worker threads; the tables are byte-identical at any N.
 //! `--strict` runs every cell under the invariant monitor and aborts on
 //! any violation.
+//!
+//! Every completed cell is checkpointed to `results/.journal/figures/`.
+//! `--resume` serves cells finished by an earlier (interrupted) invocation
+//! from that journal instead of re-running them; the resulting tables are
+//! byte-identical to an uninterrupted run at any `--jobs` width. Without
+//! `--resume` the journal is wiped at startup.
+//!
+//! Cells that panic or stall are quarantined, not fatal: affected points
+//! render as `-` with a footer naming each quarantined cell, and the
+//! process exits 3 so CI notices.
 
 use clove_harness::experiments::{self, ExpConfig, PointCache};
 use clove_harness::scenario::TopologyKind;
-use clove_harness::Scheme;
+use clove_harness::{write_atomic, Scheme};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set when any emitted table carried quarantined cells; turns into exit 3.
+static SAW_QUARANTINE: AtomicBool = AtomicBool::new(false);
+
+fn note_quarantine(quarantined: &[String]) {
+    if !quarantined.is_empty() {
+        SAW_QUARANTINE.store(true, Ordering::Relaxed);
+    }
+}
+
+fn save_csv(csv_name: &str, contents: &str) {
+    if std::env::var_os("CLOVE_SAVE_CSV").is_some() {
+        let _ = write_atomic(Path::new(&format!("results/{csv_name}.csv")), contents);
+    }
+}
 
 fn emit(table: clove_harness::report::FigureTable, csv_name: &str) {
     println!("{}", table.render());
-    if std::env::var_os("CLOVE_SAVE_CSV").is_some() {
-        let _ = std::fs::create_dir_all("results");
-        let _ = std::fs::write(format!("results/{csv_name}.csv"), table.to_csv());
-    }
+    note_quarantine(&table.quarantined);
+    save_csv(csv_name, &table.to_csv());
 }
 
 /// Parse `--jobs N` / `--jobs=N` (default 1 = serial).
@@ -42,6 +67,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let strict = args.iter().any(|a| a == "--strict");
+    let resume = args.iter().any(|a| a == "--resume");
     let jobs = parse_jobs(&args);
     let which = args
         .iter()
@@ -50,7 +76,14 @@ fn main() {
         .map(|(_, a)| a.clone())
         .next()
         .unwrap_or_else(|| "all".into());
-    let cfg = (if quick { ExpConfig::quick() } else { ExpConfig::full() }).with_jobs(jobs).with_strict(strict);
+    let journal = match clove_harness::Journal::open("results/.journal/figures", resume) {
+        Ok(j) => Some(std::sync::Arc::new(j)),
+        Err(e) => {
+            eprintln!("figures: warning: no checkpoint journal ({e}); running without one");
+            None
+        }
+    };
+    let cfg = (if quick { ExpConfig::quick() } else { ExpConfig::full() }).with_jobs(jobs).with_strict(strict).with_journal(journal.clone());
 
     // The paper sweeps 20–90%; the reproduction reports a representative
     // subset to bound wall-clock time.
@@ -98,6 +131,9 @@ fn main() {
     if run_fig("fig9") {
         println!("## Fig 9 — mice FCT CDFs at 70% load, asymmetric");
         for (scheme, cdf) in experiments::fig9_cached(&cfg, &mut sim_cache) {
+            if scheme.ends_with("[quarantined]") {
+                SAW_QUARANTINE.store(true, Ordering::Relaxed);
+            }
             println!("# {scheme}");
             for (fct, frac) in cdf {
                 println!("{fct:.6},{frac:.4}");
@@ -108,21 +144,26 @@ fn main() {
     if run_fig("resilience") {
         let table = experiments::resilience(&experiments::resilience_schemes(), &cfg);
         println!("{}", table.render());
-        if std::env::var_os("CLOVE_SAVE_CSV").is_some() {
-            let _ = std::fs::create_dir_all("results");
-            let _ = std::fs::write("results/resilience.csv", table.to_csv());
-        }
+        note_quarantine(&table.quarantined);
+        save_csv("resilience", &table.to_csv());
     }
     if run_fig("feedback") {
         let table = experiments::feedback_degradation(&experiments::resilience_schemes(), &cfg);
         println!("{}", table.render());
-        if std::env::var_os("CLOVE_SAVE_CSV").is_some() {
-            let _ = std::fs::create_dir_all("results");
-            let _ = std::fs::write("results/feedback.csv", table.to_csv());
-        }
+        note_quarantine(&table.quarantined);
+        save_csv("feedback", &table.to_csv());
     }
     if run_fig("headline") {
         headline(&cfg);
+    }
+    if let Some(j) = &journal {
+        if j.hits() > 0 {
+            eprintln!("figures: resumed {} cell(s) from the journal", j.hits());
+        }
+    }
+    if SAW_QUARANTINE.load(Ordering::Relaxed) {
+        eprintln!("figures: some cells were quarantined (see table footers); affected points render as '-'");
+        std::process::exit(3);
     }
 }
 

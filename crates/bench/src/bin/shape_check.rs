@@ -4,7 +4,7 @@ use clove_harness::Scheme;
 
 fn main() {
     // 2 seeds pooled to damp heavy-tail noise.
-    let cfg = ExpConfig { jobs_per_conn: 200, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1, strict: false };
+    let cfg = ExpConfig { jobs_per_conn: 200, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1, strict: false, ..ExpConfig::quick() };
     for (topo, loads) in [(TopologyKind::Asymmetric, vec![0.5, 0.7, 0.8]), (TopologyKind::Symmetric, vec![0.5, 0.8])] {
         println!("== {topo:?} ==");
         for load in loads {

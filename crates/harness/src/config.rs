@@ -6,12 +6,15 @@
 //! CDFs via the `cdf_points` knob). Parsing and rendering go through the
 //! in-tree [`crate::json`] module so the workspace builds fully offline.
 
+use crate::journal::{Journal, JournalValue};
 use crate::json::Json;
+use crate::orchestrator::{self, CellOutcome, ExecPolicy};
 use crate::profile::Profile;
 use crate::scenario::{Scenario, TopologyKind};
 use crate::scheme::Scheme;
 use clove_sim::{Duration, Time};
 use clove_workload::{data_mining, enterprise, web_search, FlowSizeDist};
+use std::sync::Arc;
 
 /// JSON-facing scheme name (`{"name": "clove-ecn", ...}`).
 #[derive(Debug, Clone, PartialEq)]
@@ -352,25 +355,58 @@ impl ScenarioSpec {
     /// worker threads. Samples are pooled in seed order, so the report is
     /// identical at any `jobs` value.
     pub fn run_jobs(&self, jobs: usize) -> Result<RunReport, String> {
+        self.run_jobs_journaled(jobs, None)
+    }
+
+    /// [`ScenarioSpec::run_jobs`] with panic isolation and an optional
+    /// checkpoint journal: completed seeds are recorded under the journal's
+    /// `clove-run` scope (keyed by the full spec JSON plus the seed), so an
+    /// interrupted invocation re-run with `--resume` serves finished seeds
+    /// from disk and only executes the remainder. The report is byte-identical
+    /// with or without a resume, at any `jobs` value.
+    pub fn run_jobs_journaled(&self, jobs: usize, journal: Option<&Journal>) -> Result<RunReport, String> {
         let dist = self.distribution()?;
         self.to_scenario().profile.discovery_config().validate().map_err(|e| format!("invalid discovery configuration: {e}"))?;
         let seeds: Vec<u64> = (0..self.seeds.max(1) as u64).map(|i| self.seed + i).collect();
-        let outs = crate::experiments::run_matrix(&seeds, jobs, |&seed| self.to_scenario_seeded(seed).run_rpc(&dist));
+        let spec_key = self.to_json().render();
+        let (outcomes, _stats) = orchestrator::run_journaled(
+            &seeds,
+            jobs,
+            ExecPolicy::default(),
+            journal.map(|j| (j, "clove-run")),
+            |&seed| format!("{spec_key}|seed{seed}"),
+            |&seed, control| {
+                let mut s = self.to_scenario_seeded(seed);
+                s.control = Some(Arc::clone(control));
+                SeedRun::from_outcome(s.run_rpc(&dist))
+            },
+        );
         let mut fct: Option<clove_workload::FctSummary> = None;
         let (mut sim_time, mut events, mut drops, mut ecn_marks, mut timeouts, mut retransmits) = (0.0f64, 0u64, 0u64, 0u64, 0u64, 0u64);
         let mut violations: Vec<String> = Vec::new();
-        for out in outs {
+        let mut quarantined: Vec<String> = Vec::new();
+        for (seed, outcome) in seeds.iter().zip(outcomes) {
+            let out = match outcome {
+                CellOutcome::Ok(run) => run,
+                bad => {
+                    quarantined.push(format!("seed {seed}: {}", bad.describe()));
+                    continue;
+                }
+            };
             match fct.as_mut() {
                 None => fct = Some(out.fct),
                 Some(f) => f.merge(&out.fct),
             }
-            sim_time = sim_time.max(out.sim_time.as_secs_f64());
+            sim_time = sim_time.max(out.sim_time_s);
             events += out.events;
             drops += out.drops;
             ecn_marks += out.ecn_marks;
             timeouts += out.timeouts;
             retransmits += out.retransmits;
             violations.extend(out.violations);
+        }
+        if !quarantined.is_empty() {
+            return Err(format!("{} seed(s) quarantined: {}", quarantined.len(), quarantined.join("; ")));
         }
         if !violations.is_empty() {
             return Err(format!("strict mode: {} invariant violation(s): {}", violations.len(), violations.join("; ")));
@@ -394,6 +430,73 @@ impl ScenarioSpec {
             timeouts,
             retransmits,
             strict: self.strict,
+        })
+    }
+}
+
+/// The per-seed slice of an [`RpcOutcome`](crate::scenario::RpcOutcome)
+/// that [`ScenarioSpec::run_jobs_journaled`] folds into a [`RunReport`] —
+/// exactly what gets checkpointed, so a resumed seed reproduces the fold
+/// bit-for-bit.
+#[derive(Debug, Clone)]
+struct SeedRun {
+    fct: clove_workload::FctSummary,
+    sim_time_s: f64,
+    events: u64,
+    drops: u64,
+    ecn_marks: u64,
+    timeouts: u64,
+    retransmits: u64,
+    violations: Vec<String>,
+}
+
+impl SeedRun {
+    fn from_outcome(out: crate::scenario::RpcOutcome) -> SeedRun {
+        SeedRun {
+            fct: out.fct,
+            sim_time_s: out.sim_time.as_secs_f64(),
+            events: out.events,
+            drops: out.drops,
+            ecn_marks: out.ecn_marks,
+            timeouts: out.timeouts,
+            retransmits: out.retransmits,
+            violations: out.violations,
+        }
+    }
+}
+
+impl JournalValue for SeedRun {
+    fn to_journal(&self) -> Json {
+        Json::Obj(vec![
+            ("fct".into(), self.fct.to_journal()),
+            ("sim_time_s".into(), Json::Num(self.sim_time_s)),
+            ("events".into(), Json::Num(self.events as f64)),
+            ("drops".into(), Json::Num(self.drops as f64)),
+            ("ecn_marks".into(), Json::Num(self.ecn_marks as f64)),
+            ("timeouts".into(), Json::Num(self.timeouts as f64)),
+            ("retransmits".into(), Json::Num(self.retransmits as f64)),
+            ("violations".into(), Json::Arr(self.violations.iter().map(|v| Json::Str(v.clone())).collect())),
+        ])
+    }
+
+    fn from_journal(v: &Json) -> Result<SeedRun, String> {
+        let violations = match v.get("violations") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|x| x.as_str().map(str::to_string).ok_or_else(|| "violation entries must be strings".to_string()))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing 'violations' array".into()),
+        };
+        let scalar = |key: &str| v.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing numeric '{key}'"));
+        Ok(SeedRun {
+            fct: clove_workload::FctSummary::from_journal(v.get("fct").ok_or("missing 'fct'")?)?,
+            sim_time_s: scalar("sim_time_s")?,
+            events: scalar("events")? as u64,
+            drops: scalar("drops")? as u64,
+            ecn_marks: scalar("ecn_marks")? as u64,
+            timeouts: scalar("timeouts")? as u64,
+            retransmits: scalar("retransmits")? as u64,
+            violations,
         })
     }
 }

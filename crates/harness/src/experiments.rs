@@ -13,22 +13,41 @@
 //! Each `(scheme, load/fanout/case, seed)` cell is an independent
 //! simulation: the determinism contract in `clove-sim` is *per run*, so
 //! cells can execute on any worker in any order. All figure drivers funnel
-//! through [`run_matrix`], which hands back results **in cell order**
-//! regardless of completion order, and every fold below consumes them in
-//! that order (seed merges, goodput sums, fault-stat absorbs). Output is
-//! therefore byte-identical at any [`ExpConfig::jobs`] setting — the
-//! regression test `determinism_parallel.rs` pins this.
+//! through [`run_matrix`] (directly, or via the fault-tolerant
+//! [`orchestrator`](crate::orchestrator) wrappers), which hands back
+//! results **in cell order** regardless of completion order, and every
+//! fold below consumes them in that order (seed merges, goodput sums,
+//! fault-stat absorbs). Output is therefore byte-identical at any
+//! [`ExpConfig::jobs`] setting — the regression test
+//! `determinism_parallel.rs` pins this.
+//!
+//! ## Fault tolerance and resume
+//!
+//! Figure drivers execute through [`run_cells`], which adds the
+//! orchestrator's fault model on top of the fan-out: panicking cells are
+//! retried then quarantined ([`ExpConfig::exec`]), stalled cells are
+//! cancelled by the watchdog, and — when [`ExpConfig::journal`] is set —
+//! completed cells are checkpointed so an interrupted run resumes without
+//! re-executing them. Quarantined cells surface as `NaN` data points plus
+//! an explicit per-cell line in the table's `quarantined` list; they are
+//! never silently dropped. Journal values round-trip losslessly (see
+//! [`crate::journal`]), so a resumed run's CSVs are byte-identical to an
+//! uninterrupted one at any `--jobs` width.
 
+use crate::journal::{self, JournalValue};
+use crate::json::Json;
+use crate::orchestrator::{self, CellOutcome, ExecPolicy, MatrixStats};
 use crate::report::{FeedbackRow, FeedbackTable, FigureTable, ResilienceRow, ResilienceTable};
 use crate::scenario::{RpcOutcome, Scenario, TopologyKind};
 use crate::scheme::Scheme;
 use clove_net::fault::{CableSelector, ControlFaultPlan, ControlFaultStats, FaultPlan, FaultStats};
-use clove_sim::{Duration, Time};
+use clove_sim::{Duration, RunControl, Time};
 use clove_workload::{web_search, FctSummary, FlowSizeDist};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Shared experiment sizing.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpConfig {
     /// Jobs per client connection.
     pub jobs_per_conn: u32,
@@ -44,17 +63,23 @@ pub struct ExpConfig {
     /// Run every cell under the [`crate::invariants::InvariantMonitor`]
     /// and panic on any violation (`figures --strict`, integration tests).
     pub strict: bool,
+    /// Cell execution policy: panic isolation, retry budget, stall
+    /// deadline (see [`crate::orchestrator`]).
+    pub exec: ExecPolicy,
+    /// Completed-cell journal for checkpoint/resume; `None` disables
+    /// journaling (cells always execute).
+    pub journal: Option<Arc<crate::journal::Journal>>,
 }
 
 impl ExpConfig {
     /// A configuration suitable for generating the committed figures.
     pub fn full() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1, strict: false }
+        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1, strict: false, exec: ExecPolicy::default(), journal: None }
     }
 
     /// A tiny configuration for benches and CI smoke tests.
     pub fn quick() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false }
+        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false, exec: ExecPolicy::default(), journal: None }
     }
 
     /// The same configuration with a different worker count.
@@ -68,16 +93,39 @@ impl ExpConfig {
         self.strict = strict;
         self
     }
+
+    /// The same configuration with a different cell execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> ExpConfig {
+        self.exec = exec;
+        self
+    }
+
+    /// The same configuration with a checkpoint journal installed.
+    pub fn with_journal(mut self, journal: Option<Arc<crate::journal::Journal>>) -> ExpConfig {
+        self.journal = journal;
+        self
+    }
+
+    /// The journal-key fragment for the shared sizing knobs: everything
+    /// that changes a cell's *result* except the per-cell parameters.
+    /// `jobs` is deliberately excluded — results are jobs-independent, so
+    /// a journal written at `--jobs 1` resumes correctly at `--jobs 8` —
+    /// and so is `seeds`, because the seed itself is a cell parameter.
+    pub fn key_fragment(&self) -> String {
+        format!("jpc{}|cpc{}|h{}|strict{}", self.jobs_per_conn, self.conns_per_client, self.horizon_secs, self.strict)
+    }
 }
 
 /// Run every cell of an experiment matrix, on `jobs` worker threads, and
 /// return the results **in cell order** (never completion order).
 ///
-/// This is the one fan-out primitive every figure/ablation/resilience
-/// driver goes through. Each cell must be an independent simulation run —
-/// the per-run determinism contract makes that safe — and because results
-/// come back in input order, any fold written against the serial runner
-/// produces identical bytes against the parallel one.
+/// This is the raw fan-out primitive: no panic isolation, no journal — a
+/// panicking cell aborts the matrix. Figure drivers use [`run_cells`] on
+/// top of it; benches and other hot paths that want zero overhead use it
+/// directly. Each cell must be an independent simulation run — the per-run
+/// determinism contract makes that safe — and because results come back in
+/// input order, any fold written against the serial runner produces
+/// identical bytes against the parallel one.
 pub fn run_matrix<K, R, F>(cells: &[K], jobs: usize, run: F) -> Vec<R>
 where
     K: Sync,
@@ -91,6 +139,19 @@ where
     pool.install(|| cells.par_iter().map(run).collect())
 }
 
+/// The fault-tolerant fan-out every figure driver funnels through:
+/// [`run_matrix`] plus the orchestrator's panic isolation, retry,
+/// stall watchdog, and (when configured) the checkpoint journal under
+/// `scope`.
+fn run_cells<K, R, F>(scope: &str, cells: &[K], cfg: &ExpConfig, key: impl Fn(&K) -> String + Send + Sync, run: F) -> (Vec<CellOutcome<R>>, MatrixStats)
+where
+    K: Sync,
+    R: Send + JournalValue,
+    F: Fn(&K, &Arc<RunControl>) -> R + Send + Sync,
+{
+    orchestrator::run_journaled(cells, cfg.jobs, cfg.exec, cfg.journal.as_deref().map(|j| (j, scope)), key, run)
+}
+
 /// The oracle Presto weights for the asymmetric topology (paper §5.2:
 /// 0.33/0.33/0.17/0.17 — full weight on the two healthy S1 paths, half on
 /// the S2 paths that share the surviving S2–L2 cable).
@@ -101,23 +162,34 @@ pub fn presto_oracle_weights(topology: TopologyKind) -> Option<Vec<f64>> {
     }
 }
 
-fn scenario(scheme: Scheme, topology: TopologyKind, load: f64, seed: u64, cfg: &ExpConfig) -> Scenario {
+fn scenario(scheme: Scheme, topology: TopologyKind, load: f64, seed: u64, cfg: &ExpConfig, control: Option<&Arc<RunControl>>) -> Scenario {
     let mut s = Scenario::new(scheme, topology, load, seed);
     s.jobs_per_conn = cfg.jobs_per_conn;
     s.conns_per_client = cfg.conns_per_client;
     s.horizon = Time::from_secs(cfg.horizon_secs);
     s.strict = cfg.strict;
+    s.control = control.map(Arc::clone);
     s
 }
 
 /// Run one scenario, failing loudly on strict-mode invariant violations
 /// (the outcome carries them only when the scenario ran strict). Every
 /// figure/ablation driver funnels its RPC runs through here so `--strict`
-/// covers the whole experiment surface.
+/// covers the whole experiment surface. Under [`run_cells`] the panic is
+/// caught and the cell quarantined with this message.
 fn run_rpc_checked(s: &Scenario, dist: &FlowSizeDist) -> RpcOutcome {
     let out = s.run_rpc(dist);
     assert!(out.violations.is_empty(), "invariant violations in {} (seed {}): {:#?}", s.scheme.label(), s.seed, out.violations);
     out
+}
+
+/// A stable tag for journal keys and quarantine labels.
+fn topology_tag(topology: TopologyKind) -> String {
+    match topology {
+        TopologyKind::Symmetric => "sym".into(),
+        TopologyKind::Asymmetric => "asym".into(),
+        TopologyKind::FatTree { k } => format!("fattree{k}"),
+    }
 }
 
 /// Run one (scheme, topology, load) point over the configured seeds and
@@ -130,12 +202,14 @@ pub fn rpc_point(scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpCo
 /// across the seeds (the denominator for events/sec benchmarks).
 ///
 /// Seeds run as parallel cells at `cfg.jobs > 1`; the FCT merge happens
-/// in seed order either way.
+/// in seed order either way. This is the *loud* path — no isolation, no
+/// journal — used by benches (where orchestration overhead would pollute
+/// timings) and headline runs that want a panic to propagate.
 pub fn rpc_point_detailed(scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> (FctSummary, u64) {
     let dist = web_search();
     let seeds: Vec<u64> = (0..cfg.seeds).map(|s| 1000 + s as u64).collect();
     let outs = run_matrix(&seeds, cfg.jobs, |&seed| {
-        let s = scenario(scheme.clone(), topology, load, seed, cfg);
+        let s = scenario(scheme.clone(), topology, load, seed, cfg, None);
         let out = run_rpc_checked(&s, &dist);
         (out.fct, out.events)
     });
@@ -151,13 +225,22 @@ pub fn rpc_point_detailed(scheme: &Scheme, topology: TopologyKind, load: f64, cf
     (pooled.expect("at least one seed"), events)
 }
 
-/// Memoizes [`rpc_point`] results so figures sharing the same underlying
+type PointKey = (String, bool, u64);
+
+/// Memoizes RPC point results so figures sharing the same underlying
 /// runs (4c with 5a/5b/5c, 8b with 9) pay for them once.
+///
+/// A `None` entry is a *quarantined* point: at least one of its seed runs
+/// panicked or stalled, so the point has no trustworthy value. The
+/// per-seed reasons are kept in `quarantined` and surface in figure
+/// footers.
 #[derive(Default)]
 pub struct PointCache {
-    entries: std::collections::HashMap<(String, bool, u64), FctSummary>,
+    entries: std::collections::HashMap<PointKey, Option<FctSummary>>,
+    quarantined: std::collections::HashMap<PointKey, Vec<String>>,
     /// Total simulation events processed by runs charged to this cache
-    /// (cache hits add nothing — the run already happened).
+    /// (cache hits and journal hits add nothing — the run already
+    /// happened).
     pub events: u64,
 }
 
@@ -167,19 +250,21 @@ impl PointCache {
         PointCache::default()
     }
 
-    fn key(scheme: &Scheme, topology: TopologyKind, load: f64) -> (String, bool, u64) {
+    fn key(scheme: &Scheme, topology: TopologyKind, load: f64) -> PointKey {
         (scheme.label().to_string(), topology == TopologyKind::Asymmetric, (load * 1000.0).round() as u64)
     }
 
-    /// Fetch or compute a point.
-    pub fn point(&mut self, scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> FctSummary {
-        let key = Self::key(scheme, topology, load);
-        if let Some(hit) = self.entries.get(&key) {
-            return hit.clone();
-        }
-        let (fct, events) = rpc_point_detailed(scheme, topology, load, cfg);
-        self.events += events;
-        self.entries.entry(key).or_insert(fct).clone()
+    /// Fetch or compute a point; `None` means the point is quarantined
+    /// (see [`PointCache::quarantine_lines`] for why).
+    pub fn point(&mut self, scheme: &Scheme, topology: TopologyKind, load: f64, cfg: &ExpConfig) -> Option<FctSummary> {
+        self.prefetch(std::slice::from_ref(scheme), topology, &[load], cfg);
+        self.entries.get(&Self::key(scheme, topology, load)).cloned().flatten()
+    }
+
+    /// The per-seed quarantine reasons for a point (empty when the point
+    /// completed cleanly).
+    pub fn quarantine_lines(&self, scheme: &Scheme, topology: TopologyKind, load: f64) -> &[String] {
+        self.quarantined.get(&Self::key(scheme, topology, load)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Compute every missing `(scheme, load)` point of a figure in one flat
@@ -189,7 +274,8 @@ impl PointCache {
     /// Results are folded grouped in cell order (scheme-major, then load,
     /// then seed) — exactly the order the serial [`point`] path merges in,
     /// so a prefetched cache is indistinguishable from a serially filled
-    /// one.
+    /// one. A point with any quarantined seed becomes a `None` entry: a
+    /// partial seed pool would silently shift the statistics.
     ///
     /// [`point`]: PointCache::point
     pub fn prefetch(&mut self, schemes: &[Scheme], topology: TopologyKind, loads: &[f64], cfg: &ExpConfig) {
@@ -207,22 +293,49 @@ impl PointCache {
         }
         let dist = web_search();
         let cells: Vec<(usize, f64, u64)> = missing.iter().flat_map(|&(si, load)| (0..cfg.seeds).map(move |s| (si, load, 1000 + s as u64))).collect();
-        let results = run_matrix(&cells, cfg.jobs, |&(si, load, seed)| {
-            let s = scenario(schemes[si].clone(), topology, load, seed, cfg);
-            let out = run_rpc_checked(&s, &dist);
-            (out.fct, out.events)
-        });
+        let (outcomes, _) = run_cells(
+            "rpc",
+            &cells,
+            cfg,
+            |&(si, load, seed)| {
+                format!("rpc|{}|{}|load{}|seed{}|{}", schemes[si].label(), topology_tag(topology), (load * 1000.0).round() as u64, seed, cfg.key_fragment())
+            },
+            |&(si, load, seed), control| {
+                let s = scenario(schemes[si].clone(), topology, load, seed, cfg, Some(control));
+                let out = run_rpc_checked(&s, &dist);
+                (out.fct, out.events)
+            },
+        );
         let per_point = cfg.seeds as usize;
         for (pi, &(si, load)) in missing.iter().enumerate() {
             let mut pooled: Option<FctSummary> = None;
-            for (fct, events) in &results[pi * per_point..(pi + 1) * per_point] {
-                self.events += events;
-                match pooled.as_mut() {
-                    None => pooled = Some(fct.clone()),
-                    Some(p) => p.merge(fct),
+            let mut bad = Vec::new();
+            for (off, outcome) in outcomes[pi * per_point..(pi + 1) * per_point].iter().enumerate() {
+                match outcome {
+                    CellOutcome::Ok((fct, events)) => {
+                        self.events += events;
+                        match pooled.as_mut() {
+                            None => pooled = Some(fct.clone()),
+                            Some(p) => p.merge(fct),
+                        }
+                    }
+                    other => bad.push(format!(
+                        "{} @ {:.0}% load ({}) seed {}: {}",
+                        schemes[si].label(),
+                        load * 100.0,
+                        topology_tag(topology),
+                        1000 + off as u64,
+                        other.describe()
+                    )),
                 }
             }
-            self.entries.insert(Self::key(&schemes[si], topology, load), pooled.expect("at least one seed"));
+            let key = Self::key(&schemes[si], topology, load);
+            if bad.is_empty() {
+                self.entries.insert(key, Some(pooled.expect("at least one seed")));
+            } else {
+                self.quarantined.insert(key.clone(), bad);
+                self.entries.insert(key, None);
+            }
         }
     }
 }
@@ -314,30 +427,45 @@ pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
     // Flat (variant, load, seed) cells, folded variant-major in cell order.
     let cells: Vec<(usize, f64, u64)> =
         (0..variants.len()).flat_map(|vi| loads.iter().flat_map(move |&load| (0..cfg.seeds).map(move |s| (vi, load, 2000 + s as u64)))).collect();
-    let results = run_matrix(&cells, cfg.jobs, |&(vi, load, seed)| {
-        let (_, gap_mult, ecn_pkts) = variants[vi];
-        let mut s = scenario(Scheme::CloveEcn, TopologyKind::Asymmetric, load, seed, cfg);
-        // Multipliers are relative to the default gap (≈ the loaded RTT,
-        // the paper's "1×RTT best" operating point).
-        s.profile.flowlet_gap = Duration::from_secs_f64(s.profile.flowlet_gap.as_secs_f64() * gap_mult);
-        s.profile.ecn_threshold_pkts = ecn_pkts;
-        run_rpc_checked(&s, &dist).fct
-    });
+    let (outcomes, _) = run_cells(
+        "fig6",
+        &cells,
+        cfg,
+        |&(vi, load, seed)| format!("fig6|{}|load{}|seed{}|{}", variants[vi].0, (load * 1000.0).round() as u64, seed, cfg.key_fragment()),
+        |&(vi, load, seed), control| {
+            let (_, gap_mult, ecn_pkts) = variants[vi];
+            let mut s = scenario(Scheme::CloveEcn, TopologyKind::Asymmetric, load, seed, cfg, Some(control));
+            // Multipliers are relative to the default gap (≈ the loaded RTT,
+            // the paper's "1×RTT best" operating point).
+            s.profile.flowlet_gap = Duration::from_secs_f64(s.profile.flowlet_gap.as_secs_f64() * gap_mult);
+            s.profile.ecn_threshold_pkts = ecn_pkts;
+            run_rpc_checked(&s, &dist).fct
+        },
+    );
     let mut table = FigureTable::new("Fig 6 — Clove-ECN parameter sensitivity, asymmetric, avg FCT (s)", "load %", loads.iter().map(|l| l * 100.0).collect());
     let per_point = cfg.seeds as usize;
-    let mut chunks = results.chunks(per_point);
+    let mut chunks = outcomes.chunks(per_point);
     for (name, _, _) in variants {
         let mut ys = Vec::new();
-        for _ in loads {
+        for &load in loads {
             let chunk = chunks.next().expect("cell count matches variants × loads");
             let mut pooled: Option<FctSummary> = None;
-            for fct in chunk {
-                match pooled.as_mut() {
-                    None => pooled = Some(fct.clone()),
-                    Some(p) => p.merge(fct),
+            let mut bad = Vec::new();
+            for (off, outcome) in chunk.iter().enumerate() {
+                match outcome {
+                    CellOutcome::Ok(fct) => match pooled.as_mut() {
+                        None => pooled = Some(fct.clone()),
+                        Some(p) => p.merge(fct),
+                    },
+                    other => bad.push(format!("{name} @ {:.0}% load seed {}: {}", load * 100.0, 2000 + off as u64, other.describe())),
                 }
             }
-            ys.push(pooled.expect("seed ran").avg());
+            if bad.is_empty() {
+                ys.push(pooled.expect("seed ran").avg());
+            } else {
+                ys.push(f64::NAN);
+                table.quarantined.extend(bad);
+            }
         }
         table.push_series(name, ys);
     }
@@ -350,20 +478,39 @@ pub fn fig7(fanouts: &[u32], requests: u32, cfg: &ExpConfig) -> FigureTable {
     // Flat (scheme, fanout, seed) cells, folded scheme-major in cell order.
     let cells: Vec<(usize, u32, u64)> =
         (0..schemes.len()).flat_map(|si| fanouts.iter().flat_map(move |&fanout| (0..cfg.seeds).map(move |s| (si, fanout, 3000 + s as u64)))).collect();
-    let results = run_matrix(&cells, cfg.jobs, |&(si, fanout, seed)| {
-        let s = scenario(schemes[si].clone(), TopologyKind::Symmetric, 0.5, seed, cfg);
-        let out = s.run_incast(fanout, requests, 10_000_000);
-        assert!(out.invariant_violations == 0, "{} invariant violations in incast {} (seed {})", out.invariant_violations, schemes[si].label(), seed);
-        out.goodput_bps / 1e9
-    });
+    let (outcomes, _) = run_cells(
+        "fig7",
+        &cells,
+        cfg,
+        |&(si, fanout, seed)| format!("fig7|{}|fanout{fanout}|req{requests}|seed{seed}|{}", schemes[si].label(), cfg.key_fragment()),
+        |&(si, fanout, seed), control| {
+            let s = scenario(schemes[si].clone(), TopologyKind::Symmetric, 0.5, seed, cfg, Some(control));
+            let out = s.run_incast(fanout, requests, 10_000_000);
+            assert!(out.invariant_violations == 0, "{} invariant violations in incast {} (seed {})", out.invariant_violations, schemes[si].label(), seed);
+            out.goodput_bps / 1e9
+        },
+    );
     let mut table = FigureTable::new("Fig 7 — incast: client goodput (Gbps) vs request fan-in", "fan-in", fanouts.iter().map(|&f| f as f64).collect());
     let per_point = cfg.seeds as usize;
-    let mut chunks = results.chunks(per_point);
+    let mut chunks = outcomes.chunks(per_point);
     for scheme in &schemes {
         let mut ys = Vec::new();
-        for _ in fanouts {
+        for &fanout in fanouts {
             let chunk = chunks.next().expect("cell count matches schemes × fanouts");
-            ys.push(chunk.iter().sum::<f64>() / cfg.seeds as f64);
+            let mut sum = 0.0;
+            let mut bad = Vec::new();
+            for (off, outcome) in chunk.iter().enumerate() {
+                match outcome {
+                    CellOutcome::Ok(gbps) => sum += gbps,
+                    other => bad.push(format!("{} @ fan-in {fanout} seed {}: {}", scheme.label(), 3000 + off as u64, other.describe())),
+                }
+            }
+            if bad.is_empty() {
+                ys.push(sum / cfg.seeds as f64);
+            } else {
+                ys.push(f64::NAN);
+                table.quarantined.extend(bad);
+            }
         }
         table.push_series(scheme.label(), ys);
     }
@@ -391,7 +538,9 @@ pub fn fig8b_cached(loads: &[f64], cfg: &ExpConfig, cache: &mut PointCache) -> F
 }
 
 /// Figure 9: CDFs of mice FCTs at 70% load on the asymmetric topology for
-/// ECMP, Clove-ECN, CONGA. Returns `(scheme, cdf points)` triples.
+/// ECMP, Clove-ECN, CONGA. Returns `(scheme, cdf points)` triples; a
+/// quarantined scheme yields an empty point list and a `[quarantined]`
+/// label suffix rather than aborting the figure.
 pub fn fig9(cfg: &ExpConfig) -> Vec<(String, Vec<(f64, f64)>)> {
     fig9_cached(cfg, &mut PointCache::new())
 }
@@ -404,8 +553,10 @@ pub fn fig9_cached(cfg: &ExpConfig, cache: &mut PointCache) -> Vec<(String, Vec<
         .into_iter()
         .map(|scheme| {
             let label = scheme.label().to_string();
-            let mut s = cache.point(&scheme, TopologyKind::Asymmetric, 0.7, cfg);
-            (label, s.mice_cdf(40))
+            match cache.point(&scheme, TopologyKind::Asymmetric, 0.7, cfg) {
+                Some(mut s) => (label, s.mice_cdf(40)),
+                None => (format!("{label} [quarantined]"), Vec::new()),
+            }
         })
         .collect()
 }
@@ -479,6 +630,52 @@ pub fn resilience_schemes() -> Vec<Scheme> {
 /// baseline, early enough that plenty of traffic runs under the fault.
 pub const RESILIENCE_FAULT_AT: Time = Time(20_000_000); // 20 ms
 
+fn fault_stats_to_json(s: &FaultStats) -> Json {
+    Json::Obj(vec![
+        ("drops_down".into(), s.drops_down.to_journal()),
+        ("drops_loss".into(), s.drops_loss.to_journal()),
+        ("drops_overflow".into(), s.drops_overflow.to_journal()),
+        ("drops_no_route".into(), s.drops_no_route.to_journal()),
+        ("down_time_ns".into(), s.down_time.as_nanos().to_journal()),
+        ("degraded_time_ns".into(), s.degraded_time.as_nanos().to_journal()),
+        ("faults_applied".into(), s.faults_applied.to_journal()),
+    ])
+}
+
+fn fault_stats_from_json(v: &Json) -> Result<FaultStats, String> {
+    Ok(FaultStats {
+        drops_down: journal::deu64(journal::field(v, "drops_down")?)?,
+        drops_loss: journal::deu64(journal::field(v, "drops_loss")?)?,
+        drops_overflow: journal::deu64(journal::field(v, "drops_overflow")?)?,
+        drops_no_route: journal::deu64(journal::field(v, "drops_no_route")?)?,
+        down_time: Duration::from_nanos(journal::deu64(journal::field(v, "down_time_ns")?)?),
+        degraded_time: Duration::from_nanos(journal::deu64(journal::field(v, "degraded_time_ns")?)?),
+        faults_applied: journal::deu64(journal::field(v, "faults_applied")?)?,
+    })
+}
+
+fn control_stats_to_json(s: &ControlFaultStats) -> Json {
+    Json::Obj(vec![
+        ("probes_dropped".into(), s.probes_dropped.to_journal()),
+        ("replies_dropped".into(), s.replies_dropped.to_journal()),
+        ("feedback_dropped".into(), s.feedback_dropped.to_journal()),
+        ("feedback_delayed".into(), s.feedback_delayed.to_journal()),
+        ("feedback_corrupted".into(), s.feedback_corrupted.to_journal()),
+        ("control_faults_applied".into(), s.control_faults_applied.to_journal()),
+    ])
+}
+
+fn control_stats_from_json(v: &Json) -> Result<ControlFaultStats, String> {
+    Ok(ControlFaultStats {
+        probes_dropped: journal::deu64(journal::field(v, "probes_dropped")?)?,
+        replies_dropped: journal::deu64(journal::field(v, "replies_dropped")?)?,
+        feedback_dropped: journal::deu64(journal::field(v, "feedback_dropped")?)?,
+        feedback_delayed: journal::deu64(journal::field(v, "feedback_delayed")?)?,
+        feedback_corrupted: journal::deu64(journal::field(v, "feedback_corrupted")?)?,
+        control_faults_applied: journal::deu64(journal::field(v, "control_faults_applied")?)?,
+    })
+}
+
 /// Per-run payload of one resilience cell, pre-fold.
 struct ResilienceRun {
     fct: FctSummary,
@@ -487,11 +684,35 @@ struct ResilienceRun {
     recovery: Option<Duration>,
 }
 
+impl JournalValue for ResilienceRun {
+    fn to_journal(&self) -> Json {
+        Json::Obj(vec![
+            ("fct".into(), self.fct.to_journal()),
+            ("evictions".into(), self.evictions.to_journal()),
+            ("fault_stats".into(), fault_stats_to_json(&self.fault_stats)),
+            ("recovery".into(), journal::opt_duration_to_json(self.recovery)),
+        ])
+    }
+    fn from_journal(v: &Json) -> Result<ResilienceRun, String> {
+        Ok(ResilienceRun {
+            fct: FctSummary::from_journal(journal::field(v, "fct")?)?,
+            evictions: journal::deu64(journal::field(v, "evictions")?)?,
+            fault_stats: fault_stats_from_json(journal::field(v, "fault_stats")?)?,
+            recovery: journal::opt_duration_from_json(journal::field(v, "recovery")?)?,
+        })
+    }
+}
+
 /// The resilience sweep: `{clean, single-cut, flapping, 50%-degraded,
 /// 1%-loss}` × `schemes` at 60% load on the symmetric testbed topology,
 /// reporting average FCT, degradation vs. the scheme's clean run, recovery
 /// time and the fabric's fault damage. Probing is tightened to 5 ms rounds
 /// so detection happens on the timescale of the faults.
+///
+/// A quarantined `(scheme, case)` cell renders as a row of `NaN`s plus a
+/// footer line; when the *clean* baseline of a scheme is quarantined, the
+/// degradation column of its other cases is `NaN` as well (there is
+/// nothing sound to normalize against).
 pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
     let dist = web_search();
     let load = 0.6;
@@ -499,17 +720,23 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
     // FaultCase::ALL order so `clean` arrives first) in cell order.
     let cells: Vec<(usize, usize, u64)> =
         (0..schemes.len()).flat_map(|si| (0..FaultCase::ALL.len()).flat_map(move |ci| (0..cfg.seeds).map(move |s| (si, ci, 4000 + s as u64)))).collect();
-    let results = run_matrix(&cells, cfg.jobs, |&(si, ci, seed)| {
-        let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg);
-        s.profile.probe_interval = Duration::from_millis(5);
-        s.faults = FaultCase::ALL[ci].plan(RESILIENCE_FAULT_AT, s.profile.probe_interval);
-        let out = run_rpc_checked(&s, &dist);
-        ResilienceRun { fct: out.fct, evictions: out.path_evictions, fault_stats: out.fault_stats, recovery: out.recovery }
-    });
+    let (outcomes, _) = run_cells(
+        "resilience",
+        &cells,
+        cfg,
+        |&(si, ci, seed)| format!("resilience|{}|{}|seed{seed}|{}", schemes[si].label(), FaultCase::ALL[ci].label(), cfg.key_fragment()),
+        |&(si, ci, seed), control| {
+            let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg, Some(control));
+            s.profile.probe_interval = Duration::from_millis(5);
+            s.faults = FaultCase::ALL[ci].plan(RESILIENCE_FAULT_AT, s.profile.probe_interval);
+            let out = run_rpc_checked(&s, &dist);
+            ResilienceRun { fct: out.fct, evictions: out.path_evictions, fault_stats: out.fault_stats, recovery: out.recovery }
+        },
+    );
     let mut table =
         ResilienceTable::new(format!("Resilience — S2-L2 faults at {} ms, symmetric, {:.0}% load", RESILIENCE_FAULT_AT.0 / 1_000_000, load * 100.0));
     let per_point = cfg.seeds as usize;
-    let mut chunks = results.chunks(per_point);
+    let mut chunks = outcomes.chunks(per_point);
     for scheme in schemes {
         let mut clean_avg = None;
         for case in FaultCase::ALL {
@@ -518,25 +745,43 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
             let mut evictions = 0u64;
             let mut stats = FaultStats::default();
             let mut recovered_ms = Vec::new();
-            for run in chunk {
-                evictions += run.evictions;
-                stats.absorb(&run.fault_stats);
-                if let Some(r) = run.recovery {
-                    recovered_ms.push(r.as_secs_f64() * 1e3);
-                }
-                match pooled.as_mut() {
-                    None => pooled = Some(run.fct.clone()),
-                    Some(p) => p.merge(&run.fct),
+            let mut bad = Vec::new();
+            for (off, outcome) in chunk.iter().enumerate() {
+                match outcome {
+                    CellOutcome::Ok(run) => {
+                        evictions += run.evictions;
+                        stats.absorb(&run.fault_stats);
+                        if let Some(r) = run.recovery {
+                            recovered_ms.push(r.as_secs_f64() * 1e3);
+                        }
+                        match pooled.as_mut() {
+                            None => pooled = Some(run.fct.clone()),
+                            Some(p) => p.merge(&run.fct),
+                        }
+                    }
+                    other => bad.push(format!("{} / {} seed {}: {}", scheme.label(), case.label(), 4000 + off as u64, other.describe())),
                 }
             }
-            let fct = pooled.expect("at least one seed");
-            let avg = fct.avg();
+            let avg = if bad.is_empty() { pooled.expect("at least one seed").avg() } else { f64::NAN };
+            if !bad.is_empty() {
+                table.quarantined.extend(bad);
+                evictions = 0;
+                stats = FaultStats::default();
+                recovered_ms.clear();
+            }
             let clean = *clean_avg.get_or_insert(avg);
+            let degradation = if avg.is_nan() || clean.is_nan() {
+                f64::NAN
+            } else if clean > 0.0 {
+                avg / clean
+            } else {
+                1.0
+            };
             table.rows.push(ResilienceRow {
                 case: case.label().into(),
                 scheme: scheme.label().to_string(),
                 avg_fct_s: avg,
-                degradation: if clean > 0.0 { avg / clean } else { 1.0 },
+                degradation,
                 recovery_ms: if recovered_ms.is_empty() { None } else { Some(recovered_ms.iter().sum::<f64>() / recovered_ms.len() as f64) },
                 path_evictions: evictions,
                 stats,
@@ -556,6 +801,23 @@ struct FeedbackRun {
     fct: FctSummary,
     control: ControlFaultStats,
     recovery: Option<Duration>,
+}
+
+impl JournalValue for FeedbackRun {
+    fn to_journal(&self) -> Json {
+        Json::Obj(vec![
+            ("fct".into(), self.fct.to_journal()),
+            ("control".into(), control_stats_to_json(&self.control)),
+            ("recovery".into(), journal::opt_duration_to_json(self.recovery)),
+        ])
+    }
+    fn from_journal(v: &Json) -> Result<FeedbackRun, String> {
+        Ok(FeedbackRun {
+            fct: FctSummary::from_journal(journal::field(v, "fct")?)?,
+            control: control_stats_from_json(journal::field(v, "control")?)?,
+            recovery: journal::opt_duration_from_json(journal::field(v, "recovery")?)?,
+        })
+    }
 }
 
 /// The feedback-degradation sweep: `{0, 1, 5, 20, 50}%` control-loop loss
@@ -578,23 +840,31 @@ pub fn feedback_degradation(schemes: &[Scheme], cfg: &ExpConfig) -> FeedbackTabl
     // cell order.
     let cells: Vec<(usize, usize, u64)> =
         (0..schemes.len()).flat_map(|si| (0..FEEDBACK_LOSS_RATES.len()).flat_map(move |ri| (0..cfg.seeds).map(move |s| (si, ri, 5000 + s as u64)))).collect();
-    let results = run_matrix(&cells, cfg.jobs, |&(si, ri, seed)| {
-        let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg);
-        s.profile.probe_interval = Duration::from_millis(5);
-        let rate = FEEDBACK_LOSS_RATES[ri];
-        if rate > 0.0 {
-            s.control_faults = ControlFaultPlan::lossy_control(RESILIENCE_FAULT_AT, rate);
-        }
-        let out = run_rpc_checked(&s, &dist);
-        FeedbackRun { fct: out.fct, control: out.control_stats, recovery: out.recovery }
-    });
+    let (outcomes, _) = run_cells(
+        "feedback",
+        &cells,
+        cfg,
+        |&(si, ri, seed)| {
+            format!("feedback|{}|rate{}|seed{seed}|{}", schemes[si].label(), (FEEDBACK_LOSS_RATES[ri] * 1000.0).round() as u64, cfg.key_fragment())
+        },
+        |&(si, ri, seed), control| {
+            let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg, Some(control));
+            s.profile.probe_interval = Duration::from_millis(5);
+            let rate = FEEDBACK_LOSS_RATES[ri];
+            if rate > 0.0 {
+                s.control_faults = ControlFaultPlan::lossy_control(RESILIENCE_FAULT_AT, rate);
+            }
+            let out = run_rpc_checked(&s, &dist);
+            FeedbackRun { fct: out.fct, control: out.control_stats, recovery: out.recovery }
+        },
+    );
     let mut table = FeedbackTable::new(format!(
         "Feedback degradation — lossy control loop from {} ms, symmetric, {:.0}% load",
         RESILIENCE_FAULT_AT.0 / 1_000_000,
         load * 100.0
     ));
     let per_point = cfg.seeds as usize;
-    let mut chunks = results.chunks(per_point);
+    let mut chunks = outcomes.chunks(per_point);
     for scheme in schemes {
         let mut clean: Option<(f64, f64)> = None;
         for rate in FEEDBACK_LOSS_RATES {
@@ -602,26 +872,48 @@ pub fn feedback_degradation(schemes: &[Scheme], cfg: &ExpConfig) -> FeedbackTabl
             let mut pooled: Option<FctSummary> = None;
             let mut control = ControlFaultStats::default();
             let mut recovered_ms = Vec::new();
-            for run in chunk {
-                control.absorb(&run.control);
-                if let Some(r) = run.recovery {
-                    recovered_ms.push(r.as_secs_f64() * 1e3);
-                }
-                match pooled.as_mut() {
-                    None => pooled = Some(run.fct.clone()),
-                    Some(p) => p.merge(&run.fct),
+            let mut bad = Vec::new();
+            for (off, outcome) in chunk.iter().enumerate() {
+                match outcome {
+                    CellOutcome::Ok(run) => {
+                        control.absorb(&run.control);
+                        if let Some(r) = run.recovery {
+                            recovered_ms.push(r.as_secs_f64() * 1e3);
+                        }
+                        match pooled.as_mut() {
+                            None => pooled = Some(run.fct.clone()),
+                            Some(p) => p.merge(&run.fct),
+                        }
+                    }
+                    other => bad.push(format!("{} @ {:.0}% control loss seed {}: {}", scheme.label(), rate * 100.0, 5000 + off as u64, other.describe())),
                 }
             }
-            let mut fct = pooled.expect("at least one seed");
-            let (avg, p99) = (fct.avg(), fct.p99());
+            let (avg, p99) = if bad.is_empty() {
+                let mut fct = pooled.expect("at least one seed");
+                (fct.avg(), fct.p99())
+            } else {
+                table.quarantined.extend(bad);
+                control = ControlFaultStats::default();
+                recovered_ms.clear();
+                (f64::NAN, f64::NAN)
+            };
             let (clean_avg, clean_p99) = *clean.get_or_insert((avg, p99));
+            let slowdown = |v: f64, base: f64| {
+                if v.is_nan() || base.is_nan() {
+                    f64::NAN
+                } else if base > 0.0 {
+                    v / base
+                } else {
+                    1.0
+                }
+            };
             table.rows.push(FeedbackRow {
                 rate_pct: rate * 100.0,
                 scheme: scheme.label().to_string(),
                 avg_fct_s: avg,
-                avg_slowdown: if clean_avg > 0.0 { avg / clean_avg } else { 1.0 },
+                avg_slowdown: slowdown(avg, clean_avg),
                 p99_fct_s: p99,
-                p99_slowdown: if clean_p99 > 0.0 { p99 / clean_p99 } else { 1.0 },
+                p99_slowdown: slowdown(p99, clean_p99),
                 recovery_ms: if recovered_ms.is_empty() { None } else { Some(recovered_ms.iter().sum::<f64>() / recovered_ms.len() as f64) },
                 control,
             });
@@ -632,6 +924,7 @@ pub fn feedback_degradation(schemes: &[Scheme], cfg: &ExpConfig) -> FeedbackTabl
 
 /// Shared driver for FCT-vs-load figures: prefetch the whole scheme × load
 /// matrix as one parallel fan-out, then assemble from cache hits.
+/// Quarantined points render as `NaN` with a footer line per failed seed.
 fn rpc_figure(
     title: &str,
     topology: TopologyKind,
@@ -644,13 +937,16 @@ fn rpc_figure(
     cache.prefetch(schemes, topology, loads, cfg);
     let mut table = FigureTable::new(title, "load %", loads.iter().map(|l| l * 100.0).collect());
     for scheme in schemes {
-        let ys: Vec<f64> = loads
-            .iter()
-            .map(|&load| {
-                let mut s = cache.point(scheme, topology, load, cfg);
-                metric(&mut s)
-            })
-            .collect();
+        let mut ys = Vec::new();
+        for &load in loads {
+            match cache.point(scheme, topology, load, cfg) {
+                Some(mut s) => ys.push(metric(&mut s)),
+                None => {
+                    ys.push(f64::NAN);
+                    table.quarantined.extend(cache.quarantine_lines(scheme, topology, load).iter().cloned());
+                }
+            }
+        }
         table.push_series(scheme.label(), ys);
     }
     table

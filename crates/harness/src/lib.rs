@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # clove-harness — experiments that reproduce every figure of the paper
 //!
@@ -19,11 +20,19 @@
 //! * [`experiments`] — one function per paper figure, returning tables.
 //! * [`report`] — plain-text table rendering for figures/EXPERIMENTS.md.
 //! * [`invariants`] — the strict-mode runtime invariant monitor.
+//! * [`orchestrator`] — fault-tolerant matrix execution: panic isolation,
+//!   bounded retry/quarantine, and the stall watchdog.
+//! * [`journal`] — the completed-cell checkpoint journal behind `--resume`,
+//!   plus atomic artifact writes.
+//! * [`chaos`] — the seeded fault-plan fuzzer behind `clove-run chaos`.
 
+pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod invariants;
+pub mod journal;
 pub mod json;
+pub mod orchestrator;
 pub mod profile;
 pub mod report;
 pub mod scenario;
@@ -31,6 +40,8 @@ pub mod scheme;
 pub mod stack;
 
 pub use invariants::InvariantMonitor;
+pub use journal::{write_atomic, Journal};
+pub use orchestrator::{CellOutcome, ExecPolicy};
 pub use profile::Profile;
 pub use scenario::{IncastOutcome, RpcOutcome, Scenario, TopologyKind};
 pub use scheme::Scheme;

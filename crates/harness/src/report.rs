@@ -13,13 +13,19 @@ pub struct FigureTable {
     /// The x values.
     pub xs: Vec<f64>,
     /// One named series per scheme: `(name, y-values)` aligned with `xs`.
+    /// Quarantined cells carry `f64::NAN` (rendered `-`, written `NaN` in
+    /// CSV) and are itemized in [`FigureTable::quarantined`].
     pub series: Vec<(String, Vec<f64>)>,
+    /// One line per quarantined cell (panicked or stalled runs the
+    /// orchestrator excluded). Rendered as a footer; binaries exit non-zero
+    /// when non-empty.
+    pub quarantined: Vec<String>,
 }
 
 impl FigureTable {
     /// A new empty table.
     pub fn new(title: impl Into<String>, x_label: impl Into<String>, xs: Vec<f64>) -> FigureTable {
-        FigureTable { title: title.into(), x_label: x_label.into(), xs, series: Vec::new() }
+        FigureTable { title: title.into(), x_label: x_label.into(), xs, series: Vec::new(), quarantined: Vec::new() }
     }
 
     /// Append a series; y length must match xs.
@@ -51,6 +57,7 @@ impl FigureTable {
             }
             let _ = writeln!(out);
         }
+        render_quarantine(&mut out, &self.quarantined);
         out
     }
 
@@ -69,7 +76,27 @@ impl FigureTable {
             }
             let _ = writeln!(out);
         }
+        csv_quarantine(&mut out, &self.quarantined);
         out
+    }
+}
+
+/// Footer for quarantined cells in text renders (no-op when empty).
+fn render_quarantine(out: &mut String, quarantined: &[String]) {
+    if quarantined.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "QUARANTINED cells (excluded from the data above):");
+    for line in quarantined {
+        let _ = writeln!(out, "  ! {line}");
+    }
+}
+
+/// Quarantine comment lines for CSV renders (no-op when empty, so clean
+/// runs keep their pinned byte-for-byte shape).
+fn csv_quarantine(out: &mut String, quarantined: &[String]) {
+    for line in quarantined {
+        let _ = writeln!(out, "# quarantined: {line}");
     }
 }
 
@@ -101,12 +128,14 @@ pub struct ResilienceTable {
     pub title: String,
     /// One row per (fault case, scheme) pair.
     pub rows: Vec<ResilienceRow>,
+    /// One line per quarantined cell (see [`FigureTable::quarantined`]).
+    pub quarantined: Vec<String>,
 }
 
 impl ResilienceTable {
     /// A new empty table.
     pub fn new(title: impl Into<String>) -> ResilienceTable {
-        ResilienceTable { title: title.into(), rows: Vec::new() }
+        ResilienceTable { title: title.into(), rows: Vec::new(), quarantined: Vec::new() }
     }
 
     /// The row for `(case, scheme)`, if present.
@@ -144,6 +173,7 @@ impl ResilienceTable {
                 r.stats.faults_applied,
             );
         }
+        render_quarantine(&mut out, &self.quarantined);
         out
     }
 
@@ -174,6 +204,7 @@ impl ResilienceTable {
                 r.stats.faults_applied,
             );
         }
+        csv_quarantine(&mut out, &self.quarantined);
         out
     }
 }
@@ -209,12 +240,14 @@ pub struct FeedbackTable {
     pub title: String,
     /// One row per (loss rate, scheme) pair.
     pub rows: Vec<FeedbackRow>,
+    /// One line per quarantined cell (see [`FigureTable::quarantined`]).
+    pub quarantined: Vec<String>,
 }
 
 impl FeedbackTable {
     /// A new empty table.
     pub fn new(title: impl Into<String>) -> FeedbackTable {
-        FeedbackTable { title: title.into(), rows: Vec::new() }
+        FeedbackTable { title: title.into(), rows: Vec::new(), quarantined: Vec::new() }
     }
 
     /// The row for `(rate_pct, scheme)`, if present.
@@ -249,6 +282,7 @@ impl FeedbackTable {
                 r.control.feedback_dropped,
             );
         }
+        render_quarantine(&mut out, &self.quarantined);
         out
     }
 
@@ -279,12 +313,15 @@ impl FeedbackTable {
                 r.control.control_faults_applied,
             );
         }
+        csv_quarantine(&mut out, &self.quarantined);
         out
     }
 }
 
 fn format_num(v: f64) -> String {
-    if v == 0.0 {
+    if v.is_nan() {
+        "-".into()
+    } else if v == 0.0 {
         "0".into()
     } else if v.abs() >= 1000.0 {
         format!("{v:.0}")
@@ -338,6 +375,27 @@ mod tests {
     fn mismatched_series_rejected() {
         let mut t = FigureTable::new("t", "x", vec![1.0]);
         t.push_series("s", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn quarantined_cells_render_as_dash_with_footer() {
+        let mut t = FigureTable::new("Fig Q", "load %", vec![30.0, 50.0]);
+        t.push_series("ECMP", vec![0.1, f64::NAN]);
+        t.quarantined.push("ECMP @ 50% load: panicked after 2 attempt(s): boom".into());
+        let text = t.render();
+        assert!(text.contains(" -"), "NaN cells render as '-': {text}");
+        assert!(text.contains("QUARANTINED cells"));
+        assert!(text.contains("boom"));
+        let csv = t.to_csv();
+        assert!(csv.contains("NaN"), "NaN survives into CSV: {csv}");
+        assert!(csv.lines().last().unwrap().starts_with("# quarantined:"));
+    }
+
+    #[test]
+    fn clean_tables_have_no_quarantine_footer() {
+        let t = table();
+        assert!(!t.render().contains("QUARANTINED"));
+        assert!(!t.to_csv().contains('#'));
     }
 
     fn resilience_table() -> ResilienceTable {

@@ -67,6 +67,10 @@ pub struct Scenario {
     /// Run the [`InvariantMonitor`] at every run-loop chunk boundary and
     /// report its violations in the outcome (`clove-run --strict`).
     pub strict: bool,
+    /// Shared progress/cancellation handle. When set, the run loop
+    /// publishes events-processed and simulated time through it and honors
+    /// cooperative stop requests (the orchestrator's stall watchdog).
+    pub control: Option<std::sync::Arc<clove_sim::RunControl>>,
 }
 
 impl Scenario {
@@ -84,6 +88,7 @@ impl Scenario {
             faults: FaultPlan::none(),
             control_faults: ControlFaultPlan::none(),
             strict: false,
+            control: None,
         }
     }
 
@@ -106,16 +111,34 @@ impl Scenario {
         plan
     }
 
+    /// Validate the scenario's fault plans: spec parameters must be in
+    /// range (flap duty cycles, loss rates) and every named cable must
+    /// resolve in the topology this scenario builds. The error names the
+    /// offending selector and lists the valid cable selectors for the
+    /// topology, so a mis-written plan is a diagnosis rather than a panic
+    /// deep inside a run.
+    pub fn validate(&self) -> Result<(), String> {
+        self.faults.validate().map_err(|e| format!("fault plan: {e}"))?;
+        self.control_faults.validate().map_err(|e| format!("control fault plan: {e}"))?;
+        let topo = self.build_topology();
+        for action in self.effective_faults().expand() {
+            if topo.resolve_cable(action.cable).is_none() {
+                return Err(format!("fault plan names cable {:?}, which does not resolve in topology '{}'; {}", action.cable, topo.name, topo.cable_catalog()));
+            }
+        }
+        Ok(())
+    }
+
     /// Schedule every expanded fault action against both directions of its
     /// resolved cable, plus every control-plane fault (fabric-wide, no
-    /// cable to resolve). Panics (with the offending selector) when the
-    /// plan names a cable the topology cannot resolve — a mis-written
-    /// scenario, not a runtime condition.
-    fn schedule_faults(&self, topo: &Topology, queue: &mut EventQueue<Event>) {
+    /// cable to resolve). Errors (with the offending selector and the
+    /// topology's valid cables) when the plan names a cable the topology
+    /// cannot resolve.
+    fn schedule_faults(&self, topo: &Topology, queue: &mut EventQueue<Event>) -> Result<(), String> {
         for action in self.effective_faults().expand() {
-            let (a, b) = topo
-                .resolve_cable(action.cable)
-                .unwrap_or_else(|| panic!("fault plan names cable {:?}, which does not resolve in topology '{}'", action.cable, topo.name));
+            let (a, b) = topo.resolve_cable(action.cable).ok_or_else(|| {
+                format!("fault plan names cable {:?}, which does not resolve in topology '{}'; {}", action.cable, topo.name, topo.cable_catalog())
+            })?;
             for link in [a, b] {
                 queue.push(action.at, Event::Fault { link, action: action.action, announced: action.announced });
             }
@@ -123,6 +146,7 @@ impl Scenario {
         for action in self.control_faults.expand() {
             queue.push(action.at, Event::ControlFault { action: action.action });
         }
+        Ok(())
     }
 
     /// Pre-size the event queue from the scenario's scale: every in-flight
@@ -158,8 +182,19 @@ impl Scenario {
         spec.build()
     }
 
-    /// Run the web-search RPC workload.
+    /// Run the web-search RPC workload, panicking on an invalid scenario
+    /// (unknown cable in a fault plan, out-of-range fault rates). Drivers
+    /// that construct plans programmatically should prefer
+    /// [`Scenario::try_run_rpc`].
     pub fn run_rpc(&self, dist: &FlowSizeDist) -> RpcOutcome {
+        self.try_run_rpc(dist).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Run the web-search RPC workload, returning a validation error for a
+    /// mis-written scenario instead of panicking.
+    pub fn try_run_rpc(&self, dist: &FlowSizeDist) -> Result<RpcOutcome, String> {
+        self.faults.validate().map_err(|e| format!("fault plan: {e}"))?;
+        self.control_faults.validate().map_err(|e| format!("control fault plan: {e}"))?;
         let topo = self.build_topology();
         let num_hosts = topo.num_hosts;
         let bisection = topo.bisection_bps;
@@ -188,7 +223,7 @@ impl Scenario {
         if matches!(self.scheme, Scheme::Hula) {
             queue.push(Time::ZERO, Event::HulaTick);
         }
-        self.schedule_faults(&topo, &mut queue);
+        self.schedule_faults(&topo, &mut queue)?;
         // Recovery is measured against the first *mid-run* fault — link or
         // control-plane (a t=0 cut is a static asymmetry, not an incident
         // to recover from).
@@ -203,7 +238,7 @@ impl Scenario {
 
         let mut net = Network::new(topo.fabric, stack);
         let mut monitor = self.strict.then(InvariantMonitor::new);
-        let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut());
+        let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut(), self.control.as_deref());
         let events = summary.events;
         let end = summary.end_time;
 
@@ -214,7 +249,7 @@ impl Scenario {
         let (rate, base) = (self.profile.access_bps, self.profile.loaded_rtt);
         let windows = fct_windows(net.hosts.fct.records(), window, rate, base);
         let recovery = first_fault.and_then(|at| recovery_time(net.hosts.fct.records(), at, window, RECOVERY_FACTOR, rate, base));
-        RpcOutcome {
+        Ok(RpcOutcome {
             fct: net.hosts.fct.summarize(),
             sim_time: end,
             events,
@@ -233,11 +268,20 @@ impl Scenario {
             stalled: net.hosts.stalled_report(),
             link_report: link_report(&net.fabric),
             violations: monitor.map(|m| m.violations).unwrap_or_default(),
-        }
+        })
     }
 
-    /// Run the incast workload at the given fan-in.
+    /// Run the incast workload at the given fan-in, panicking on an invalid
+    /// scenario; see [`Scenario::try_run_incast`].
     pub fn run_incast(&self, fanout: u32, requests: u32, object_bytes: u64) -> IncastOutcome {
+        self.try_run_incast(fanout, requests, object_bytes).unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Run the incast workload at the given fan-in, returning a validation
+    /// error for a mis-written scenario instead of panicking.
+    pub fn try_run_incast(&self, fanout: u32, requests: u32, object_bytes: u64) -> Result<IncastOutcome, String> {
+        self.faults.validate().map_err(|e| format!("fault plan: {e}"))?;
+        self.control_faults.validate().map_err(|e| format!("control fault plan: {e}"))?;
         let topo = self.build_topology();
         let num_hosts = topo.num_hosts;
         let mut stack = HostStack::new(num_hosts, &self.scheme, self.profile, self.seed);
@@ -270,43 +314,51 @@ impl Scenario {
         if matches!(self.scheme, Scheme::Hula) {
             queue.push(Time::ZERO, Event::HulaTick);
         }
-        self.schedule_faults(&topo, &mut queue);
+        self.schedule_faults(&topo, &mut queue)?;
 
         let mut net = Network::new(topo.fabric, stack);
         let mut monitor = self.strict.then(InvariantMonitor::new);
-        let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut());
+        let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut(), self.control.as_deref());
         let (rounds, elapsed) = net.hosts.incast_result().expect("incast configured");
         let bytes = rounds as u64 * object_bytes;
         let goodput_bps = if elapsed.is_zero() { 0.0 } else { bytes as f64 * 8.0 / elapsed.as_secs_f64() };
-        IncastOutcome {
+        Ok(IncastOutcome {
             goodput_bps,
             rounds,
             sim_time: summary.end_time,
             events: summary.events,
             timeouts: net.hosts.stats.timeouts,
             invariant_violations: monitor.map(|m| m.violations.len() as u64).unwrap_or(0),
-        }
+        })
     }
 }
 
 /// Drive the network until all jobs complete or the horizon passes. When a
 /// monitor is supplied it checks the full invariant set at every chunk
 /// boundary (including the final state), so a violation is caught within
-/// 50 ms of simulated time of its cause.
+/// 50 ms of simulated time of its cause. When a [`clove_sim::RunControl`]
+/// is supplied the inner loop publishes progress through it and a stop
+/// request ends the run early with `stopped` set (the outcome is then
+/// partial and callers — the orchestrator — discard it as timed out).
 fn run_to_completion(
     net: &mut Network<HostStack>,
     queue: &mut EventQueue<Event>,
     horizon: Time,
     mut monitor: Option<&mut InvariantMonitor>,
+    control: Option<&clove_sim::RunControl>,
 ) -> clove_sim::RunSummary {
     let chunk = Duration::from_millis(50);
     let mut upto = Time::ZERO + chunk;
-    let mut total = clove_sim::RunSummary { events: 0, end_time: Time::ZERO, hit_horizon: false };
+    let mut total = clove_sim::RunSummary { events: 0, end_time: Time::ZERO, hit_horizon: false, stopped: false };
     loop {
-        let s = clove_sim::run(net, queue, upto.min(horizon));
+        let s = clove_sim::run_controlled(net, queue, upto.min(horizon), control);
         total.events += s.events;
         total.end_time = total.end_time.max(s.end_time);
         total.hit_horizon = s.hit_horizon;
+        if s.stopped {
+            total.stopped = true;
+            return total;
+        }
         if let Some(m) = monitor.as_deref_mut() {
             m.check(total.end_time, net);
         }

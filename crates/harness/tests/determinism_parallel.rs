@@ -8,7 +8,7 @@ use clove_harness::Scheme;
 
 fn smoke() -> ExpConfig {
     // seeds = 2 so the seed axis actually fans out.
-    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs: 1, strict: false }
+    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs: 1, strict: false, ..ExpConfig::quick() }
 }
 
 #[test]

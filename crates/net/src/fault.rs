@@ -179,6 +179,39 @@ impl FaultPlan {
         self
     }
 
+    /// Check every spec's parameters without expanding: degrade fractions
+    /// in (0, 1], loss rates in [0, 1), flap duty cycles in (0, 1) with a
+    /// positive period. A plan that validates will not panic in
+    /// [`FaultPlan::expand`]. Cable names are *not* checked here — they
+    /// only resolve against a built topology (`Scenario::validate` in the
+    /// harness does both).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, spec) in self.specs.iter().enumerate() {
+            match spec.kind {
+                FaultKind::LinkDown | FaultKind::LinkUp => {}
+                FaultKind::RateDegrade { fraction } => {
+                    if !(fraction > 0.0 && fraction <= 1.0) {
+                        return Err(format!("spec {i}: degrade fraction {fraction} must be in (0, 1]"));
+                    }
+                }
+                FaultKind::RandomLoss { rate } => {
+                    if !(0.0..1.0).contains(&rate) {
+                        return Err(format!("spec {i}: loss rate {rate} must be in [0, 1)"));
+                    }
+                }
+                FaultKind::Flap { period, duty, count: _ } => {
+                    if period.is_zero() {
+                        return Err(format!("spec {i}: flap period must be positive"));
+                    }
+                    if !(duty > 0.0 && duty < 1.0) {
+                        return Err(format!("spec {i}: flap duty {duty} must be in (0, 1)"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Lower the plan into atomic actions sorted by timestamp (stable: ties
     /// keep spec order, and a flap's down precedes its up).
     pub fn expand(&self) -> Vec<FaultAction> {
@@ -348,6 +381,25 @@ impl ControlFaultPlan {
     pub fn extend(&mut self, other: ControlFaultPlan) -> &mut Self {
         self.specs.extend(other.specs);
         self
+    }
+
+    /// Check every spec's rate without expanding: loss/corruption rates in
+    /// [0, 1). A plan that validates will not panic in
+    /// [`ControlFaultPlan::expand`].
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, spec) in self.specs.iter().enumerate() {
+            let (name, rate) = match spec.kind {
+                ControlFaultKind::ProbeLoss { rate } => ("probe loss", rate),
+                ControlFaultKind::ReplyLoss { rate } => ("reply loss", rate),
+                ControlFaultKind::FeedbackLoss { rate } => ("feedback loss", rate),
+                ControlFaultKind::FeedbackCorrupt { rate } => ("feedback corrupt", rate),
+                ControlFaultKind::FeedbackDelay { .. } => continue,
+            };
+            if !(0.0..1.0).contains(&rate) {
+                return Err(format!("spec {i}: {name} rate {rate} must be in [0, 1)"));
+            }
+        }
+        Ok(())
     }
 
     /// Lower into atomic actions sorted by timestamp (stable: ties keep
@@ -536,6 +588,26 @@ mod tests {
     #[should_panic(expected = "duty")]
     fn flap_rejects_bad_duty() {
         FaultPlan::flap(Time::ZERO, CableSelector::S2_L2, Duration::from_millis(1), 1.5, 1).expand();
+    }
+
+    #[test]
+    fn validate_catches_what_expand_would_panic_on() {
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::cut(Time::ZERO, CableSelector::S2_L2).validate().is_ok());
+        assert!(FaultPlan::flap(Time::ZERO, CableSelector::S2_L2, Duration::from_millis(1), 1.5, 1).validate().unwrap_err().contains("duty"));
+        assert!(FaultPlan::flap(Time::ZERO, CableSelector::S2_L2, Duration::ZERO, 0.5, 1).validate().unwrap_err().contains("period"));
+        assert!(FaultPlan::degrade(Time::ZERO, CableSelector::S2_L2, 0.0).validate().unwrap_err().contains("fraction"));
+        assert!(FaultPlan::loss(Time::ZERO, CableSelector::S2_L2, 1.0).validate().unwrap_err().contains("rate"));
+        assert!(FaultPlan::loss(Time::ZERO, CableSelector::S2_L2, 0.99).validate().is_ok());
+    }
+
+    #[test]
+    fn control_validate_catches_bad_rates() {
+        assert!(ControlFaultPlan::none().validate().is_ok());
+        assert!(ControlFaultPlan::lossy_control(Time::ZERO, 0.5).validate().is_ok());
+        assert!(ControlFaultPlan::probe_loss(Time::ZERO, 1.5).validate().unwrap_err().contains("probe loss"));
+        assert!(ControlFaultPlan::feedback_corrupt(Time::ZERO, -0.1).validate().unwrap_err().contains("feedback corrupt"));
+        assert!(ControlFaultPlan::feedback_delay(Time::ZERO, Duration::from_secs(100)).validate().is_ok());
     }
 
     #[test]

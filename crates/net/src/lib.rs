@@ -38,6 +38,7 @@
 //! [`wire`] module demonstrates (and tests) that every header field the
 //! algorithms manipulate has a concrete wire representation.
 
+pub mod chaos;
 pub mod codec;
 pub mod dre;
 pub mod fabric;
@@ -50,6 +51,7 @@ pub mod topology;
 pub mod types;
 pub mod wire;
 
+pub use chaos::{ChaosPlan, ChaosSpace};
 pub use fabric::{Event, Fabric, HostCtx, HostLogic, Network};
 pub use fault::{
     CableSelector, ControlAction, ControlFaultAction, ControlFaultKind, ControlFaultPlan, ControlFaultSpec, ControlFaultStats, FaultKind, FaultPlan, FaultSpec,

@@ -73,6 +73,21 @@ impl Topology {
         }
     }
 
+    /// A one-line description of every [`CableSelector`] form this topology
+    /// can resolve, for fault-plan validation errors: a mis-named cable
+    /// should tell the author what *would* have worked.
+    pub fn cable_catalog(&self) -> String {
+        let mut forms = Vec::new();
+        if self.leaves > 0 && self.spines > 0 && self.trunk > 0 {
+            forms.push(format!("LeafSpine {{ leaf: 0..{}, spine: 0..{}, which: 0..{} }}", self.leaves, self.spines, self.trunk));
+        }
+        if self.num_hosts > 0 {
+            forms.push(format!("Access {{ host: 0..{} }}", self.num_hosts));
+        }
+        forms.push(format!("Index(0..{})", self.cables.len()));
+        format!("valid cable selectors: {}", forms.join(", "))
+    }
+
     /// Administratively fail a cable (both directions) and recompute routes.
     pub fn fail_cable(&mut self, cable: (LinkId, LinkId)) {
         self.fabric.links[cable.0 .0 as usize].set_up(false);

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # clove-sim — deterministic discrete-event simulation engine
 //!
@@ -25,11 +26,13 @@
 //! exact packet counts and lets experiments be compared across schemes with
 //! paired seeds.
 
+pub mod progress;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use progress::RunControl;
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{Duration, Time};
@@ -58,6 +61,10 @@ pub struct RunSummary {
     /// True if the loop stopped because the horizon was reached rather than
     /// because the queue drained.
     pub hit_horizon: bool,
+    /// True if the loop exited early because a cooperative stop was requested
+    /// through a [`RunControl`] (see [`run_controlled`]). Remaining events
+    /// stay in the queue.
+    pub stopped: bool,
 }
 
 /// Drive `world` until the queue drains or simulated time exceeds `horizon`.
@@ -65,19 +72,46 @@ pub struct RunSummary {
 /// Events scheduled exactly at the horizon are still processed; the first
 /// event strictly after it terminates the loop (and remains in the queue).
 pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, horizon: Time) -> RunSummary {
+    run_controlled(world, queue, horizon, None)
+}
+
+/// Like [`run`], but optionally publishing progress to — and honoring stop
+/// requests from — a shared [`RunControl`].
+///
+/// Progress is published and the stop flag checked once every
+/// [`progress::PROGRESS_STRIDE`] events, so the hot loop stays free of
+/// per-event atomic traffic and cancellation latency is bounded by the
+/// stride. With `control = None` this is exactly [`run`].
+pub fn run_controlled<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, horizon: Time, control: Option<&RunControl>) -> RunSummary {
     let mut events = 0u64;
     let mut end_time = Time::ZERO;
+    let mut flushed = 0u64;
     loop {
         let Some(&ScheduledEvent { at, .. }) = queue.peek() else {
-            return RunSummary { events, end_time, hit_horizon: false };
+            if let Some(c) = control {
+                c.advance(events - flushed, end_time);
+            }
+            return RunSummary { events, end_time, hit_horizon: false, stopped: false };
         };
         if at > horizon {
-            return RunSummary { events, end_time, hit_horizon: true };
+            if let Some(c) = control {
+                c.advance(events - flushed, end_time);
+            }
+            return RunSummary { events, end_time, hit_horizon: true, stopped: false };
         }
         let ev = queue.pop().expect("peeked event must pop");
         end_time = ev.at;
         events += 1;
         world.handle(ev.at, ev.event, queue);
+        if let Some(c) = control {
+            if events.is_multiple_of(progress::PROGRESS_STRIDE) {
+                c.advance(events - flushed, end_time);
+                flushed = events;
+                if c.stop_requested() {
+                    return RunSummary { events, end_time, hit_horizon: false, stopped: true };
+                }
+            }
+        }
     }
 }
 
@@ -136,5 +170,49 @@ mod tests {
         let summary = run(&mut w, &mut q, Time::from_secs(1));
         assert_eq!(summary.events, 0);
         assert_eq!(summary.end_time, Time::ZERO);
+        assert!(!summary.stopped);
+    }
+
+    #[test]
+    fn controlled_run_publishes_progress() {
+        let mut w = Ticker { remaining: 1000, period: Duration::from_micros(1), seen: vec![] };
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, ());
+        let control = RunControl::new();
+        let summary = run_controlled(&mut w, &mut q, Time::from_secs(1), Some(&control));
+        assert_eq!(summary.events, 1001);
+        assert!(!summary.stopped);
+        let (events, sim_ns) = control.snapshot();
+        assert_eq!(events, 1001);
+        assert_eq!(sim_ns, summary.end_time.as_nanos());
+    }
+
+    #[test]
+    fn stop_request_cancels_within_one_stride() {
+        let mut w = Ticker { remaining: u32::MAX, period: Duration::from_micros(1), seen: vec![] };
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, ());
+        let control = RunControl::new();
+        control.request_stop();
+        let summary = run_controlled(&mut w, &mut q, Time::MAX, Some(&control));
+        assert!(summary.stopped);
+        assert!(!summary.hit_horizon);
+        assert_eq!(summary.events, progress::PROGRESS_STRIDE);
+        // The cancelled run leaves its pending events queued.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn controlled_run_without_control_matches_run() {
+        let mk = || {
+            let mut q = EventQueue::new();
+            q.push(Time::ZERO, ());
+            (Ticker { remaining: 500, period: Duration::from_micros(3), seen: vec![] }, q)
+        };
+        let (mut w1, mut q1) = mk();
+        let (mut w2, mut q2) = mk();
+        let a = run(&mut w1, &mut q1, Time::from_millis(1));
+        let b = run_controlled(&mut w2, &mut q2, Time::from_millis(1), None);
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,99 @@
+//! Externally observable run progress and cooperative cancellation.
+//!
+//! Long experiment matrices need two things from the event loop that a plain
+//! `run()` cannot give them: a way to see that a cell is still making
+//! progress (so a watchdog can distinguish "slow" from "wedged"), and a way
+//! to stop a wedged cell without killing the process. [`RunControl`] is the
+//! shared handle for both: the loop publishes its event count and simulated
+//! clock through relaxed atomics every [`PROGRESS_STRIDE`] events, and checks
+//! a stop flag at the same cadence. The stride keeps the hot loop free of
+//! per-event atomic traffic; a stalled world by definition stops producing
+//! events, so the counters freeze exactly when a watchdog needs to see them
+//! freeze.
+
+use crate::time::Time;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// How many events the loop processes between progress publications and
+/// stop-flag checks. Cancellation latency is at most this many events.
+pub const PROGRESS_STRIDE: u64 = 64;
+
+/// Shared progress counters and stop flag for one simulation run.
+///
+/// One `RunControl` is shared (via `Arc`) between the thread driving the
+/// event loop and any number of observers. All accesses are relaxed: the
+/// counters are monotonic telemetry, not synchronization points.
+#[derive(Debug, Default)]
+pub struct RunControl {
+    events: AtomicU64,
+    sim_ns: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl RunControl {
+    /// A fresh control with zeroed counters and the stop flag clear.
+    pub fn new() -> RunControl {
+        RunControl::default()
+    }
+
+    /// Publish progress: `delta` more events processed, simulated clock at
+    /// `now`. Called by the event loop; observers use [`snapshot`].
+    ///
+    /// [`snapshot`]: RunControl::snapshot
+    pub fn advance(&self, delta: u64, now: Time) {
+        self.events.fetch_add(delta, Ordering::Relaxed);
+        self.sim_ns.store(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Atomically readable progress: `(events_processed, sim_time_ns)`.
+    ///
+    /// The two values are read independently (each is itself atomic), which
+    /// is fine for stall detection: a wedged run freezes both.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.events.load(Ordering::Relaxed), self.sim_ns.load(Ordering::Relaxed))
+    }
+
+    /// Ask the run to stop at its next stop-flag check. Idempotent.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Clear counters and the stop flag so the control can watch a fresh
+    /// attempt of the same cell.
+    pub fn reset(&self) {
+        self.events.store(0, Ordering::Relaxed);
+        self.sim_ns.store(0, Ordering::Relaxed);
+        self.stop.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates_and_snapshot_reads_back() {
+        let c = RunControl::new();
+        assert_eq!(c.snapshot(), (0, 0));
+        c.advance(64, Time::from_micros(5));
+        c.advance(10, Time::from_micros(9));
+        assert_eq!(c.snapshot(), (74, 9_000));
+    }
+
+    #[test]
+    fn stop_flag_round_trip_and_reset() {
+        let c = RunControl::new();
+        assert!(!c.stop_requested());
+        c.request_stop();
+        assert!(c.stop_requested());
+        c.advance(1, Time::from_nanos(1));
+        c.reset();
+        assert!(!c.stop_requested());
+        assert_eq!(c.snapshot(), (0, 0));
+    }
+}

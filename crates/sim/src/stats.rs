@@ -44,6 +44,15 @@ impl Summary {
         self.samples.len()
     }
 
+    /// The retained samples, in insertion order unless a quantile/CDF call
+    /// has sorted them. Re-`add`ing these into a fresh summary in this order
+    /// reproduces the summary's state exactly (Welford accumulation is
+    /// order-dependent), which is what the experiment journal relies on to
+    /// make resumed runs byte-identical to fresh ones.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// Arithmetic mean, or 0 if empty.
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {

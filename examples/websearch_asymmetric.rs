@@ -9,8 +9,11 @@ use clove::harness::experiments::{fig4c, ExpConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let cfg =
-        if quick { ExpConfig::quick() } else { ExpConfig { jobs_per_conn: 150, conns_per_client: 2, seeds: 1, horizon_secs: 60, jobs: 1, strict: false } };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig { jobs_per_conn: 150, conns_per_client: 2, seeds: 1, horizon_secs: 60, jobs: 1, strict: false, ..ExpConfig::quick() }
+    };
     let loads = if quick { vec![0.5, 0.7] } else { vec![0.3, 0.5, 0.7] };
     let table = fig4c(&loads, &cfg);
     println!("{}", table.render());
