@@ -54,7 +54,7 @@ mod tests {
     #[test]
     fn different_flows_spread() {
         let mut p = EcmpPolicy::default();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = rustc_hash::FxHashSet::default();
         for s in 0..256 {
             let mut a = pkt(s);
             seen.insert(p.select_port(Time::ZERO, HostId(1), &mut a));

@@ -104,7 +104,7 @@ impl EdgePolicy for PrestoPolicy {
 mod tests {
     use super::*;
     use clove_net::packet::PacketKind;
-    use std::collections::HashMap;
+    use rustc_hash::{FxHashMap, FxHashSet};
 
     fn pkt(sport: u16, seq: u64) -> Packet {
         Packet::new(seq, 1500, FlowKey::tcp(HostId(0), HostId(1), sport, 80), PacketKind::Data { seq, len: 1400, dsn: seq })
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn packets_within_a_flowcell_share_a_port() {
         let mut p = policy();
-        let mut ports = std::collections::HashSet::new();
+        let mut ports = FxHashSet::default();
         // 64 KB / 1400 B = ~46 packets per cell; first 40 stay in cell 1.
         for i in 0..40u64 {
             let mut a = pkt(1000, i * 1400);
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn flowcell_boundary_rotates_port() {
         let mut p = policy();
-        let mut cells = std::collections::HashMap::new();
+        let mut cells = FxHashMap::default();
         for i in 0..200u64 {
             let mut a = pkt(1000, i * 1400);
             let port = p.select_port(Time::ZERO, HostId(1), &mut a);
@@ -141,7 +141,7 @@ mod tests {
         // 200 × 1400 B = 280 KB → 5 flowcells over 4 ports: rotation must
         // visit every port.
         assert!(cells.len() >= 4, "cells: {cells:?}");
-        let distinct: std::collections::HashSet<u16> = cells.values().copied().collect();
+        let distinct: FxHashSet<u16> = cells.values().copied().collect();
         assert_eq!(distinct.len(), 4);
     }
 
@@ -152,7 +152,7 @@ mod tests {
             weights: Some(vec![0.33, 0.33, 0.17, 0.17]),
         });
         p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30, 40]);
-        let mut counts: HashMap<u16, usize> = HashMap::new();
+        let mut counts: FxHashMap<u16, usize> = FxHashMap::default();
         for i in 0..1000u64 {
             let mut a = pkt(1000, i * 1400);
             *counts.entry(p.select_port(Time::ZERO, HostId(1), &mut a)).or_insert(0) += 1;
@@ -167,7 +167,7 @@ mod tests {
         let mut p = policy();
         // Presto ignores feedback entirely.
         p.on_feedback(Time::ZERO, HostId(1), &Feedback::Ecn { sport: 10, congested: true });
-        let mut counts: HashMap<u16, usize> = HashMap::new();
+        let mut counts: FxHashMap<u16, usize> = FxHashMap::default();
         for f in 0..400u16 {
             let mut a = pkt(2000 + f, 0);
             *counts.entry(p.select_port(Time::ZERO, HostId(1), &mut a)).or_insert(0) += 1;

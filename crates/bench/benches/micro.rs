@@ -111,8 +111,8 @@ fn bench_codec(c: &mut Criterion) {
         pkt.outer = Some(Encap { src: HostId(3), dst: HostId(17), sport: 51_000 });
         let mut scratch = Vec::new();
         b.iter(|| {
-            encode_into(black_box(&pkt), &mut scratch).unwrap();
-            decode(black_box(&scratch), 1).unwrap()
+            encode_into(black_box(&pkt), &mut scratch).expect("codec scratch encode");
+            decode(black_box(&scratch), 1).expect("codec scratch decode")
         })
     });
 }

@@ -1,3 +1,5 @@
+#![warn(clippy::unwrap_used)]
+
 //! Ablation studies for the design choices DESIGN.md §7 calls out.
 //!
 //! ```text

@@ -1,3 +1,5 @@
+#![warn(clippy::unwrap_used)]
+
 //! Wall-clock baseline for the figure suite: serial vs. parallel.
 //!
 //! ```text

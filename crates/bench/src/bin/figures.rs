@@ -1,3 +1,5 @@
+#![warn(clippy::unwrap_used)]
+
 //! Regenerate the paper's figures as text tables.
 //!
 //! Usage:
@@ -33,7 +35,7 @@ static SAW_QUARANTINE: AtomicBool = AtomicBool::new(false);
 
 fn note_quarantine(quarantined: &[String]) {
     if !quarantined.is_empty() {
-        SAW_QUARANTINE.store(true, Ordering::Relaxed);
+        SAW_QUARANTINE.store(true, Ordering::Release);
     }
 }
 
@@ -132,7 +134,7 @@ fn main() {
         println!("## Fig 9 — mice FCT CDFs at 70% load, asymmetric");
         for (scheme, cdf) in experiments::fig9_cached(&cfg, &mut sim_cache) {
             if scheme.ends_with("[quarantined]") {
-                SAW_QUARANTINE.store(true, Ordering::Relaxed);
+                SAW_QUARANTINE.store(true, Ordering::Release);
             }
             println!("# {scheme}");
             for (fct, frac) in cdf {
@@ -161,7 +163,7 @@ fn main() {
             eprintln!("figures: resumed {} cell(s) from the journal", j.hits());
         }
     }
-    if SAW_QUARANTINE.load(Ordering::Relaxed) {
+    if SAW_QUARANTINE.load(Ordering::Acquire) {
         eprintln!("figures: some cells were quarantined (see table footers); affected points render as '-'");
         std::process::exit(3);
     }

@@ -1,3 +1,5 @@
+#![warn(clippy::unwrap_used)]
+
 use clove_harness::experiments::{presto_oracle_weights, rpc_point, ExpConfig};
 use clove_harness::scenario::TopologyKind;
 use clove_harness::Scheme;

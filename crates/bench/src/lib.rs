@@ -1,1 +1,2 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 //! Benches and figure binaries live in `benches/` and `src/bin/`.

@@ -240,7 +240,7 @@ mod tests {
     use super::*;
     use clove_net::packet::PacketKind;
     use clove_overlay::EdgePolicy;
-    use std::collections::HashMap;
+    use rustc_hash::FxHashMap;
 
     const RTT: Duration = Duration(100_000); // 100us
 
@@ -266,8 +266,8 @@ mod tests {
     }
 
     /// Drive many flowlets and count port usage.
-    fn spread(p: &mut CloveEcnPolicy, n: usize, start: Time) -> HashMap<u16, usize> {
-        let mut m = HashMap::new();
+    fn spread(p: &mut CloveEcnPolicy, n: usize, start: Time) -> FxHashMap<u16, usize> {
+        let mut m = FxHashMap::default();
         let mut t = start;
         for i in 0..n {
             let mut a = pkt(5000 + i as u16);

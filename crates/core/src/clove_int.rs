@@ -304,8 +304,8 @@ mod tests {
     }
 
     /// Drive many one-packet flowlets and count port usage.
-    fn spread(p: &mut CloveIntPolicy, n: usize, start: Time) -> std::collections::HashMap<u16, usize> {
-        let mut m = std::collections::HashMap::new();
+    fn spread(p: &mut CloveIntPolicy, n: usize, start: Time) -> FxHashMap<u16, usize> {
+        let mut m = FxHashMap::default();
         let mut t = start;
         for i in 0..n {
             let mut a = pkt(5000 + i as u16);

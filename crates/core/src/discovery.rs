@@ -24,7 +24,8 @@ use clove_net::packet::{Encap, Packet, PacketKind};
 use clove_net::types::{FlowKey, HostId, LinkId, SwitchId};
 use clove_net::wire::PROBE_SIZE;
 use clove_sim::{Duration, SimRng, Time};
-use std::collections::{BTreeMap, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 
 /// Discovery parameters.
 #[derive(Debug, Clone, Copy)]
@@ -137,9 +138,9 @@ pub type Hop = (SwitchId, LinkId);
 #[derive(Debug, Default)]
 struct Round {
     /// probe_id → candidate sport.
-    probes: HashMap<u64, u16>,
+    probes: FxHashMap<u64, u16>,
     /// sport → hops by TTL.
-    traces: HashMap<u16, BTreeMap<u8, Hop>>,
+    traces: FxHashMap<u16, BTreeMap<u8, Hop>>,
     open: bool,
     /// Probes emitted this round still awaiting a reply (budget tracking).
     unanswered: usize,
@@ -194,11 +195,11 @@ pub struct ProbeDaemon {
     pub host: HostId,
     cfg: DiscoveryConfig,
     rng: SimRng,
-    rounds: HashMap<HostId, Round>,
+    rounds: FxHashMap<HostId, Round>,
     /// Last selection per destination (inspection / idempotent updates).
-    selections: HashMap<HostId, Vec<u16>>,
+    selections: FxHashMap<HostId, Vec<u16>>,
     /// Consecutive truncated-trace rounds per selected (dst, port).
-    silence: HashMap<(HostId, u16), u32>,
+    silence: FxHashMap<(HostId, u16), u32>,
     /// Unanswered probes in flight across all destinations.
     outstanding: usize,
     next_probe_id: u64,
@@ -214,9 +215,9 @@ impl ProbeDaemon {
             host,
             cfg,
             rng: SimRng::new(seed ^ ((host.0 as u64) << 32) ^ 0xD15C),
-            rounds: HashMap::new(),
-            selections: HashMap::new(),
-            silence: HashMap::new(),
+            rounds: FxHashMap::default(),
+            selections: FxHashMap::default(),
+            silence: FxHashMap::default(),
             outstanding: 0,
             next_probe_id: (host.0 as u64) << 40,
             uid_counter: 0,

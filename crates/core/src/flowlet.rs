@@ -16,6 +16,7 @@ use clove_net::types::FlowKey;
 use clove_sim::{Duration, Time};
 use rustc_hash::FxBuildHasher;
 use std::collections::hash_map::Entry as MapEntry;
+// clove-lint: allow(std-hash-collections): generic over BuildHasher for the counting-hasher tests; the default is FxBuildHasher, so RandomState is unreachable from production code
 use std::collections::HashMap;
 use std::hash::BuildHasher;
 
@@ -144,6 +145,14 @@ impl<S: BuildHasher> FlowletTable<S> {
         self.entries.get(flow).map(|e| e.flowlet_id)
     }
 
+    /// Tracked flows in table iteration order. The order is arbitrary but
+    /// — because the default hasher is the unseeded [`FxBuildHasher`] —
+    /// reproducible across table instances and process runs; the
+    /// `iteration_order_is_stable_across_instances` test pins that down.
+    pub fn flows(&self) -> impl Iterator<Item = &FlowKey> {
+        self.entries.keys()
+    }
+
     /// Number of tracked flows.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -270,6 +279,28 @@ mod tests {
         t.set_gap(Duration::from_micros(1000));
         let port = t.on_packet(Time::from_micros(500), flow(1), |_| 2);
         assert_eq!(port, 1, "larger gap keeps the flowlet alive");
+    }
+
+    /// Determinism regression (clove-lint `std-hash-collections`): the
+    /// table's iteration order must not depend on per-instance hasher
+    /// state. With std's `RandomState` every instance draws a fresh seed
+    /// and this test fails; with the unseeded `FxBuildHasher` default the
+    /// order is a pure function of the inserted keys, so two identically
+    /// loaded tables — and therefore two identical runs — iterate alike.
+    #[test]
+    fn iteration_order_is_stable_across_instances() {
+        let build = || {
+            let mut t = table(100);
+            for s in 0..257u16 {
+                // Enough keys to force several resizes/rehashes.
+                t.on_packet(Time::ZERO, flow(s), |_| 1);
+            }
+            t.flows().copied().collect::<Vec<_>>()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.len(), 257);
+        assert_eq!(a, b, "flowlet-table iteration order must be reproducible across instances/runs");
     }
 
     /// A hash builder that counts how many hashers it hands out — i.e. how

@@ -124,7 +124,7 @@ mod tests {
         let mut p = EdgeFlowletPolicy::new(FlowletConfig::with_gap(Duration::from_micros(100)), 1);
         p.on_paths_updated(Time::ZERO, HostId(1), &[10, 20, 30, 40]);
         let mut a = pkt(1000);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = rustc_hash::FxHashSet::default();
         let mut t = Time::ZERO;
         for _ in 0..64 {
             seen.insert(p.select_port(t, HostId(1), &mut a));
@@ -147,7 +147,7 @@ mod tests {
     fn distinct_flows_are_independent() {
         let mut p = EdgeFlowletPolicy::new(FlowletConfig::with_gap(Duration::from_micros(100)), 1);
         p.on_paths_updated(Time::ZERO, HostId(1), &(0..16).map(|i| 100 + i).collect::<Vec<_>>());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = rustc_hash::FxHashSet::default();
         for s in 0..64 {
             let mut a = pkt(2000 + s);
             seen.insert(p.select_port(Time::ZERO, HostId(1), &mut a));

@@ -28,7 +28,7 @@ impl Wrr {
     /// Replace the port set, giving every port the same weight. Existing
     /// weights of surviving ports are preserved.
     pub fn set_ports(&mut self, ports: &[u16]) {
-        let old: std::collections::HashMap<u16, f64> = self.items.iter().map(|i| (i.port, i.weight)).collect();
+        let old: rustc_hash::FxHashMap<u16, f64> = self.items.iter().map(|i| (i.port, i.weight)).collect();
         self.items = ports.iter().map(|&p| WrrItem { port: p, weight: *old.get(&p).unwrap_or(&1.0), current: 0.0 }).collect();
         self.normalize();
     }
@@ -164,8 +164,8 @@ impl Wrr {
 mod tests {
     use super::*;
 
-    fn counts(w: &mut Wrr, n: usize) -> std::collections::HashMap<u16, usize> {
-        let mut m = std::collections::HashMap::new();
+    fn counts(w: &mut Wrr, n: usize) -> rustc_hash::FxHashMap<u16, usize> {
+        let mut m = rustc_hash::FxHashMap::default();
         for _ in 0..n {
             *m.entry(w.pick().unwrap()).or_insert(0) += 1;
         }

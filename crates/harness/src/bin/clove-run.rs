@@ -1,3 +1,5 @@
+#![warn(clippy::unwrap_used)]
+
 //! Run a Clove experiment described by a JSON file, or a chaos-fuzz campaign.
 //!
 //! ```text

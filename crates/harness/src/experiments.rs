@@ -236,8 +236,8 @@ type PointKey = (String, bool, u64);
 /// footers.
 #[derive(Default)]
 pub struct PointCache {
-    entries: std::collections::HashMap<PointKey, Option<FctSummary>>,
-    quarantined: std::collections::HashMap<PointKey, Vec<String>>,
+    entries: rustc_hash::FxHashMap<PointKey, Option<FctSummary>>,
+    quarantined: rustc_hash::FxHashMap<PointKey, Vec<String>>,
     /// Total simulation events processed by runs charged to this cache
     /// (cache hits and journal hits add nothing — the run already
     /// happened).

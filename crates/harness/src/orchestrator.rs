@@ -34,7 +34,7 @@
 
 use crate::journal::{Journal, JournalValue};
 use clove_sim::RunControl;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -173,7 +173,7 @@ struct Watched {
 struct WatchdogInner {
     timeout: Duration,
     shutdown: AtomicBool,
-    cells: Mutex<HashMap<usize, Watched>>,
+    cells: Mutex<FxHashMap<usize, Watched>>,
 }
 
 impl WatchdogInner {
@@ -200,13 +200,15 @@ struct Watchdog {
 
 impl Watchdog {
     fn new(timeout: Duration) -> Watchdog {
-        let inner = Arc::new(WatchdogInner { timeout, shutdown: AtomicBool::new(false), cells: Mutex::new(HashMap::new()) });
+        let inner = Arc::new(WatchdogInner { timeout, shutdown: AtomicBool::new(false), cells: Mutex::new(FxHashMap::default()) });
         let poll = (timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
         let thread_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
             .name("clove-stall-watchdog".into())
             .spawn(move || {
-                while !thread_inner.shutdown.load(Ordering::Relaxed) {
+                // Acquire/Release on the shutdown flag: it is a control
+                // signal, not a counter (clove-lint `relaxed-atomic`).
+                while !thread_inner.shutdown.load(Ordering::Acquire) {
                     std::thread::sleep(poll);
                     thread_inner.scan();
                 }
@@ -224,7 +226,7 @@ impl Watchdog {
 
 impl Drop for Watchdog {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.shutdown.store(true, Ordering::Release);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }

@@ -20,7 +20,6 @@ use clove_sim::{Duration, EventQueue, SimRng, Time};
 use clove_workload::fct::FlowRecord;
 use clove_workload::{load_to_rate, FctSummary, FlowSizeDist, IncastSpec, RpcModel};
 use rustc_hash::FxHashMap;
-use std::collections::HashMap;
 
 /// Which topology variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -292,7 +291,7 @@ impl Scenario {
         let client = HostId(0);
         let servers: Vec<HostId> = (16..32).map(HostId).collect();
         let mptcp = self.scheme.mptcp_subflows();
-        let mut server_conn = HashMap::new();
+        let mut server_conn = FxHashMap::default();
         for (i, &server) in servers.iter().enumerate() {
             // Server→client data pipe.
             let plan = clove_workload::rpc::ConnectionPlan {

@@ -30,7 +30,7 @@ use clove_tcp::{MptcpConnection, MptcpReceiver, TcpConfig, TcpReceiver, TcpSende
 use clove_workload::rpc::{ConnectionPlan, JobSpec};
 use clove_workload::{FctCollector, IncastSpec};
 use rustc_hash::FxHashMap;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 // Timer token types (low 8 bits).
 const T_APP_ARRIVAL: u64 = 1;
@@ -106,7 +106,7 @@ struct IncastState {
     started: Time,
     finished: Time,
     /// Sender index at each server host for the server→client pipe.
-    server_conn: HashMap<HostId, usize>,
+    server_conn: FxHashMap<HostId, usize>,
 }
 
 /// Aggregated run counters.
@@ -241,7 +241,7 @@ impl HostStack {
 
     /// Configure the incast coordinator; `server_conn` maps each server
     /// to its sender-connection index for the server→client pipe.
-    pub fn set_incast(&mut self, spec: IncastSpec, server_conn: HashMap<HostId, usize>, seed: u64) {
+    pub fn set_incast(&mut self, spec: IncastSpec, server_conn: FxHashMap<HostId, usize>, seed: u64) {
         self.total_jobs = (spec.requests as u64) * (spec.fanout as u64);
         self.incast = Some(IncastState {
             rng: SimRng::new(seed ^ 0x1CA5_7000),

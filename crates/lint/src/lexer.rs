@@ -1,0 +1,419 @@
+//! A minimal Rust lexer: enough structure for token-pattern lints.
+//!
+//! The analyzer's rules are all expressible as patterns over the token
+//! stream (identifier paths, call shapes, generic-argument counts), so a
+//! full parse is unnecessary. What *is* necessary — and what naive
+//! regex/grep approaches get wrong — is skipping comments, strings, raw
+//! strings, and char literals, and telling lifetimes (`'a`) apart from
+//! char literals (`'a'`). This lexer handles exactly that, tracks
+//! line/column for every token, and additionally extracts:
+//!
+//! * waiver comments (`// clove-lint: allow(<rule>): <reason>`), and
+//! * `#[cfg(test)] mod { .. }` line ranges, so rules that only apply to
+//!   production code can skip test modules.
+
+/// Token classification. Rules only ever inspect identifiers and
+/// punctuation; literals are kept so position bookkeeping stays simple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (multi-char operators arrive as
+    /// adjacent single-char tokens; rules that care check adjacency).
+    Punct,
+    /// String/char/number literal (contents opaque to rules).
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, a single character).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// True when this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A `// clove-lint: allow(...)` comment, parsed but not yet validated
+/// against the rule registry (the rules engine does that, so unknown rule
+/// names become `invalid-waiver` findings instead of silent no-ops).
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule names inside `allow(...)`, comma-separated in the source.
+    pub rules: Vec<String>,
+    /// Justification after the trailing colon (may be empty — invalid).
+    pub reason: String,
+    /// False when the comment mentioned `clove-lint:` but did not parse as
+    /// `allow(<rules>): <reason>`.
+    pub well_formed: bool,
+}
+
+/// Lexed file: token stream plus the comment-derived side tables.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Waiver comments in source order.
+    pub waivers: Vec<Waiver>,
+    /// Inclusive `(start_line, end_line)` ranges of `#[cfg(test)] mod`
+    /// bodies.
+    pub cfg_test_ranges: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// True when `line` falls inside a `#[cfg(test)] mod` body.
+    pub fn in_cfg_test(&self, line: u32) -> bool {
+        self.cfg_test_ranges.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become punctuation, and
+/// unterminated literals simply run to end of file (the real compiler will
+/// reject such a file anyway; the lint must not panic on it).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut out = Lexed::default();
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i] as char;
+        let (tline, tcol) = (line, col);
+        if c.is_ascii_whitespace() {
+            bump!();
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            // Line comment: capture the text for waiver parsing.
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                bump!();
+            }
+            let text = &src[start..i];
+            // Waivers live in plain `//` comments only: doc comments
+            // (`///`, `//!`) legitimately *describe* the waiver syntax.
+            if text.contains("clove-lint:") && !text.starts_with("///") && !text.starts_with("//!") {
+                out.waivers.push(parse_waiver(text, tline));
+            }
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            // Block comment; Rust block comments nest.
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+        } else if c == '"' {
+            bump!();
+            skip_string_body(b, &mut i, &mut line, &mut col);
+            out.tokens.push(Tok { kind: TokKind::Literal, text: String::new(), line: tline, col: tcol });
+        } else if c == '\'' {
+            // Lifetime or char literal. `'a` (ident not followed by a
+            // closing quote) is a lifetime; everything else is a char.
+            let is_lifetime = i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') && (i + 2 >= b.len() || b[i + 2] != b'\'');
+            bump!();
+            if is_lifetime {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    bump!();
+                }
+                out.tokens.push(Tok { kind: TokKind::Lifetime, text: src[start..i].to_string(), line: tline, col: tcol });
+            } else {
+                // Char literal: handle escapes, stop at closing quote.
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        bump!();
+                        if i < b.len() {
+                            bump!();
+                        }
+                    } else if b[i] == b'\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+                out.tokens.push(Tok { kind: TokKind::Literal, text: String::new(), line: tline, col: tcol });
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                bump!();
+            }
+            let ident = &src[start..i];
+            // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+            if (ident == "r" || ident == "b" || ident == "br" || ident == "rb") && i < b.len() && (b[i] == b'"' || (b[i] == b'#' && ident != "b")) {
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    bump!();
+                }
+                if i < b.len() && b[i] == b'"' {
+                    bump!();
+                    if hashes == 0 && ident.contains('r') {
+                        // r"..." — no escapes, ends at the next quote.
+                        while i < b.len() && b[i] != b'"' {
+                            bump!();
+                        }
+                        if i < b.len() {
+                            bump!();
+                        }
+                    } else if hashes == 0 {
+                        // b"..." — escapes apply.
+                        skip_string_body(b, &mut i, &mut line, &mut col);
+                    } else {
+                        // r#"..."# — ends at `"` followed by `hashes` #s.
+                        'raw: while i < b.len() {
+                            if b[i] == b'"' {
+                                let mut k = 0usize;
+                                while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    for _ in 0..=hashes {
+                                        bump!();
+                                    }
+                                    break 'raw;
+                                }
+                            }
+                            bump!();
+                        }
+                    }
+                    out.tokens.push(Tok { kind: TokKind::Literal, text: String::new(), line: tline, col: tcol });
+                    continue;
+                }
+                // `r#ident` raw identifiers fall through: emit `r`, then
+                // the `#` becomes punctuation and the ident lexes normally.
+            }
+            out.tokens.push(Tok { kind: TokKind::Ident, text: ident.to_string(), line: tline, col: tcol });
+        } else if c.is_ascii_digit() {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.') {
+                // `1..10` range: do not swallow the second dot.
+                if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                    break;
+                }
+                bump!();
+            }
+            out.tokens.push(Tok { kind: TokKind::Literal, text: String::new(), line: tline, col: tcol });
+        } else {
+            bump!();
+            out.tokens.push(Tok { kind: TokKind::Punct, text: c.to_string(), line: tline, col: tcol });
+        }
+    }
+
+    out.cfg_test_ranges = cfg_test_ranges(&out.tokens);
+    out
+}
+
+/// Skip a (non-raw) string body starting just after the opening quote.
+fn skip_string_body(b: &[u8], i: &mut usize, line: &mut u32, col: &mut u32) {
+    macro_rules! bump {
+        () => {{
+            if b[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }};
+    }
+    while *i < b.len() {
+        if b[*i] == b'\\' {
+            bump!();
+            if *i < b.len() {
+                bump!();
+            }
+        } else if b[*i] == b'"' {
+            bump!();
+            break;
+        } else {
+            bump!();
+        }
+    }
+}
+
+/// Parse a `clove-lint:` comment into a [`Waiver`].
+fn parse_waiver(comment: &str, line: u32) -> Waiver {
+    let bad = |reason: &str| Waiver { line, rules: Vec::new(), reason: reason.to_string(), well_formed: false };
+    let Some(after) = comment.split("clove-lint:").nth(1) else { return bad("") };
+    let after = after.trim_start();
+    let Some(rest) = after.strip_prefix("allow(") else {
+        return bad(after);
+    };
+    let Some(close) = rest.find(')') else { return bad(after) };
+    let rules: Vec<String> = rest[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    let tail = rest[close + 1..].trim_start();
+    let reason = tail.strip_prefix(':').map(|r| r.trim().to_string()).unwrap_or_default();
+    Waiver { line, rules, reason, well_formed: true }
+}
+
+/// Find `#[cfg(test)] mod name { .. }` body line ranges.
+fn cfg_test_ranges(ts: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < ts.len() {
+        let hit = ts[i].is_punct('#')
+            && ts[i + 1].is_punct('[')
+            && ts[i + 2].is_ident("cfg")
+            && ts[i + 3].is_punct('(')
+            && ts[i + 4].is_ident("test")
+            && ts[i + 5].is_punct(')')
+            && ts[i + 6].is_punct(']');
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes between the cfg and the item.
+        while j + 1 < ts.len() && ts[j].is_punct('#') && ts[j + 1].is_punct('[') {
+            let mut depth = 0isize;
+            j += 1;
+            while j < ts.len() {
+                if ts[j].is_punct('[') {
+                    depth += 1;
+                } else if ts[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j < ts.len() && ts[j].is_ident("pub") {
+            j += 1; // visibility (rare on test mods, but legal)
+        }
+        if j < ts.len() && ts[j].is_ident("mod") {
+            // Advance to the opening brace, then to its match.
+            while j < ts.len() && !ts[j].is_punct('{') && !ts[j].is_punct(';') {
+                j += 1;
+            }
+            if j < ts.len() && ts[j].is_punct('{') {
+                let start_line = ts[j].line;
+                let mut depth = 0isize;
+                while j < ts.len() {
+                    if ts[j].is_punct('{') {
+                        depth += 1;
+                    } else if ts[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end_line = if j < ts.len() { ts[j].line } else { u32::MAX };
+                out.push((start_line, end_line));
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_have_positions() {
+        let l = lex("fn main() {}\nlet x = 1;\n");
+        assert!(l.tokens[0].is_ident("fn"));
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        let let_tok = l.tokens.iter().find(|t| t.is_ident("let")).unwrap();
+        assert_eq!(let_tok.line, 2);
+    }
+
+    #[test]
+    fn comments_strings_and_chars_hide_identifiers() {
+        let src = r##"
+// HashMap in a comment
+/* Instant in a /* nested */ block */
+let s = "thread_rng inside a string";
+let r = r#"SystemTime inside a raw string"#;
+let c = 'I';
+"##;
+        let l = lex(src);
+        for t in &l.tokens {
+            assert!(!t.is_ident("HashMap") && !t.is_ident("Instant") && !t.is_ident("thread_rng") && !t.is_ident("SystemTime"), "leaked: {t:?}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+    }
+
+    #[test]
+    fn waiver_comment_parses() {
+        let l = lex("let m = std::collections::HashMap::new(); // clove-lint: allow(std-hash-collections): test-only counter\n");
+        assert_eq!(l.waivers.len(), 1);
+        let w = &l.waivers[0];
+        assert!(w.well_formed);
+        assert_eq!(w.rules, vec!["std-hash-collections"]);
+        assert_eq!(w.reason, "test-only counter");
+    }
+
+    #[test]
+    fn malformed_waiver_flagged() {
+        let l = lex("// clove-lint: allow(wall-clock)\n");
+        assert!(l.waivers[0].well_formed);
+        assert!(l.waivers[0].reason.is_empty(), "missing reason must surface as empty");
+        let l = lex("// clove-lint: suppress(wall-clock): nope\n");
+        assert!(!l.waivers[0].well_formed);
+    }
+
+    #[test]
+    fn cfg_test_mod_range_found() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let l = lex(src);
+        assert_eq!(l.cfg_test_ranges, vec![(3, 5)]);
+        assert!(l.in_cfg_test(4));
+        assert!(!l.in_cfg_test(1));
+    }
+}

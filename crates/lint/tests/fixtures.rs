@@ -1,0 +1,98 @@
+//! Fixture-corpus tests: one known-bad snippet per rule, each asserted to
+//! be flagged with the right rule name and source line — these fail if the
+//! corresponding analyzer rule is removed or broken — plus the
+//! known-clean and known-waived fixtures pinning down the negative space.
+
+use clove_lint::check_source;
+use std::path::Path;
+
+/// Lint a fixture as if it were library source in a scanned crate.
+fn check_fixture(name: &str) -> Vec<clove_lint::Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+    check_source(&format!("crates/fixture/src/{name}"), &src)
+}
+
+/// Assert the fixture produces exactly `expected` unwaived `(rule, line)`
+/// findings, in order.
+fn assert_findings(name: &str, expected: &[(&str, u32)]) {
+    let got: Vec<(String, u32)> = check_fixture(name).into_iter().filter(|f| f.waived.is_none()).map(|f| (f.rule.to_string(), f.line)).collect();
+    let want: Vec<(String, u32)> = expected.iter().map(|&(r, l)| (r.to_string(), l)).collect();
+    assert_eq!(got, want, "fixture {name}");
+}
+
+#[test]
+fn std_hash_collections_fixture() {
+    let r = "std-hash-collections";
+    assert_findings("std_hash.rs", &[(r, 2), (r, 3), (r, 6), (r, 7), (r, 13), (r, 14)]);
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let r = "wall-clock";
+    assert_findings("wall_clock.rs", &[(r, 2), (r, 5), (r, 6)]);
+}
+
+#[test]
+fn os_entropy_fixture() {
+    let r = "os-entropy";
+    assert_findings("os_entropy.rs", &[(r, 3), (r, 8), (r, 9)]);
+}
+
+#[test]
+fn float_partial_cmp_fixture() {
+    let r = "float-partial-cmp";
+    assert_findings("float_partial_cmp.rs", &[(r, 3), (r, 4)]);
+}
+
+#[test]
+fn stdout_in_lib_fixture() {
+    let r = "stdout-in-lib";
+    assert_findings("stdout_in_lib.rs", &[(r, 3), (r, 5), (r, 6)]);
+}
+
+#[test]
+fn stdout_rule_only_applies_to_library_code() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/stdout_in_lib.rs");
+    let src = std::fs::read_to_string(path).expect("read fixture");
+    // The same source as a binary / example / integration test is clean.
+    for rel in ["crates/fixture/src/bin/tool.rs", "examples/demo.rs", "crates/fixture/tests/it.rs"] {
+        assert!(check_source(rel, &src).is_empty(), "{rel} must not be held to stdout-in-lib");
+    }
+}
+
+#[test]
+fn relaxed_atomic_fixture() {
+    assert_findings("relaxed_atomic.rs", &[("relaxed-atomic", 7)]);
+}
+
+#[test]
+fn invalid_waiver_fixture() {
+    let r = "invalid-waiver";
+    assert_findings("invalid_waiver.rs", &[(r, 2), (r, 3), (r, 4)]);
+}
+
+#[test]
+fn waived_fixture_reports_but_passes() {
+    let findings = check_fixture("waived.rs");
+    assert_eq!(findings.len(), 2, "both violations still reported: {findings:?}");
+    assert!(findings.iter().all(|f| f.waived.is_some()), "all waived: {findings:?}");
+    assert!(findings.iter().all(|f| f.waived.as_deref().expect("waived").starts_with("waiver:")));
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let findings = check_fixture("clean.rs");
+    assert!(findings.is_empty(), "clean fixture must pass: {findings:?}");
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    // The catalog and the corpus must not drift apart: a rule added
+    // without a fixture (or a fixture whose rule was renamed) fails here.
+    let covered = ["std-hash-collections", "wall-clock", "os-entropy", "float-partial-cmp", "stdout-in-lib", "relaxed-atomic", "invalid-waiver"];
+    for rule in clove_lint::config::RULES {
+        assert!(covered.contains(&rule.name), "rule {} has no fixture test", rule.name);
+    }
+    assert_eq!(covered.len(), clove_lint::config::RULES.len());
+}

@@ -1,0 +1,34 @@
+// Fixture: the sanctioned forms of everything the rules police.
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+use std::collections::hash_map::Entry;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct State<S: std::hash::BuildHasher> {
+    // Explicit hasher parameter: allowed even for std HashMap.
+    generic: std::collections::HashMap<u64, u64, S>,
+    fast: FxHashMap<u64, u64>,
+    seen: FxHashSet<u64>,
+    ordered: BTreeMap<u64, u64>,
+}
+
+fn ordering(samples: &mut Vec<f64>) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    // partial_cmp without unwrap/expect is fine:
+    let _ = 1.0f64.partial_cmp(&2.0);
+}
+
+fn time_is_virtual(now: clove_sim::Time) -> clove_sim::Time {
+    now
+}
+
+fn counters(c: &AtomicU64) -> u64 {
+    c.store(1, Ordering::Release);
+    c.load(Ordering::Acquire)
+}
+
+// Strings and comments must never trip rules:
+// HashMap::new() Instant::now() thread_rng() Ordering::Relaxed println!
+const DOC: &str = "HashMap::new() Instant SystemTime thread_rng partial_cmp().unwrap()";
+const RAW: &str = r#"println!("not real") process::exit(1)"#;
+const LIFETIME_NOT_CHAR: fn(&str) -> &str = |s| s;

@@ -1,0 +1,15 @@
+// Fixture: `float-partial-cmp` — NaN-panicking float ordering.
+fn p99(samples: &mut Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 3: flagged
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite")); // line 4: flagged
+    // The sanctioned form — not flagged:
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() * 99 / 100]
+}
+
+impl PartialOrd for Wrapper {
+    // A trait impl *definition* must not be flagged:
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: `invalid-waiver` — malformed or unjustified waivers.
+// clove-lint: allow(no-such-rule): the rule name is unknown
+// clove-lint: allow(wall-clock)
+// clove-lint: denied(wall-clock): wrong verb
+pub fn nothing() {}

@@ -1,0 +1,11 @@
+// Fixture: `os-entropy` — randomness not derived from the run seed.
+fn jitter() -> u64 {
+    let mut rng = rand::thread_rng(); // line 3: flagged
+    rng.gen()
+}
+
+fn reseed() {
+    let a = OsRng.next_u64(); // line 8: flagged
+    let b = RandomState::new(); // line 9: flagged
+    let _ = (a, b);
+}

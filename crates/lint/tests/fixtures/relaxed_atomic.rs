@@ -1,0 +1,12 @@
+// Fixture: `relaxed-atomic` — Relaxed on a cross-thread control flag.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+pub fn request_stop() {
+    STOP.store(true, Ordering::Relaxed); // line 7: flagged
+}
+
+pub fn stopped() -> bool {
+    STOP.load(Ordering::Acquire) // sanctioned ordering — not flagged
+}

@@ -1,0 +1,17 @@
+// Fixture: `std-hash-collections` — every RandomState-defaulted form.
+use std::collections::HashMap; // line 2: flagged import
+use std::collections::{BTreeMap, HashSet}; // line 3: flagged import (set)
+
+struct Table {
+    by_flow: HashMap<u64, u32>, // line 6: type without hasher
+    seen: HashSet<u64>,         // line 7: type without hasher
+    ordered: BTreeMap<u64, u32>,
+}
+
+fn build() -> Table {
+    Table {
+        by_flow: HashMap::new(),          // line 13: RandomState constructor
+        seen: HashSet::with_capacity(64), // line 14: RandomState constructor
+        ordered: BTreeMap::new(),
+    }
+}

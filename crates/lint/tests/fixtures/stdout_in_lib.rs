@@ -1,0 +1,16 @@
+// Fixture: `stdout-in-lib` — output bypassing the report layer.
+pub fn run(cells: usize) {
+    println!("running {cells} cells"); // line 3: flagged
+    if cells == 0 {
+        eprintln!("nothing to do"); // line 5: flagged
+        std::process::exit(2); // line 6: flagged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_output_is_fine_in_tests() {
+        println!("not flagged: test module");
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: valid waivers — findings must be reported as waived, not fail.
+use std::time::Instant; // clove-lint: allow(wall-clock): fixture demonstrates a trailing same-line waiver
+
+// clove-lint: allow(std-hash-collections): fixture demonstrates a comment-above waiver
+use std::collections::HashMap;
+
+pub fn f() -> HashMap<u64, u64, std::hash::BuildHasherDefault<SomeHasher>> {
+    unreachable!()
+}

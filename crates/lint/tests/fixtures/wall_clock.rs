@@ -1,0 +1,9 @@
+// Fixture: `wall-clock` — host-clock reads in simulation logic.
+use std::time::Instant; // line 2: flagged
+
+fn measure() -> u128 {
+    let t0 = Instant::now(); // line 5: flagged
+    let epoch = std::time::SystemTime::now(); // line 6: flagged
+    drop(epoch);
+    t0.elapsed().as_nanos()
+}

@@ -69,7 +69,7 @@ fn same_sport_same_path_different_sport_can_differ() {
     sorted.sort_unstable();
     assert_eq!(uids, sorted, "single-path packets must not reorder");
     // Distinct sports spread over multiple uplinks.
-    let mut used = std::collections::HashSet::new();
+    let mut used = rustc_hash::FxHashSet::default();
     for sport in 40_000u16..40_064 {
         let key = FlowKey::tcp(HostId(0), HostId(16), sport, STT_PORT);
         let sw = &net.fabric.switches[0];

@@ -12,7 +12,7 @@ use clove_net::types::{FlowKey, HostId, LinkId};
 use clove_net::{HostCtx, HostLogic, Network};
 use clove_sim::{Duration, EventQueue, Time};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Discards every delivery; these tests only watch link state.
 struct Sink;
@@ -132,7 +132,7 @@ proptest! {
 
         let topo = LeafSpine::paper_testbed(1.0, 42).build();
         let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut model: HashMap<LinkId, LinkModel> = HashMap::new();
+        let mut model: FxHashMap<LinkId, LinkModel> = FxHashMap::default();
         for action in plan.expand() {
             let (a, b) = topo.resolve_cable(action.cable).expect("all cables resolve");
             for link in [a, b] {

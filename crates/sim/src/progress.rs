@@ -54,13 +54,18 @@ impl RunControl {
     }
 
     /// Ask the run to stop at its next stop-flag check. Idempotent.
+    ///
+    /// Release/Acquire (not Relaxed): the flag is a cross-thread control
+    /// signal, so everything the requester wrote before raising it — e.g.
+    /// the watchdog's stall diagnosis — must be visible to the run loop
+    /// that observes it (clove-lint `relaxed-atomic`).
     pub fn request_stop(&self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
     }
 
     /// Whether a stop has been requested.
     pub fn stop_requested(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
+        self.stop.load(Ordering::Acquire)
     }
 
     /// Clear counters and the stop flag so the control can watch a fresh
@@ -68,7 +73,7 @@ impl RunControl {
     pub fn reset(&self) {
         self.events.store(0, Ordering::Relaxed);
         self.sim_ns.store(0, Ordering::Relaxed);
-        self.stop.store(false, Ordering::Relaxed);
+        self.stop.store(false, Ordering::Release);
     }
 }
 

@@ -123,18 +123,19 @@ impl Subflow {
     }
 
     fn update_rtt(&mut self, cfg: &TcpConfig, sample: Duration) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = sample / 2;
+                sample
             }
             Some(s) => {
                 let err = if sample > s { sample - s } else { s - sample };
                 self.rttvar = Duration::from_nanos((self.rttvar.as_nanos() * 3 + err.as_nanos()) / 4);
-                self.srtt = Some(Duration::from_nanos((s.as_nanos() * 7 + sample.as_nanos()) / 8));
+                Duration::from_nanos((s.as_nanos() * 7 + sample.as_nanos()) / 8)
             }
-        }
-        self.rto = (self.srtt.unwrap() + self.rttvar * 4).max(cfg.min_rto).min(cfg.max_rto);
+        };
+        self.srtt = Some(srtt);
+        self.rto = (srtt + self.rttvar * 4).max(cfg.min_rto).min(cfg.max_rto);
     }
 
     /// Restart the RTO (on progress for this subflow).
@@ -523,7 +524,7 @@ mod tests {
         c.enqueue_job(Time::ZERO, 1, 200_000, &mut out);
         // 4 subflows × IW 10 segments = 40 segments initially.
         assert_eq!(out.len(), 40);
-        let mut by_subflow = std::collections::HashMap::new();
+        let mut by_subflow = rustc_hash::FxHashMap::default();
         for p in &out {
             *by_subflow.entry(p.flow.sport).or_insert(0) += 1;
         }

@@ -279,19 +279,20 @@ impl TcpSender {
     }
 
     fn update_rtt(&mut self, sample: Duration) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = sample / 2;
+                sample
             }
             Some(srtt) => {
                 // Jacobson/Karels: rttvar = 3/4 rttvar + 1/4 |srtt - sample|
                 let err = if sample > srtt { sample - srtt } else { srtt - sample };
                 self.rttvar = Duration::from_nanos((self.rttvar.as_nanos() * 3 + err.as_nanos()) / 4);
-                self.srtt = Some(Duration::from_nanos((srtt.as_nanos() * 7 + sample.as_nanos()) / 8));
+                Duration::from_nanos((srtt.as_nanos() * 7 + sample.as_nanos()) / 8)
             }
-        }
-        let base = self.srtt.unwrap() + self.rttvar * 4;
+        };
+        self.srtt = Some(srtt);
+        let base = srtt + self.rttvar * 4;
         self.rto = base.max(self.cfg.min_rto).min(self.cfg.max_rto);
         self.backoff = 0;
     }

@@ -8,7 +8,7 @@
 
 use clove_sim::stats::Summary;
 use clove_sim::Time;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// The paper's mice-flow threshold (Figure 5a).
 pub const MICE_BYTES: u64 = 100_000;
@@ -37,7 +37,7 @@ impl FlowRecord {
 /// Collects job starts and completions during a run.
 #[derive(Debug, Default)]
 pub struct FctCollector {
-    started: HashMap<u64, (u64, Time)>, // job id -> (bytes, start)
+    started: FxHashMap<u64, (u64, Time)>, // job id -> (bytes, start)
     finished: Vec<FlowRecord>,
 }
 

@@ -186,7 +186,7 @@ mod tests {
         let m = RpcModel::half_and_half(&hosts(32), 4, web_search());
         let mut rng = SimRng::new(5);
         let plans = m.plan_connections(&mut rng);
-        let mut per_server = std::collections::HashMap::new();
+        let mut per_server = rustc_hash::FxHashMap::default();
         for p in &plans {
             *per_server.entry(p.server).or_insert(0u32) += 1;
         }

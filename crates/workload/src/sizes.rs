@@ -31,7 +31,8 @@ impl FlowSizeDist {
             out.push(pt);
             prev = pt;
         }
-        assert!((out.last().unwrap().1 - 1.0).abs() < 1e-9, "CDF must end at 1");
+        let last = out.last().expect("a flow-size CDF needs at least one point");
+        assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at 1");
         FlowSizeDist { name, points: out }
     }
 
@@ -62,7 +63,7 @@ impl FlowSizeDist {
             }
             lo = (size, p);
         }
-        self.points.last().unwrap().0 as u64
+        self.points.last().expect("constructor guarantees at least one CDF point").0 as u64
     }
 
     /// The distribution mean, computed by numeric integration of the

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # clove — a full reproduction of *Clove: Congestion-Aware Load
 //! Balancing at the Virtual Edge* (CoNEXT 2017)
