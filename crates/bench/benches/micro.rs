@@ -11,7 +11,7 @@ use clove_net::hash::{ecmp_select, hash_tuple};
 use clove_net::packet::{Encap, Feedback, Packet, PacketKind};
 use clove_net::types::{FlowKey, HostId};
 use clove_overlay::EdgePolicy;
-use clove_sim::{Duration, EventQueue, SimRng, Time};
+use clove_sim::{Duration, EventQueue, QueueBackend, SimRng, Time};
 
 fn bench_ecmp_hash(c: &mut Criterion) {
     let key = FlowKey::tcp(HostId(3), HostId(17), 49_321, 7471);
@@ -74,35 +74,58 @@ fn bench_wrr_and_policy(c: &mut Criterion) {
 }
 
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
-            for i in 0..1000u64 {
-                q.push(Time::from_nanos(i * 37 % 1000), i);
-            }
-            let mut acc = 0u64;
-            while let Some(e) = q.pop() {
-                acc = acc.wrapping_add(e.event);
-            }
-            acc
-        })
-    });
-    // The pre-sizing story: one pre-sized queue reused via clear() across
-    // a 1M-event stream, the shape `event_capacity_hint` optimizes for.
-    c.bench_function("event_queue_push_pop_1M", |b| {
-        let mut q: EventQueue<u64> = EventQueue::with_capacity(1 << 20);
-        b.iter(|| {
-            q.clear();
-            for i in 0..1_000_000u64 {
-                q.push(Time::from_nanos(i * 37 % 999_983), i);
-            }
-            let mut acc = 0u64;
-            while let Some(e) = q.pop() {
-                acc = acc.wrapping_add(e.event);
-            }
-            acc
-        })
-    });
+    // Both backends on identical streams: the wheel/heap gap measured here
+    // is the budget behind bench_baseline's regression floor.
+    for backend in [QueueBackend::Wheel, QueueBackend::Heap] {
+        c.bench_function(&format!("event_queue_push_pop_1k_{}", backend.name()), |b| {
+            b.iter(|| {
+                let mut q: EventQueue<u64> = EventQueue::with_capacity_and_backend(1024, backend);
+                for i in 0..1000u64 {
+                    q.push(Time::from_nanos(i * 37 % 1000), i);
+                }
+                let mut acc = 0u64;
+                while let Some(e) = q.pop() {
+                    acc = acc.wrapping_add(e.event);
+                }
+                acc
+            })
+        });
+        // The pre-sizing story: one pre-sized queue reused via clear()
+        // across a 1M-event stream, the shape `event_capacity_hint`
+        // optimizes for.
+        c.bench_function(&format!("event_queue_push_pop_1M_{}", backend.name()), |b| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity_and_backend(1 << 20, backend);
+            b.iter(|| {
+                q.clear();
+                for i in 0..1_000_000u64 {
+                    q.push(Time::from_nanos(i * 37 % 999_983), i);
+                }
+                let mut acc = 0u64;
+                while let Some(e) = q.pop() {
+                    acc = acc.wrapping_add(e.event);
+                }
+                acc
+            })
+        });
+        // Simulator-shaped load: a sliding window of pending events where
+        // pops interleave with near-future pushes (the wheel's fast path).
+        c.bench_function(&format!("event_queue_sliding_window_{}", backend.name()), |b| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity_and_backend(4096, backend);
+            b.iter(|| {
+                q.clear();
+                for i in 0..2048u64 {
+                    q.push(Time::from_nanos(i * 13 % 4096), i);
+                }
+                let mut acc = 0u64;
+                for i in 0..100_000u64 {
+                    let e = q.pop().expect("window never drains");
+                    acc = acc.wrapping_add(e.event);
+                    q.push(e.at + Duration::from_nanos(1 + i * 31 % 4096), i);
+                }
+                acc
+            })
+        });
+    }
 }
 
 fn bench_codec(c: &mut Criterion) {

@@ -3,18 +3,24 @@
 //! Wall-clock baseline for the figure suite: serial vs. parallel.
 //!
 //! ```text
-//! cargo run --release -p clove-bench --bin bench_baseline -- [--jobs N] [--out FILE] [--check FILE]
+//! cargo run --release -p clove-bench --bin bench_baseline -- [--jobs N] [--out FILE] [--check FILE] [--queue wheel|heap]
 //! ```
 //!
 //! Runs each smoke-scale figure group twice — `--jobs 1` and `--jobs N`
 //! (default: the machine's available parallelism) — and writes a JSON
 //! report with `{wall_s, events, events_per_sec, jobs}` per group plus
 //! the measured speedup. The committed `BENCH_baseline.json` at the repo
-//! root records the reference numbers EXPERIMENTS.md quotes.
+//! root records the reference numbers EXPERIMENTS.md quotes. The report
+//! also carries an `event_mix` section — peak pending events and the
+//! push-to-pop delay histogram from representative cells — the measured
+//! footprint the timing wheel's level geometry is sized against.
 //!
 //! `--check FILE` compares this run's serial throughput against a
 //! previously committed report and exits non-zero if aggregate
-//! events/sec regressed by more than 30% — the CI `bench-smoke` gate.
+//! events/sec regressed by more than 15% — the CI `bench-smoke` gate.
+//!
+//! `--queue heap` times the legacy binary-heap backend instead of the
+//! timing wheel (the committed baseline is always the wheel).
 //!
 //! Completed groups (their measured samples, timing included) are
 //! checkpointed to `results/.journal/bench/`; `--resume` serves groups an
@@ -24,7 +30,10 @@
 
 use clove_harness::experiments::{self, ExpConfig, PointCache};
 use clove_harness::json::Json;
-use clove_harness::{write_atomic, Journal};
+use clove_harness::scenario::{Scenario, TopologyKind};
+use clove_harness::{write_atomic, Journal, Scheme};
+use clove_sim::{QueueBackend, QueueProfile, Time};
+use clove_workload::web_search;
 use std::path::Path;
 use std::time::Instant;
 
@@ -113,14 +122,50 @@ fn pair_decode(text: &str) -> Option<(Sample, Sample)> {
     Some((sample_from_json(doc.get("serial")?)?, sample_from_json(doc.get("parallel")?)?))
 }
 
-fn time_group(group: &Group, jobs: usize) -> Sample {
+fn time_group(group: &Group, jobs: usize, queue: QueueBackend) -> Sample {
     // Smoke scale: big enough that events/sec is stable, small enough for
     // CI. Seeds=2 so the seed axis parallelizes too.
-    let cfg = ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs, strict: false, ..ExpConfig::quick() };
+    let cfg = ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs, strict: false, queue, ..ExpConfig::quick() };
     let mut cache = PointCache::new();
     let start = Instant::now();
     (group.run)(&cfg, &mut cache);
     Sample { wall_s: start.elapsed().as_secs_f64(), events: cache.events, jobs }
+}
+
+/// The event-mix profile: peak pending events and the push-to-pop delay
+/// histogram, merged over cells spanning the scheme/topology extremes the
+/// figures exercise. This is the measured distribution the timing wheel's
+/// level geometry (8-bit slots, 6 levels) is sized against.
+fn event_mix(queue: QueueBackend) -> Json {
+    let cells: [(&str, Scheme, TopologyKind, f64); 4] = [
+        ("ecmp-sym-50", Scheme::Ecmp, TopologyKind::Symmetric, 0.5),
+        ("clove-ecn-asym-70", Scheme::CloveEcn, TopologyKind::Asymmetric, 0.7),
+        ("conga-asym-70", Scheme::Conga, TopologyKind::Asymmetric, 0.7),
+        ("mptcp-sym-80", Scheme::Mptcp { subflows: 4 }, TopologyKind::Symmetric, 0.8),
+    ];
+    let dist = web_search();
+    let mut merged = QueueProfile::default();
+    let mut per_cell = Vec::new();
+    for (name, scheme, topology, load) in cells {
+        let mut s = Scenario::new(scheme, topology, load, 1000);
+        s.jobs_per_conn = 8;
+        s.conns_per_client = 1;
+        s.horizon = Time::from_secs(10);
+        s.queue = queue;
+        let profile = s.run_rpc(&dist).queue_profile;
+        per_cell.push((
+            name.to_string(),
+            Json::Obj(vec![("peak_pending".to_string(), Json::Num(profile.peak_pending as f64)), ("events".to_string(), Json::Num(profile.total() as f64))]),
+        ));
+        merged.merge(&profile);
+    }
+    Json::Obj(vec![
+        ("peak_pending".to_string(), Json::Num(merged.peak_pending as f64)),
+        ("events".to_string(), Json::Num(merged.total() as f64)),
+        // Bucket 0 = same-instant pushes; bucket k ≥ 1 = [2^(k-1), 2^k) ns.
+        ("delay_hist_log2_ns".to_string(), Json::Arr(merged.trimmed_hist().iter().map(|&c| Json::Num(c as f64)).collect())),
+        ("cells".to_string(), Json::Obj(per_cell)),
+    ])
 }
 
 fn parse_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -142,6 +187,13 @@ fn main() {
     let jobs = parse_flag(&args, "--jobs").and_then(|v| v.parse().ok()).filter(|&n| n >= 1).unwrap_or_else(|| cpus.max(2));
     let out_path = parse_flag(&args, "--out").unwrap_or("BENCH_baseline.json").to_string();
     let check_path = parse_flag(&args, "--check").map(str::to_string);
+    let queue: QueueBackend = match parse_flag(&args, "--queue").map(str::parse).transpose() {
+        Ok(q) => q.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("bench_baseline: {e}");
+            std::process::exit(2);
+        }
+    };
     let resume = args.iter().any(|a| a == "--resume");
     let journal = match Journal::open("results/.journal/bench", resume) {
         Ok(j) => Some(j),
@@ -151,15 +203,15 @@ fn main() {
         }
     };
 
-    eprintln!("bench_baseline: {cpus} cpu(s), comparing --jobs 1 vs --jobs {jobs}");
+    eprintln!("bench_baseline: {cpus} cpu(s), {} backend, comparing --jobs 1 vs --jobs {jobs}", queue.name());
     let mut figures = Vec::new();
     let (mut serial_wall, mut parallel_wall, mut serial_events) = (0.0f64, 0.0f64, 0u64);
     for group in &GROUPS {
-        let key = format!("{}|jobs{}", group.name, jobs);
+        let key = format!("{}|jobs{}|{}", group.name, jobs, queue.name());
         let checkpoint = journal.as_ref().and_then(|j| j.load::<String>("bench", &key)).and_then(|text| pair_decode(&text));
         let resumed = checkpoint.is_some();
         let (serial, parallel) = checkpoint.unwrap_or_else(|| {
-            let pair = (time_group(group, 1), time_group(group, jobs));
+            let pair = (time_group(group, 1, queue), time_group(group, jobs, queue));
             if let Some(j) = &journal {
                 j.store("bench", &key, &pair_encode(&pair.0, &pair.1));
             }
@@ -187,9 +239,13 @@ fn main() {
     let serial_eps = serial_events as f64 / serial_wall.max(1e-9);
     eprintln!("bench_baseline: total serial {serial_wall:.3}s, --jobs {jobs} {parallel_wall:.3}s, speedup {speedup:.2}x");
 
+    eprintln!("bench_baseline: profiling the event mix");
+    let mix = event_mix(queue);
+
     let report = Json::Obj(vec![
         ("cpus".to_string(), Json::Num(cpus as f64)),
         ("jobs".to_string(), Json::Num(jobs as f64)),
+        ("queue".to_string(), Json::Str(queue.name().to_string())),
         (
             "figures".to_string(),
             Json::Arr(
@@ -216,6 +272,7 @@ fn main() {
                 ("serial_events_per_sec".to_string(), Json::Num(serial_eps)),
             ]),
         ),
+        ("event_mix".to_string(), mix),
     ]);
     if let Err(e) = write_atomic(Path::new(&out_path), &(report.render_pretty() + "\n")) {
         eprintln!("bench_baseline: cannot write {out_path}: {e}");
@@ -232,11 +289,12 @@ fn main() {
             }
         };
         let reference = committed.get("total").and_then(|t| t.get("serial_events_per_sec")).and_then(Json::as_f64).unwrap_or(0.0);
-        // 30% regression budget: CI machines are noisy, real regressions
-        // from an O(n) slip in the hot path are much larger.
-        let floor = reference * 0.7;
+        // 15% regression budget: tight enough to catch the wheel backend
+        // silently degrading to heap-like behavior (the wheel/heap gap is
+        // well beyond 15%), loose enough for CI timing noise.
+        let floor = reference * 0.85;
         if serial_eps < floor {
-            eprintln!("bench_baseline: REGRESSION — serial {serial_eps:.0} ev/s < 70% of committed {reference:.0} ev/s");
+            eprintln!("bench_baseline: REGRESSION — serial {serial_eps:.0} ev/s < 85% of committed {reference:.0} ev/s");
             std::process::exit(1);
         }
         eprintln!("bench_baseline: ok — serial {serial_eps:.0} ev/s vs committed {reference:.0} ev/s (floor {floor:.0})");

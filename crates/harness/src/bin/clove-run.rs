@@ -3,7 +3,7 @@
 //! Run a Clove experiment described by a JSON file, or a chaos-fuzz campaign.
 //!
 //! ```text
-//! clove-run <spec.json> [--jobs N] [--strict] [--resume]
+//! clove-run <spec.json> [--jobs N] [--strict] [--resume] [--queue wheel|heap]
 //!                                    # prints a RunReport as JSON on stdout
 //! clove-run chaos [--runs N] [--seed S] [--jobs N] [--shrink-budget B] [--out FILE]
 //!                                    # fuzz fault timelines against the invariants
@@ -18,6 +18,10 @@
 //! `--resume` re-serves seeds already completed by an earlier interrupted
 //! invocation from the checkpoint journal at `results/.journal/clove-run/`;
 //! without it the journal is wiped and every seed re-executes.
+//!
+//! `--queue heap` swaps the timing-wheel event queue for the legacy
+//! binary heap (differential oracle; reports are byte-identical under
+//! either backend).
 //!
 //! `chaos` draws `--runs` random fault timelines (link faults plus
 //! control-plane faults), runs each against a strict quick-scale scenario,
@@ -73,7 +77,7 @@ fn chaos_main(args: &[String]) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = parse_jobs(&args);
-    let value_flags = ["--jobs", "--runs", "--seed", "--shrink-budget", "--out"];
+    let value_flags = ["--jobs", "--runs", "--seed", "--shrink-budget", "--out", "--queue"];
     let arg = args
         .iter()
         .enumerate()
@@ -118,6 +122,15 @@ fn main() {
     };
     if args.iter().any(|a| a == "--strict") {
         spec.strict = true;
+    }
+    if let Some(v) = parse_flag(&args, "--queue") {
+        spec.queue = match v.parse() {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("clove-run: {e}");
+                std::process::exit(2);
+            }
+        };
     }
     let resume = args.iter().any(|a| a == "--resume");
     let journal = match Journal::open("results/.journal/clove-run", resume) {

@@ -12,7 +12,7 @@ use crate::orchestrator::{self, CellOutcome, ExecPolicy};
 use crate::profile::Profile;
 use crate::scenario::{Scenario, TopologyKind};
 use crate::scheme::Scheme;
-use clove_sim::{Duration, Time};
+use clove_sim::{Duration, QueueBackend, Time};
 use clove_workload::{data_mining, enterprise, web_search, FlowSizeDist};
 use std::sync::Arc;
 
@@ -234,6 +234,10 @@ pub struct ScenarioSpec {
     /// Run under the invariant monitor and fail the run on any violation
     /// (`clove-run --strict` forces this on).
     pub strict: bool,
+    /// Event-queue backend (`clove-run --queue heap` selects the legacy
+    /// binary-heap oracle). Deliberately *not* part of the spec JSON or
+    /// journal keys: the report is byte-identical under either backend.
+    pub queue: QueueBackend,
 }
 
 impl ScenarioSpec {
@@ -283,6 +287,7 @@ impl ScenarioSpec {
                 None | Some(Json::Null) => false,
                 Some(x) => x.as_bool().ok_or_else(|| "'strict' must be a boolean".to_string())?,
             },
+            queue: QueueBackend::default(),
         })
     }
 
@@ -335,6 +340,7 @@ impl ScenarioSpec {
             s.control_faults = clove_net::fault::ControlFaultPlan::lossy_control(Time::from_millis(self.control_loss_at_ms.unwrap_or(0)), rate);
         }
         s.strict = self.strict;
+        s.queue = self.queue;
         let mut profile = Profile::default();
         if let Some(us) = self.flowlet_gap_us {
             profile.flowlet_gap = Duration::from_micros(us);
@@ -373,6 +379,7 @@ impl ScenarioSpec {
             &seeds,
             jobs,
             ExecPolicy::default(),
+            None, // seeds of one spec are uniform-cost
             journal.map(|j| (j, "clove-run")),
             |&seed| format!("{spec_key}|seed{seed}"),
             |&seed, control| {
@@ -589,6 +596,7 @@ mod tests {
             control_loss: Some(0.2),
             control_loss_at_ms: Some(20),
             strict: true,
+            queue: QueueBackend::default(),
         };
         let json = spec.to_json().render_pretty();
         let back = ScenarioSpec::from_json_str(&json).unwrap();

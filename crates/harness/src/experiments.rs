@@ -41,7 +41,7 @@ use crate::report::{FeedbackRow, FeedbackTable, FigureTable, ResilienceRow, Resi
 use crate::scenario::{RpcOutcome, Scenario, TopologyKind};
 use crate::scheme::Scheme;
 use clove_net::fault::{CableSelector, ControlFaultPlan, ControlFaultStats, FaultPlan, FaultStats};
-use clove_sim::{Duration, RunControl, Time};
+use clove_sim::{Duration, QueueBackend, RunControl, Time};
 use clove_workload::{web_search, FctSummary, FlowSizeDist};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -69,17 +69,42 @@ pub struct ExpConfig {
     /// Completed-cell journal for checkpoint/resume; `None` disables
     /// journaling (cells always execute).
     pub journal: Option<Arc<crate::journal::Journal>>,
+    /// Event-queue backend every cell runs on: the timing wheel (default)
+    /// or the legacy binary heap (`--queue heap`), kept as a
+    /// differential-testing oracle. Results are backend-independent, so
+    /// the backend is *not* part of the journal key.
+    pub queue: QueueBackend,
 }
 
 impl ExpConfig {
     /// A configuration suitable for generating the committed figures.
     pub fn full() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 80, conns_per_client: 2, seeds: 2, horizon_secs: 60, jobs: 1, strict: false, exec: ExecPolicy::default(), journal: None }
+        ExpConfig {
+            jobs_per_conn: 80,
+            conns_per_client: 2,
+            seeds: 2,
+            horizon_secs: 60,
+            jobs: 1,
+            strict: false,
+            exec: ExecPolicy::default(),
+            journal: None,
+            queue: QueueBackend::default(),
+        }
     }
 
     /// A tiny configuration for benches and CI smoke tests.
     pub fn quick() -> ExpConfig {
-        ExpConfig { jobs_per_conn: 8, conns_per_client: 1, seeds: 1, horizon_secs: 10, jobs: 1, strict: false, exec: ExecPolicy::default(), journal: None }
+        ExpConfig {
+            jobs_per_conn: 8,
+            conns_per_client: 1,
+            seeds: 1,
+            horizon_secs: 10,
+            jobs: 1,
+            strict: false,
+            exec: ExecPolicy::default(),
+            journal: None,
+            queue: QueueBackend::default(),
+        }
     }
 
     /// The same configuration with a different worker count.
@@ -103,6 +128,12 @@ impl ExpConfig {
     /// The same configuration with a checkpoint journal installed.
     pub fn with_journal(mut self, journal: Option<Arc<crate::journal::Journal>>) -> ExpConfig {
         self.journal = journal;
+        self
+    }
+
+    /// The same configuration on a different event-queue backend.
+    pub fn with_queue(mut self, queue: QueueBackend) -> ExpConfig {
+        self.queue = queue;
         self
     }
 
@@ -143,13 +174,25 @@ where
 /// [`run_matrix`] plus the orchestrator's panic isolation, retry,
 /// stall watchdog, and (when configured) the checkpoint journal under
 /// `scope`.
-fn run_cells<K, R, F>(scope: &str, cells: &[K], cfg: &ExpConfig, key: impl Fn(&K) -> String + Send + Sync, run: F) -> (Vec<CellOutcome<R>>, MatrixStats)
+///
+/// `cost` estimates each cell's relative wall time; the orchestrator
+/// starts the most expensive cells first so a long cell never becomes the
+/// matrix tail at `jobs > 1` (outcomes stay in cell order regardless).
+fn run_cells<K, R, F>(
+    scope: &str,
+    cells: &[K],
+    cfg: &ExpConfig,
+    cost: impl Fn(&K) -> f64,
+    key: impl Fn(&K) -> String + Send + Sync,
+    run: F,
+) -> (Vec<CellOutcome<R>>, MatrixStats)
 where
     K: Sync,
     R: Send + JournalValue,
     F: Fn(&K, &Arc<RunControl>) -> R + Send + Sync,
 {
-    orchestrator::run_journaled(cells, cfg.jobs, cfg.exec, cfg.journal.as_deref().map(|j| (j, scope)), key, run)
+    let costs: Vec<f64> = cells.iter().map(cost).collect();
+    orchestrator::run_journaled(cells, cfg.jobs, cfg.exec, Some(&costs), cfg.journal.as_deref().map(|j| (j, scope)), key, run)
 }
 
 /// The oracle Presto weights for the asymmetric topology (paper §5.2:
@@ -169,6 +212,7 @@ fn scenario(scheme: Scheme, topology: TopologyKind, load: f64, seed: u64, cfg: &
     s.horizon = Time::from_secs(cfg.horizon_secs);
     s.strict = cfg.strict;
     s.control = control.map(Arc::clone);
+    s.queue = cfg.queue;
     s
 }
 
@@ -297,6 +341,9 @@ impl PointCache {
             "rpc",
             &cells,
             cfg,
+            // Heavier schemes at higher load run longest (fig8b/fig9's
+            // CONGA @ 90% cell dominates the matrix) — start them first.
+            |&(si, load, _)| schemes[si].cost_weight() * (1.0 + load),
             |&(si, load, seed)| {
                 format!("rpc|{}|{}|load{}|seed{}|{}", schemes[si].label(), topology_tag(topology), (load * 1000.0).round() as u64, seed, cfg.key_fragment())
             },
@@ -431,6 +478,8 @@ pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
         "fig6",
         &cells,
         cfg,
+        // Same scheme everywhere: cost scales with offered load alone.
+        |&(_, load, _)| 1.0 + load,
         |&(vi, load, seed)| format!("fig6|{}|load{}|seed{}|{}", variants[vi].0, (load * 1000.0).round() as u64, seed, cfg.key_fragment()),
         |&(vi, load, seed), control| {
             let (_, gap_mult, ecn_pkts) = variants[vi];
@@ -482,6 +531,8 @@ pub fn fig7(fanouts: &[u32], requests: u32, cfg: &ExpConfig) -> FigureTable {
         "fig7",
         &cells,
         cfg,
+        // Incast cost grows with fan-in (more servers, more packets).
+        |&(si, fanout, _)| schemes[si].cost_weight() * fanout as f64,
         |&(si, fanout, seed)| format!("fig7|{}|fanout{fanout}|req{requests}|seed{seed}|{}", schemes[si].label(), cfg.key_fragment()),
         |&(si, fanout, seed), control| {
             let s = scenario(schemes[si].clone(), TopologyKind::Symmetric, 0.5, seed, cfg, Some(control));
@@ -724,6 +775,8 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
         "resilience",
         &cells,
         cfg,
+        // All cells share one load; scheme weight dominates wall time.
+        |&(si, _, _)| schemes[si].cost_weight(),
         |&(si, ci, seed)| format!("resilience|{}|{}|seed{seed}|{}", schemes[si].label(), FaultCase::ALL[ci].label(), cfg.key_fragment()),
         |&(si, ci, seed), control| {
             let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg, Some(control));
@@ -844,6 +897,8 @@ pub fn feedback_degradation(schemes: &[Scheme], cfg: &ExpConfig) -> FeedbackTabl
         "feedback",
         &cells,
         cfg,
+        // All cells share one load; scheme weight dominates wall time.
+        |&(si, _, _)| schemes[si].cost_weight(),
         |&(si, ri, seed)| {
             format!("feedback|{}|rate{}|seed{seed}|{}", schemes[si].label(), (FEEDBACK_LOSS_RATES[ri] * 1000.0).round() as u64, cfg.key_fragment())
         },

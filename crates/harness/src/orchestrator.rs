@@ -299,15 +299,45 @@ fn execute_cell<R>(policy: ExecPolicy, watchdog: Option<&Watchdog>, idx: usize, 
     }
 }
 
+/// Execution schedule for a matrix: cell indices sorted most-expensive
+/// first (descending estimated cost; ties keep cell order, and `None`
+/// preserves cell order exactly). Workers claim cells in schedule order, so
+/// the longest cells start earliest and the matrix tail is a short cell
+/// rather than a long one — the classic longest-processing-time heuristic.
+/// Cost estimates only need to *rank* cells, not predict wall time.
+fn schedule(costs: Option<&[f64]>, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(costs) = costs {
+        debug_assert_eq!(costs.len(), n, "one cost estimate per cell");
+        order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+    }
+    order
+}
+
+/// Scatter schedule-order outcomes back into cell order.
+fn unschedule<R>(order: Vec<usize>, raw: Vec<CellOutcome<R>>) -> Vec<CellOutcome<R>> {
+    let mut slots: Vec<Option<CellOutcome<R>>> = raw.into_iter().map(Some).collect();
+    let mut by_cell: Vec<usize> = vec![0; slots.len()];
+    for (pos, &idx) in order.iter().enumerate() {
+        by_cell[idx] = pos;
+    }
+    by_cell.into_iter().map(|pos| slots[pos].take().expect("every cell scheduled exactly once")).collect()
+}
+
 /// Run a matrix with panic isolation, retry/quarantine and the stall
 /// watchdog, returning per-cell outcomes **in cell order**.
+///
+/// `costs`, when given, holds one wall-time estimate per cell; execution is
+/// scheduled most-expensive-first (see [`schedule`]) while results are
+/// scattered back into cell order, so outputs are byte-identical whether or
+/// not estimates are supplied.
 ///
 /// The cell closure receives a shared [`RunControl`] it should hand to the
 /// simulation (clone the `Arc` into `Scenario::control`) so the watchdog
 /// can observe progress; cells that ignore it simply cannot be
 /// stall-cancelled early (they are still marked `TimedOut` if the deadline
 /// passes by the time they finish).
-pub fn run_isolated<K, R, F>(cells: &[K], jobs: usize, policy: ExecPolicy, run: F) -> (Vec<CellOutcome<R>>, MatrixStats)
+pub fn run_isolated<K, R, F>(cells: &[K], jobs: usize, policy: ExecPolicy, costs: Option<&[f64]>, run: F) -> (Vec<CellOutcome<R>>, MatrixStats)
 where
     K: Sync,
     R: Send,
@@ -315,11 +345,10 @@ where
 {
     let stats = AtomicStats::default();
     let watchdog = policy.stall_timeout.map(Watchdog::new);
-    let indices: Vec<usize> = (0..cells.len()).collect();
-    let outcomes =
-        crate::experiments::run_matrix(&indices, jobs, |&idx| execute_cell(policy, watchdog.as_ref(), idx, &stats, |control| run(&cells[idx], control)));
+    let indices = schedule(costs, cells.len());
+    let raw = crate::experiments::run_matrix(&indices, jobs, |&idx| execute_cell(policy, watchdog.as_ref(), idx, &stats, |control| run(&cells[idx], control)));
     drop(watchdog);
-    (outcomes, stats.into_stats(cells.len()))
+    (unschedule(indices, raw), stats.into_stats(cells.len()))
 }
 
 /// [`run_isolated`] plus checkpoint/resume: completed cells are recorded in
@@ -333,6 +362,7 @@ pub fn run_journaled<K, R, F>(
     cells: &[K],
     jobs: usize,
     policy: ExecPolicy,
+    costs: Option<&[f64]>,
     journal: Option<(&Journal, &str)>,
     key: impl Fn(&K) -> String + Send + Sync,
     run: F,
@@ -343,12 +373,12 @@ where
     F: Fn(&K, &Arc<RunControl>) -> R + Send + Sync,
 {
     let Some((journal, scope)) = journal else {
-        return run_isolated(cells, jobs, policy, run);
+        return run_isolated(cells, jobs, policy, costs, run);
     };
     let stats = AtomicStats::default();
     let watchdog = policy.stall_timeout.map(Watchdog::new);
-    let indices: Vec<usize> = (0..cells.len()).collect();
-    let outcomes = crate::experiments::run_matrix(&indices, jobs, |&idx| {
+    let indices = schedule(costs, cells.len());
+    let raw = crate::experiments::run_matrix(&indices, jobs, |&idx| {
         let cell = &cells[idx];
         let cell_key = key(cell);
         if let Some(value) = journal.load::<R>(scope, &cell_key) {
@@ -362,7 +392,7 @@ where
         outcome
     });
     drop(watchdog);
-    (outcomes, stats.into_stats(cells.len()))
+    (unschedule(indices, raw), stats.into_stats(cells.len()))
 }
 
 #[cfg(test)]
@@ -372,7 +402,7 @@ mod tests {
     #[test]
     fn all_ok_cells_pass_through_in_order() {
         let cells: Vec<u32> = (0..10).collect();
-        let (outcomes, stats) = run_isolated(&cells, 4, ExecPolicy::default(), |&c, _| c * 2);
+        let (outcomes, stats) = run_isolated(&cells, 4, ExecPolicy::default(), None, |&c, _| c * 2);
         let values: Vec<u32> = outcomes.into_iter().map(|o| o.into_ok().expect("ok")).collect();
         assert_eq!(values, (0..10).map(|c| c * 2).collect::<Vec<_>>());
         assert_eq!(stats.executed, 10);
@@ -383,7 +413,7 @@ mod tests {
     fn panicking_cell_is_quarantined_matrix_completes() {
         let cells: Vec<u32> = (0..8).collect();
         let policy = ExecPolicy { retries: 1, ..ExecPolicy::default() };
-        let (outcomes, stats) = run_isolated(&cells, 4, policy, |&c, _| {
+        let (outcomes, stats) = run_isolated(&cells, 4, policy, None, |&c, _| {
             if c == 3 {
                 panic!("cell {c} exploded");
             }
@@ -410,7 +440,7 @@ mod tests {
     #[test]
     fn retry_recovers_flaky_cell() {
         let flaked = AtomicUsize::new(0);
-        let (outcomes, stats) = run_isolated(&[7u32], 1, ExecPolicy::default(), |&c, _| {
+        let (outcomes, stats) = run_isolated(&[7u32], 1, ExecPolicy::default(), None, |&c, _| {
             if flaked.fetch_add(1, Ordering::Relaxed) == 0 {
                 panic!("transient");
             }
@@ -424,7 +454,7 @@ mod tests {
     #[test]
     fn isolate_off_propagates_panics() {
         let policy = ExecPolicy { isolate: false, ..ExecPolicy::default() };
-        let res = catch_unwind(AssertUnwindSafe(|| run_isolated(&[1u32], 1, policy, |_, _| -> u32 { panic!("loud") })));
+        let res = catch_unwind(AssertUnwindSafe(|| run_isolated(&[1u32], 1, policy, None, |_, _| -> u32 { panic!("loud") })));
         assert!(res.is_err());
     }
 
@@ -432,7 +462,7 @@ mod tests {
     fn stalled_cell_is_cancelled_and_timed_out() {
         let policy = ExecPolicy::default().with_stall_timeout(Duration::from_millis(60));
         let cells: Vec<u32> = vec![0, 1, 2];
-        let (outcomes, stats) = run_isolated(&cells, 3, policy, |&c, control| {
+        let (outcomes, stats) = run_isolated(&cells, 3, policy, None, |&c, control| {
             if c == 1 {
                 // A wedged cell: no progress published, but it honors the
                 // cooperative stop like the real event loop does.
@@ -451,7 +481,7 @@ mod tests {
     #[test]
     fn progressing_cell_is_not_stall_cancelled() {
         let policy = ExecPolicy::default().with_stall_timeout(Duration::from_millis(80));
-        let (outcomes, stats) = run_isolated(&[5u32], 1, policy, |&c, control| {
+        let (outcomes, stats) = run_isolated(&[5u32], 1, policy, None, |&c, control| {
             // Slower than the stall deadline end-to-end, but always advancing.
             for i in 0..40 {
                 control.advance(1, clove_sim::Time::from_nanos(i));
@@ -471,7 +501,7 @@ mod tests {
         let key = |c: &u64| format!("cell-{c}");
         {
             let journal = Journal::open(&root, false).expect("open journal");
-            let (outcomes, stats) = run_journaled(&cells, 2, ExecPolicy::default(), Some((&journal, "test")), key, |&c, _| c as f64 * 1.5);
+            let (outcomes, stats) = run_journaled(&cells, 2, ExecPolicy::default(), None, Some((&journal, "test")), key, |&c, _| c as f64 * 1.5);
             assert!(outcomes.iter().all(|o| !o.is_quarantined()));
             assert_eq!(stats.executed, 6);
             assert_eq!(journal.stores(), 6);
@@ -479,7 +509,7 @@ mod tests {
         {
             let journal = Journal::open(&root, true).expect("reopen journal");
             let executed = AtomicUsize::new(0);
-            let (outcomes, stats) = run_journaled(&cells, 4, ExecPolicy::default(), Some((&journal, "test")), key, |&c, _| {
+            let (outcomes, stats) = run_journaled(&cells, 4, ExecPolicy::default(), None, Some((&journal, "test")), key, |&c, _| {
                 executed.fetch_add(1, Ordering::Relaxed);
                 c as f64 * 1.5
             });
@@ -497,9 +527,48 @@ mod tests {
         let _ = std::fs::remove_dir_all(&root);
         let journal = Journal::open(&root, false).expect("open journal");
         let policy = ExecPolicy { retries: 0, ..ExecPolicy::default() };
-        let (outcomes, _) = run_journaled(&[1u64], 1, policy, Some((&journal, "t")), |c| format!("{c}"), |_, _| -> f64 { panic!("nope") });
+        let (outcomes, _) = run_journaled(&[1u64], 1, policy, None, Some((&journal, "t")), |c| format!("{c}"), |_, _| -> f64 { panic!("nope") });
         assert!(outcomes[0].is_quarantined());
         assert_eq!(journal.stores(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn schedule_sorts_by_descending_cost_with_stable_ties() {
+        assert_eq!(schedule(None, 4), vec![0, 1, 2, 3]);
+        assert_eq!(schedule(Some(&[1.0, 3.0, 2.0, 3.0]), 4), vec![1, 3, 2, 0]);
+        // NaN costs compare as equal: cell order preserved among them.
+        assert_eq!(schedule(Some(&[f64::NAN, 1.0, f64::NAN]), 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cost_estimates_reorder_execution_but_not_outcomes() {
+        // Serial run (jobs = 1): the worker claims cells in schedule order,
+        // so the observed execution sequence is exactly descending cost.
+        let cells: Vec<u32> = (0..5).collect();
+        let costs = [2.0, 9.0, 1.0, 9.0, 5.0];
+        let executed = std::sync::Mutex::new(Vec::new());
+        let (outcomes, stats) = run_isolated(&cells, 1, ExecPolicy::default(), Some(&costs), |&c, _| {
+            executed.lock().expect("lock").push(c);
+            c * 10
+        });
+        assert_eq!(*executed.lock().expect("lock"), vec![1, 3, 4, 0, 2], "longest cells must start first");
+        let values: Vec<u32> = outcomes.into_iter().map(|o| o.into_ok().expect("ok")).collect();
+        assert_eq!(values, vec![0, 10, 20, 30, 40], "outcomes must stay in cell order");
+        assert_eq!(stats.executed, 5);
+    }
+
+    #[test]
+    fn journaled_run_honors_cost_schedule() {
+        let root = std::env::temp_dir().join(format!("clove-orch-cost-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let journal = Journal::open(&root, false).expect("open journal");
+        let cells: Vec<u64> = (0..4).collect();
+        let costs = [1.0, 4.0, 3.0, 2.0];
+        let (outcomes, _) = run_journaled(&cells, 1, ExecPolicy::default(), Some(&costs), Some((&journal, "t")), |c| format!("{c}"), |&c, _| c as f64);
+        let values: Vec<f64> = outcomes.into_iter().map(|o| o.into_ok().expect("ok")).collect();
+        assert_eq!(values, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(journal.stores(), 4);
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -16,7 +16,7 @@ use clove_net::fault::{CableSelector, ControlFaultPlan, ControlFaultStats, Fault
 use clove_net::topology::{LeafSpine, Topology};
 use clove_net::types::{HostId, NodeId};
 use clove_net::Network;
-use clove_sim::{Duration, EventQueue, SimRng, Time};
+use clove_sim::{Duration, EventQueue, QueueBackend, QueueProfile, SimRng, Time};
 use clove_workload::fct::FlowRecord;
 use clove_workload::{load_to_rate, FctSummary, FlowSizeDist, IncastSpec, RpcModel};
 use rustc_hash::FxHashMap;
@@ -66,6 +66,9 @@ pub struct Scenario {
     /// Run the [`InvariantMonitor`] at every run-loop chunk boundary and
     /// report its violations in the outcome (`clove-run --strict`).
     pub strict: bool,
+    /// Event-queue backend: the timing wheel (default) or the legacy
+    /// binary heap, kept as a differential-testing oracle (`--queue heap`).
+    pub queue: QueueBackend,
     /// Shared progress/cancellation handle. When set, the run loop
     /// publishes events-processed and simulated time through it and honors
     /// cooperative stop requests (the orchestrator's stall watchdog).
@@ -87,6 +90,7 @@ impl Scenario {
             faults: FaultPlan::none(),
             control_faults: ControlFaultPlan::none(),
             strict: false,
+            queue: QueueBackend::default(),
             control: None,
         }
     }
@@ -152,7 +156,8 @@ impl Scenario {
     /// packet, timer and probe is one queued event, so the steady state is
     /// roughly proportional to connections. The hint is deliberately
     /// generous — over-reserving costs a few MB once, under-reserving costs
-    /// rehash-free but repeated `BinaryHeap` growth mid-run.
+    /// repeated growth of the queue's internal buffers mid-run (heap
+    /// storage, or wheel slot/run vectors).
     pub fn event_capacity_hint(&self) -> usize {
         let conns = 64usize.max((self.conns_per_client as usize) * 64) * 4;
         conns.next_power_of_two().clamp(1 << 16, 1 << 20)
@@ -215,7 +220,7 @@ impl Scenario {
             stack.set_jobs(plan.client, conn_idx, jobs);
         }
 
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(self.event_capacity_hint());
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity_and_backend(self.event_capacity_hint(), self.queue);
         stack.bootstrap(&mut |host, tok, at| {
             queue.push(at, Event::HostTimer { host, token: tok });
         });
@@ -238,8 +243,15 @@ impl Scenario {
         let mut net = Network::new(topo.fabric, stack);
         let mut monitor = self.strict.then(InvariantMonitor::new);
         let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut(), self.control.as_deref());
-        let events = summary.events;
         let end = summary.end_time;
+        // Commit every transmission that happened by the end of the run so
+        // the per-link stats below are exact under the lazy link model.
+        net.fabric.settle_all(end, &mut queue);
+        // Logical event count: scheduler pops plus one per transmitted
+        // packet — the per-packet TxDone events the lazy link model
+        // eliminated — so the metric stays comparable across backends and
+        // with earlier baselines.
+        let events = summary.events + net.fabric.links.iter().map(|l| l.stats.tx_packets).sum::<u64>();
 
         let drops: u64 = net.fabric.links.iter().map(|l| l.stats.drops_overflow + l.stats.drops_down).sum();
         let marks: u64 = net.fabric.links.iter().map(|l| l.stats.ecn_marks).sum();
@@ -267,6 +279,7 @@ impl Scenario {
             stalled: net.hosts.stalled_report(),
             link_report: link_report(&net.fabric),
             violations: monitor.map(|m| m.violations).unwrap_or_default(),
+            queue_profile: queue.profile().clone(),
         })
     }
 
@@ -306,7 +319,7 @@ impl Scenario {
         let spec = IncastSpec { client, servers, object_bytes, fanout, requests };
         stack.set_incast(spec, server_conn, self.seed);
 
-        let mut queue: EventQueue<Event> = EventQueue::with_capacity(self.event_capacity_hint());
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity_and_backend(self.event_capacity_hint(), self.queue);
         stack.bootstrap(&mut |host, tok, at| {
             queue.push(at, Event::HostTimer { host, token: tok });
         });
@@ -318,6 +331,9 @@ impl Scenario {
         let mut net = Network::new(topo.fabric, stack);
         let mut monitor = self.strict.then(InvariantMonitor::new);
         let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut(), self.control.as_deref());
+        net.fabric.settle_all(summary.end_time, &mut queue);
+        // Same logical event accounting as the RPC path (see above).
+        let events = summary.events + net.fabric.links.iter().map(|l| l.stats.tx_packets).sum::<u64>();
         let (rounds, elapsed) = net.hosts.incast_result().expect("incast configured");
         let bytes = rounds as u64 * object_bytes;
         let goodput_bps = if elapsed.is_zero() { 0.0 } else { bytes as f64 * 8.0 / elapsed.as_secs_f64() };
@@ -325,7 +341,7 @@ impl Scenario {
             goodput_bps,
             rounds,
             sim_time: summary.end_time,
-            events: summary.events,
+            events,
             timeouts: net.hosts.stats.timeouts,
             invariant_violations: monitor.map(|m| m.violations.len() as u64).unwrap_or(0),
         })
@@ -414,6 +430,9 @@ pub struct RpcOutcome {
     /// Invariant violations detected by the strict-mode monitor (empty
     /// when the run was clean, or when `strict` was off).
     pub violations: Vec<String>,
+    /// Event-queue pressure profile (peak pending events, push-to-pop
+    /// delay histogram) — the data wheel bucket sizing is tuned from.
+    pub queue_profile: QueueProfile,
 }
 
 /// Recovery bound: the run counts as recovered once the per-window mean

@@ -79,6 +79,28 @@ impl Scheme {
         }
     }
 
+    /// Relative wall-clock cost of simulating one cell under this scheme,
+    /// used only to *rank* cells for the orchestrator's expensive-first
+    /// schedule — it never affects results (outcomes are scattered back to
+    /// cell order). Rough calibration from bench_baseline: switch-local
+    /// schemes that track per-uplink congestion state (CONGA, HULA) run
+    /// markedly slower than stateless ECMP; MPTCP multiplies the flow count
+    /// by its subflows; the Clove variants sit in between (feedback packets
+    /// plus per-path state).
+    pub fn cost_weight(&self) -> f64 {
+        match self {
+            Scheme::Ecmp => 1.0,
+            Scheme::EcmpDctcp => 1.1,
+            Scheme::EdgeFlowlet | Scheme::LetFlow => 1.2,
+            Scheme::CloveEcn | Scheme::CloveEcnDctcp | Scheme::CloveEcnNonOverlay | Scheme::CloveLatency { .. } | Scheme::Incremental { .. } => 1.3,
+            Scheme::Presto { .. } => 1.4,
+            Scheme::CloveInt => 1.5,
+            Scheme::Hula => 1.8,
+            Scheme::Mptcp { subflows } => 1.0 + 0.4 * *subflows as f64,
+            Scheme::Conga => 2.5,
+        }
+    }
+
     /// For incremental deployment: is `host` Clove-enabled?
     pub fn host_is_clove(&self, host: clove_net::types::HostId) -> bool {
         match self {

@@ -1,0 +1,64 @@
+//! The event-queue backend must be invisible in the output: a figure cell
+//! run on the timing wheel and on the legacy binary-heap oracle must
+//! render byte-identical tables. Together with the differential proptest
+//! in `clove-sim` (identical pop sequences) this pins `--queue heap` as a
+//! true differential-testing oracle for the wheel.
+
+use clove_harness::experiments::{self, ExpConfig};
+use clove_harness::scenario::{Scenario, TopologyKind};
+use clove_harness::Scheme;
+use clove_sim::QueueBackend;
+use clove_workload::web_search;
+
+fn smoke() -> ExpConfig {
+    ExpConfig { jobs_per_conn: 4, conns_per_client: 1, seeds: 2, horizon_secs: 10, jobs: 1, strict: false, ..ExpConfig::quick() }
+}
+
+#[test]
+fn fig4c_csv_identical_wheel_vs_heap() {
+    let loads = [0.5];
+    let wheel = experiments::fig4c(&loads, &smoke().with_queue(QueueBackend::Wheel));
+    let heap = experiments::fig4c(&loads, &smoke().with_queue(QueueBackend::Heap));
+    assert_eq!(wheel.to_csv(), heap.to_csv());
+}
+
+#[test]
+fn rpc_outcome_identical_wheel_vs_heap() {
+    // One full scenario cell compared field-by-field, not just through the
+    // table rendering: FCT stats, event counts, retransmits — everything
+    // downstream of the event order must match exactly.
+    let dist = web_search();
+    let run = |backend| {
+        let mut s = Scenario::new(Scheme::CloveEcn, TopologyKind::Asymmetric, 0.6, 77);
+        s.jobs_per_conn = 6;
+        s.conns_per_client = 1;
+        s.queue = backend;
+        s.run_rpc(&dist)
+    };
+    let wheel = run(QueueBackend::Wheel);
+    let heap = run(QueueBackend::Heap);
+    assert_eq!(wheel.events, heap.events);
+    assert_eq!(wheel.fct.avg().to_bits(), heap.fct.avg().to_bits(), "FCT stats must be bit-identical");
+    assert_eq!(wheel.retransmits, heap.retransmits);
+    assert_eq!(wheel.timeouts, heap.timeouts);
+    assert_eq!(wheel.drops, heap.drops);
+    assert_eq!(wheel.ecn_marks, heap.ecn_marks);
+    assert_eq!(wheel.sim_time, heap.sim_time);
+    // The profile is a property of the stream, not the backend.
+    assert_eq!(wheel.queue_profile, heap.queue_profile);
+}
+
+#[test]
+fn incast_outcome_identical_wheel_vs_heap() {
+    let run = |backend| {
+        let mut s = Scenario::new(Scheme::EdgeFlowlet, TopologyKind::Symmetric, 0.5, 31);
+        s.queue = backend;
+        s.run_incast(6, 4, 1_000_000)
+    };
+    let wheel = run(QueueBackend::Wheel);
+    let heap = run(QueueBackend::Heap);
+    assert_eq!(wheel.events, heap.events);
+    assert_eq!(wheel.goodput_bps.to_bits(), heap.goodput_bps.to_bits());
+    assert_eq!(wheel.rounds, heap.rounds);
+    assert_eq!(wheel.sim_time, heap.sim_time);
+}

@@ -100,6 +100,7 @@ fn clove_run_spec_resume_reproduces_the_report_exactly() {
         flowlet_gap_us: None,
         ecn_threshold_pkts: None,
         strict: false,
+        queue: clove_sim::QueueBackend::default(),
     };
 
     let journal = Journal::open(&root, false).expect("journal opens");

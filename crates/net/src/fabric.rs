@@ -8,9 +8,13 @@
 //!
 //! ## Event flow
 //!
-//! * A host calls [`HostCtx::send`] → packet enqueued on its uplink.
-//! * `TxDone(link)` → packet leaves the wire, `Arrive{node, via}` scheduled
-//!   after the propagation delay, next queued packet starts serializing.
+//! * A host calls [`HostCtx::send`] → packet enqueued on its uplink; if the
+//!   transmitter was idle its `Arrive{node, via}` (serialization + one
+//!   propagation delay later) is scheduled immediately.
+//! * `Arrive{node, via}` first settles `via` ([`Fabric::settle_link`]):
+//!   every queued packet whose serialization has started by now is committed
+//!   back-to-back and its own `Arrive` scheduled — there is no per-packet
+//!   `TxDone` event, so a backlog of N packets costs N events, not 2N.
 //! * `Arrive` at a switch → [`Fabric::switch_receive`]: TTL handling
 //!   (probe expiry → ProbeReply), scheme-specific egress selection (ECMP /
 //!   LetFlow / CONGA), enqueue on the chosen egress link.
@@ -21,7 +25,7 @@
 
 use crate::fault::{ControlAction, ControlFaultStats, FaultStats, LinkAction};
 use crate::hash::ecmp_select;
-use crate::link::{EnqueueOutcome, Link};
+use crate::link::Link;
 use crate::packet::{CongaTag, Feedback, Packet, PacketKind};
 use crate::switch::{CongaConfig, FabricScheme, FlowletEntry, Switch};
 use crate::types::{FlowKey, HostId, LinkId, NodeId, SwitchId};
@@ -50,11 +54,6 @@ pub enum Event {
         via: LinkId,
         /// The packet itself.
         pkt: Packet,
-    },
-    /// The transmitter of `link` finished serializing its packet.
-    TxDone {
-        /// The link whose transmitter finished.
-        link: LinkId,
     },
     /// Opaque host-level timer (TCP RTO, probe rounds, app arrivals...).
     HostTimer {
@@ -152,11 +151,18 @@ pub struct Fabric {
     pub control: ControlPlaneFaults,
     /// Packet uid source for switch-originated packets (probe replies).
     next_uid: u64,
+    /// Scratch for link settle/enqueue commits, drained into `Arrive`
+    /// events immediately after each call; pre-sized so the deepest
+    /// single-link backlog in the topology settles without reallocating.
+    commit_scratch: Vec<(Time, Packet)>,
 }
 
 impl Fabric {
     /// Assemble a fabric from parts (normally done by `topology` builders).
     pub fn new(switches: Vec<Switch>, links: Vec<Link>, hosts: Vec<HostAttachment>, scheme: FabricScheme, seed: u64) -> Fabric {
+        // A settle commits at most one full buffer of MTU-ish packets in
+        // one call; size the scratch for the deepest buffer in the fabric.
+        let scratch = links.iter().map(|l| (l.cfg.buffer_bytes / 1000 + 2) as usize).max().unwrap_or(16);
         Fabric {
             switches,
             links,
@@ -167,6 +173,7 @@ impl Fabric {
             control: ControlPlaneFaults::default(),
             // High bit set: never collides with host-assigned uids.
             next_uid: 1 << 63,
+            commit_scratch: Vec::with_capacity(scratch),
         }
     }
 
@@ -275,7 +282,9 @@ impl Fabric {
         self.stats.control
     }
 
-    /// Enqueue on a specific link and schedule the TxDone if it went idle→busy.
+    /// Enqueue on a specific link, scheduling an `Arrive` for every packet
+    /// the link commits (the offered packet if the transmitter was idle,
+    /// plus any backlog the pre-admission settle drained).
     fn enqueue_on(&mut self, now: Time, link: LinkId, pkt: Packet, q: &mut EventQueue<Event>) {
         // Injected stochastic loss (fault injection): the coin is flipped
         // here rather than in `Link` so the link stays deterministic and the
@@ -285,22 +294,40 @@ impl Fabric {
             l.stats.drops_loss += 1;
             return;
         }
-        match self.links[link.0 as usize].enqueue(now, pkt) {
-            EnqueueOutcome::StartedTx { done_at } => q.push(done_at, Event::TxDone { link }),
-            EnqueueOutcome::Queued | EnqueueOutcome::Dropped => {}
+        let to = l.to;
+        debug_assert!(self.commit_scratch.is_empty());
+        let _ = self.links[link.0 as usize].enqueue(now, pkt, &mut self.commit_scratch);
+        for (at, pkt) in self.commit_scratch.drain(..) {
+            q.push(at, Event::Arrive { node: to, via: link, pkt });
         }
     }
 
-    /// Handle a `TxDone` on `link`.
-    pub fn on_tx_done(&mut self, now: Time, link: LinkId, q: &mut EventQueue<Event>) {
+    /// Bring one link's transmitter up to date with the clock, scheduling an
+    /// `Arrive` for every queued packet whose serialization has started by
+    /// `now`. A one-branch no-op when the link is idle or still mid-packet;
+    /// called before every read or mutation that depends on transmitter or
+    /// DRE state (arrivals on the link, CONGA/HULA metric reads, fault
+    /// application, end-of-run stats collection).
+    pub fn settle_link(&mut self, now: Time, link: LinkId, q: &mut EventQueue<Event>) {
         let l = &mut self.links[link.0 as usize];
-        let prop = l.cfg.prop_delay;
-        let to = l.to;
-        let (pkt, next_done) = l.tx_done(now);
-        if let Some(t) = next_done {
-            q.push(t, Event::TxDone { link });
+        if !l.needs_settle(now) {
+            return;
         }
-        q.push(now + prop, Event::Arrive { node: to, via: link, pkt });
+        let to = l.to;
+        debug_assert!(self.commit_scratch.is_empty());
+        l.settle(now, &mut self.commit_scratch);
+        for (at, pkt) in self.commit_scratch.drain(..) {
+            q.push(at, Event::Arrive { node: to, via: link, pkt });
+        }
+    }
+
+    /// Settle every link. Run this at end of run (or before reading
+    /// fabric-wide stats) so `LinkStats::tx_packets` / `tx_bytes` and DRE
+    /// state reflect everything that happened by `now`.
+    pub fn settle_all(&mut self, now: Time, q: &mut EventQueue<Event>) {
+        for i in 0..self.links.len() {
+            self.settle_link(now, LinkId(i as u32), q);
+        }
     }
 
     /// A packet arrives at a switch: forward it.
@@ -364,6 +391,16 @@ impl Fabric {
             }
         };
         let group = &group_buf[..group_len];
+
+        // CONGA reads every member's DRE at choice time (and folds the
+        // chosen egress DRE into the tag): bring those transmitters up to
+        // date first so the estimates include all traffic up to `now`.
+        if matches!(self.scheme, FabricScheme::Conga(_)) {
+            for &p in group {
+                let member = self.switches[swi].ports[p];
+                self.settle_link(now, member, q);
+            }
+        }
 
         // Is the next hop the destination host itself? (last-hop delivery)
         let last_hop = {
@@ -571,8 +608,10 @@ impl Fabric {
         if self.switches[swi].is_leaf && self.switches[swi].id.0 == tor {
             return;
         }
-        // Utilization in the *data* direction (reverse of the probe).
+        // Utilization in the *data* direction (reverse of the probe); the
+        // DRE only counts settled transmissions, so settle first.
         let data_link = self.links[via.0 as usize].reverse.unwrap_or(via);
+        self.settle_link(now, data_link, q);
         let link_util = self.links[data_link.0 as usize].dre.utilization_pm(now);
         let path_util = util_pm.max(link_util);
         // Which local port leads back toward the ToR? The reverse link.
@@ -637,8 +676,11 @@ impl Fabric {
         q.push(now + cfg.probe_interval, Event::HulaTick);
     }
 
-    /// Flip a link's administrative state and recompute all routes.
-    pub fn set_link_admin(&mut self, link: LinkId, up: bool) {
+    /// Flip a link's administrative state and recompute all routes. The
+    /// link settles first, so a `down` flushes exactly the packets whose
+    /// serialization had not started by `now`.
+    pub fn set_link_admin(&mut self, now: Time, link: LinkId, up: bool, q: &mut EventQueue<Event>) {
+        self.settle_link(now, link, q);
         self.links[link.0 as usize].set_up(up);
         crate::topology::recompute_routes(self);
     }
@@ -646,7 +688,11 @@ impl Fabric {
     /// Apply one expanded fault action (see [`crate::fault`]). Routes are
     /// recomputed only for `announced` up/down faults; rate and loss
     /// changes never alter routing (the link is still nominally up).
-    pub fn apply_fault(&mut self, now: Time, link: LinkId, action: LinkAction, announced: bool) {
+    ///
+    /// The link settles first, so every packet whose serialization started
+    /// before the fault is committed under the pre-fault link state.
+    pub fn apply_fault(&mut self, now: Time, link: LinkId, action: LinkAction, announced: bool, q: &mut EventQueue<Event>) {
+        self.settle_link(now, link, q);
         let l = &mut self.links[link.0 as usize];
         let routes_change = match action {
             LinkAction::Down => {
@@ -759,21 +805,27 @@ impl<H: HostLogic> World for Network<H> {
 
     fn handle(&mut self, now: Time, event: Event, queue: &mut EventQueue<Event>) {
         match event {
-            Event::Arrive { node, via, pkt } => match node {
-                NodeId::Switch(sw) => self.fabric.switch_receive(now, sw, via, pkt, queue),
-                NodeId::Host(h) => {
-                    let mut ctx = HostCtx { now, host: h, fabric: &mut self.fabric, queue };
-                    self.hosts.on_packet(h, pkt, &mut ctx);
+            Event::Arrive { node, via, pkt } => {
+                // A delivery on `via` means its transmitter finished one
+                // propagation delay ago: settle it, which also commits the
+                // next queued packet(s) and schedules their arrivals —
+                // this chain is what replaces per-packet TxDone events.
+                self.fabric.settle_link(now, via, queue);
+                match node {
+                    NodeId::Switch(sw) => self.fabric.switch_receive(now, sw, via, pkt, queue),
+                    NodeId::Host(h) => {
+                        let mut ctx = HostCtx { now, host: h, fabric: &mut self.fabric, queue };
+                        self.hosts.on_packet(h, pkt, &mut ctx);
+                    }
                 }
-            },
-            Event::TxDone { link } => self.fabric.on_tx_done(now, link, queue),
+            }
             Event::HostTimer { host, token } => {
                 let mut ctx = HostCtx { now, host, fabric: &mut self.fabric, queue };
                 self.hosts.on_timer(host, token, &mut ctx);
             }
             Event::HulaTick => self.fabric.hula_tick(now, queue),
-            Event::LinkAdmin { link, up } => self.fabric.set_link_admin(link, up),
-            Event::Fault { link, action, announced } => self.fabric.apply_fault(now, link, action, announced),
+            Event::LinkAdmin { link, up } => self.fabric.set_link_admin(now, link, up, queue),
+            Event::Fault { link, action, announced } => self.fabric.apply_fault(now, link, action, announced, queue),
             Event::ControlFault { action } => self.fabric.apply_control_fault(action),
         }
     }

@@ -7,8 +7,17 @@
 //! relies on, paper §3.2), and a [`Dre`] utilization estimator (CONGA / INT).
 //!
 //! The link itself schedules no events — [`crate::fabric`] drives it with
-//! `enqueue` / `tx_done` calls and owns the event queue. This keeps all
-//! scheduling in one place and the link unit-testable in isolation.
+//! `enqueue` / `settle` calls and owns the event queue. Transmission is
+//! *arrive-driven*: when a packet's serialization starts, its delivery event
+//! (`done + prop_delay`) is emitted immediately, and the rest of the queue is
+//! committed lazily by [`Link::settle`], which drains every packet whose
+//! serialization has started by `now` in one back-to-back batch. No per-packet
+//! `TxDone` event exists; a queue of N packets costs N arrival events total
+//! rather than 2N scheduler round-trips. Because every state change that can
+//! affect serialization (rate degrade, cable pull, loss injection) settles the
+//! link first, each packet is committed under exactly the link state that was
+//! in force when its serialization started, so the lazy schedule is
+//! byte-identical to the eager one.
 
 use crate::dre::Dre;
 use crate::packet::Packet;
@@ -80,10 +89,11 @@ pub struct LinkStats {
 /// What `enqueue` did with the packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnqueueOutcome {
-    /// Queued (possibly CE-marked); transmitter already busy.
+    /// Queued (possibly CE-marked); transmitter already busy. The packet is
+    /// committed — and its delivery emitted — by a later [`Link::settle`].
     Queued,
-    /// Queued and the transmitter was idle: caller must schedule
-    /// [`Link::tx_done`] at the returned time.
+    /// The transmitter was idle: serialization started at `now` and the
+    /// packet's delivery event was emitted into the caller's scratch.
     StartedTx {
         /// When serialization of this packet completes.
         done_at: Time,
@@ -114,7 +124,11 @@ pub struct Link {
     pub stats: LinkStats,
     queue: VecDeque<Packet>,
     queue_bytes: u32,
-    in_flight: Option<Packet>,
+    /// The committed packet on the wire: `(serialization done, size)`. Its
+    /// delivery event was emitted when serialization started; only the tx
+    /// accounting and the hand-off to the next queued packet remain, both
+    /// performed by [`Link::settle`] once `done ≤ now`.
+    in_flight: Option<(Time, u32)>,
     /// Fraction of nominal line rate available (fault injection; 1.0 =
     /// healthy).
     rate_fraction: f64,
@@ -149,17 +163,20 @@ impl Link {
         }
     }
 
-    /// Standing queue length in bytes (excludes the packet on the wire).
+    /// Standing queue length in bytes as of the last settle (excludes the
+    /// packet on the wire).
     pub fn queue_bytes(&self) -> u32 {
         self.queue_bytes
     }
 
-    /// Number of queued packets (excludes the packet on the wire).
+    /// Number of queued packets as of the last settle (excludes the packet
+    /// on the wire).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
     }
 
-    /// True if the transmitter is serializing a packet right now.
+    /// True if the transmitter was serializing a packet as of the last
+    /// settle.
     pub fn busy(&self) -> bool {
         self.in_flight.is_some()
     }
@@ -184,12 +201,56 @@ impl Link {
         self.rate_fraction
     }
 
+    /// True if [`settle`] at `now` would change state — the in-flight
+    /// packet's serialization has completed. Lets callers skip the call on
+    /// idle or still-busy links without touching the queue.
+    ///
+    /// [`settle`]: Link::settle
+    pub fn needs_settle(&self, now: Time) -> bool {
+        self.in_flight.is_some_and(|(done, _)| done <= now)
+    }
+
+    /// Bring the transmitter up to date with the simulated clock: retire
+    /// every in-flight packet whose serialization completed by `now` and
+    /// commit the queued packets whose serialization therefore started, in
+    /// one back-to-back batch. Each committed packet's delivery is appended
+    /// to `out` as `(arrival_time, packet)` — always `≥ now`, because the
+    /// predecessor's delivery (which triggers this settle) lands exactly one
+    /// propagation delay after its serialization finished.
+    ///
+    /// Called before any read or mutation that depends on transmitter
+    /// state: enqueue admission, DRE reads at path choice, fault
+    /// application, and final stats collection.
+    pub fn settle(&mut self, now: Time, out: &mut Vec<(Time, Packet)>) {
+        while let Some((done, size)) = self.in_flight {
+            if done > now {
+                break;
+            }
+            self.in_flight = None;
+            self.stats.tx_packets += 1;
+            self.stats.tx_bytes += size as u64;
+            let Some(next) = self.queue.pop_front() else { break };
+            // The next packet's serialization started the instant the
+            // previous one finished — commit it under the current link
+            // state (every rate change settles first, so that state is the
+            // one in force at `done`).
+            self.queue_bytes -= next.size;
+            let next_done = done + self.ser_time(next.size);
+            self.dre.on_transmit(done, next.size);
+            self.in_flight = Some((next_done, next.size));
+            out.push((next_done + self.cfg.prop_delay, next));
+        }
+    }
+
     /// Offer a packet to this egress port at `now`.
     ///
-    /// Applies admission (drop-tail), ECN marking, and INT stamping, then
-    /// either starts transmission (if idle) or queues. The caller turns
-    /// `StartedTx { done_at }` into a `TxDone` event.
-    pub fn enqueue(&mut self, now: Time, mut pkt: Packet) -> EnqueueOutcome {
+    /// Settles first, then applies admission (drop-tail), ECN marking, and
+    /// INT stamping. If the transmitter is idle the packet starts
+    /// serializing immediately and its delivery `(arrival_time, packet)` is
+    /// appended to `out`; otherwise it waits in the queue for a later
+    /// settle to commit it.
+    pub fn enqueue(&mut self, now: Time, mut pkt: Packet, out: &mut Vec<(Time, Packet)>) -> EnqueueOutcome {
+        self.settle(now, out);
         if !self.up {
             self.stats.drops_down += 1;
             return EnqueueOutcome::Dropped;
@@ -215,7 +276,8 @@ impl Link {
             debug_assert!(self.queue.is_empty());
             let done_at = now + self.ser_time(pkt.size);
             self.dre.on_transmit(now, pkt.size);
-            self.in_flight = Some(pkt);
+            self.in_flight = Some((done_at, pkt.size));
+            out.push((done_at + self.cfg.prop_delay, pkt));
             EnqueueOutcome::StartedTx { done_at }
         } else {
             self.queue_bytes += pkt.size;
@@ -225,28 +287,11 @@ impl Link {
         }
     }
 
-    /// The transmitter finished serializing the in-flight packet.
-    ///
-    /// Returns the departed packet (to be delivered to `self.to` after
-    /// `prop_delay`) and, if another packet was waiting, the completion
-    /// time of its transmission (caller schedules the next `TxDone`).
-    pub fn tx_done(&mut self, now: Time) -> (Packet, Option<Time>) {
-        let departed = self.in_flight.take().expect("tx_done without in-flight packet");
-        self.stats.tx_packets += 1;
-        self.stats.tx_bytes += departed.size as u64;
-        let next_done = self.queue.pop_front().map(|next| {
-            self.queue_bytes -= next.size;
-            let done_at = now + self.ser_time(next.size);
-            self.dre.on_transmit(now, next.size);
-            self.in_flight = Some(next);
-            done_at
-        });
-        (departed, next_done)
-    }
-
     /// Administratively set link state. Taking the link down flushes the
-    /// queue (packets are lost, as with a real cable pull); the packet
-    /// currently on the wire is allowed to arrive.
+    /// uncommitted queue (packets are lost, as with a real cable pull); the
+    /// packet currently on the wire is allowed to arrive. Callers settle
+    /// first so "uncommitted" means exactly the packets whose serialization
+    /// had not started.
     pub fn set_up(&mut self, up: bool) {
         self.up = up;
         if !up {
@@ -272,7 +317,8 @@ impl Link {
 
     /// Degrade (or restore, with 1.0) the line rate. Affects packets whose
     /// serialization starts after this call; the one on the wire finishes
-    /// at its old rate.
+    /// at its old rate. Callers settle first so every packet that started
+    /// earlier is already committed at the old rate.
     pub fn set_rate_fraction(&mut self, now: Time, fraction: f64) {
         assert!(fraction > 0.0 && fraction <= 1.0, "rate fraction must be in (0, 1], got {fraction}");
         self.rate_fraction = fraction;
@@ -339,62 +385,90 @@ mod tests {
     #[test]
     fn idle_link_starts_transmission() {
         let mut l = link();
-        match l.enqueue(Time::ZERO, pkt(1, 1500)) {
+        let mut out = Vec::new();
+        match l.enqueue(Time::ZERO, pkt(1, 1500), &mut out) {
             EnqueueOutcome::StartedTx { done_at } => assert_eq!(done_at, Time::from_micros(12)),
             other => panic!("{other:?}"),
         }
         assert!(l.busy());
         assert_eq!(l.queue_len(), 0);
+        // The delivery (done + prop) is emitted at start time.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Time::from_micros(14));
+        assert_eq!(out[0].1.uid, 1);
     }
 
     #[test]
     fn busy_link_queues_then_chains() {
         let mut l = link();
-        assert!(matches!(l.enqueue(Time::ZERO, pkt(1, 1500)), EnqueueOutcome::StartedTx { .. }));
-        assert_eq!(l.enqueue(Time::ZERO, pkt(2, 1500)), EnqueueOutcome::Queued);
+        let mut out = Vec::new();
+        assert!(matches!(l.enqueue(Time::ZERO, pkt(1, 1500), &mut out), EnqueueOutcome::StartedTx { .. }));
+        assert_eq!(l.enqueue(Time::ZERO, pkt(2, 1500), &mut out), EnqueueOutcome::Queued);
         assert_eq!(l.queue_bytes(), 1500);
-        let (departed, next) = l.tx_done(Time::from_micros(12));
-        assert_eq!(departed.uid, 1);
-        assert_eq!(next, Some(Time::from_micros(24)));
+        // Packet 1 arrives at 14 us; settling there retires it and commits
+        // packet 2 back-to-back (starts at 12, done 24, arrives 26).
+        out.clear();
+        l.settle(Time::from_micros(14), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Time::from_micros(26));
+        assert_eq!(out[0].1.uid, 2);
         assert_eq!(l.queue_bytes(), 0);
-        let (departed2, next2) = l.tx_done(Time::from_micros(24));
-        assert_eq!(departed2.uid, 2);
-        assert!(next2.is_none());
+        out.clear();
+        l.settle(Time::from_micros(26), &mut out);
+        assert!(out.is_empty());
         assert!(!l.busy());
         assert_eq!(l.stats.tx_packets, 2);
         assert_eq!(l.stats.tx_bytes, 3000);
     }
 
     #[test]
+    fn settle_drains_whole_backlog_back_to_back() {
+        let mut l = link();
+        let mut out = Vec::new();
+        for i in 0..4 {
+            l.enqueue(Time::ZERO, pkt(i, 1500), &mut out);
+        }
+        assert_eq!(out.len(), 1, "only the started packet is committed");
+        // One settle far in the future commits the whole chain: packets
+        // depart every 12 us, arrivals 2 us after each departure.
+        out.clear();
+        l.settle(Time::from_millis(1), &mut out);
+        let got: Vec<(u64, u64)> = out.iter().map(|(t, p)| (t.as_nanos() / 1000, p.uid)).collect();
+        assert_eq!(got, vec![(26, 1), (38, 2), (50, 3)]);
+        assert_eq!(l.stats.tx_packets, 4);
+        assert!(!l.busy());
+        assert_eq!(l.queue_bytes(), 0);
+    }
+
+    #[test]
     fn drop_tail_on_overflow() {
         let mut l = link();
+        let mut out = Vec::new();
         // 1 in flight + 4 queued fills 6000-byte buffer.
         for i in 0..5 {
-            assert_ne!(l.enqueue(Time::ZERO, pkt(i, 1500)), EnqueueOutcome::Dropped);
+            assert_ne!(l.enqueue(Time::ZERO, pkt(i, 1500), &mut out), EnqueueOutcome::Dropped);
         }
-        assert_eq!(l.enqueue(Time::ZERO, pkt(9, 1500)), EnqueueOutcome::Dropped);
+        assert_eq!(l.enqueue(Time::ZERO, pkt(9, 1500), &mut out), EnqueueOutcome::Dropped);
         assert_eq!(l.stats.drops_overflow, 1);
     }
 
     #[test]
     fn ecn_marks_above_threshold_only_ect() {
         let mut l = link();
+        let mut out = Vec::new();
         // First packet in flight; two queued puts queue at 3000 = threshold.
-        l.enqueue(Time::ZERO, pkt(0, 1500));
-        l.enqueue(Time::ZERO, pkt(1, 1500));
-        l.enqueue(Time::ZERO, pkt(2, 1500));
+        l.enqueue(Time::ZERO, pkt(0, 1500), &mut out);
+        l.enqueue(Time::ZERO, pkt(1, 1500), &mut out);
+        l.enqueue(Time::ZERO, pkt(2, 1500), &mut out);
         // Fourth packet sees queue_bytes = 3000 >= 3000: marked.
-        l.enqueue(Time::ZERO, pkt(3, 1500));
+        l.enqueue(Time::ZERO, pkt(3, 1500), &mut out);
         // Non-ECT packet is never marked.
         let mut non_ect = pkt(4, 100);
         non_ect.ect = false;
-        l.enqueue(Time::ZERO, non_ect);
-        let mut marked = vec![];
-        l.tx_done(Time::from_micros(12)); // departs pkt 0
-        for t in [24, 36, 48, 49u64] {
-            let (p, _) = l.tx_done(Time::from_micros(t));
-            marked.push((p.uid, p.ce));
-        }
+        l.enqueue(Time::ZERO, non_ect, &mut out);
+        out.clear();
+        l.settle(Time::from_millis(1), &mut out);
+        let marked: Vec<(u64, bool)> = out.iter().map(|(_, p)| (p.uid, p.ce)).collect();
         assert_eq!(marked, vec![(1, false), (2, false), (3, true), (4, false)]);
         assert_eq!(l.stats.ecn_marks, 1);
     }
@@ -406,35 +480,40 @@ mod tests {
         let mut l = Link::new(LinkId(0), NodeId::Switch(SwitchId(0)), NodeId::Host(HostId(0)), c);
         let mut p = pkt(1, 1500);
         p.int_util_pm = Some(700);
+        let mut out = Vec::new();
         // Link idle: utilization ~0, running max stays 700.
-        match l.enqueue(Time::ZERO, p) {
+        match l.enqueue(Time::ZERO, p, &mut out) {
             EnqueueOutcome::StartedTx { .. } => {}
             o => panic!("{o:?}"),
         }
-        let (out, _) = l.tx_done(Time::from_micros(12));
-        assert_eq!(out.int_util_pm, Some(700));
+        assert_eq!(out[0].1.int_util_pm, Some(700));
     }
 
     #[test]
     fn down_link_drops_and_flushes() {
         let mut l = link();
-        l.enqueue(Time::ZERO, pkt(1, 1500));
-        l.enqueue(Time::ZERO, pkt(2, 1500));
+        let mut out = Vec::new();
+        l.enqueue(Time::ZERO, pkt(1, 1500), &mut out);
+        l.enqueue(Time::ZERO, pkt(2, 1500), &mut out);
         l.set_up(false);
         assert_eq!(l.queue_len(), 0);
-        assert_eq!(l.enqueue(Time::ZERO, pkt(3, 1500)), EnqueueOutcome::Dropped);
+        assert_eq!(l.enqueue(Time::ZERO, pkt(3, 1500), &mut out), EnqueueOutcome::Dropped);
         assert_eq!(l.stats.drops_down, 2);
-        // in-flight packet still completes
-        let (p, next) = l.tx_done(Time::from_micros(12));
-        assert_eq!(p.uid, 1);
-        assert!(next.is_none());
+        // The in-flight packet still completes (its delivery was emitted at
+        // start); settling past its done time books the tx and ends there.
+        out.clear();
+        l.settle(Time::from_micros(12), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(l.stats.tx_packets, 1);
+        assert!(!l.busy());
     }
 
     #[test]
     fn max_queue_high_water_mark() {
         let mut l = link();
+        let mut out = Vec::new();
         for i in 0..4 {
-            l.enqueue(Time::ZERO, pkt(i, 1000));
+            l.enqueue(Time::ZERO, pkt(i, 1000), &mut out);
         }
         assert_eq!(l.stats.max_queue_bytes, 3000);
     }
@@ -442,28 +521,30 @@ mod tests {
     #[test]
     fn down_up_lifecycle_resumes_traffic() {
         let mut l = link();
+        let mut out = Vec::new();
         // Busy link with one queued packet, then a cable pull.
-        l.enqueue(Time::ZERO, pkt(1, 1500));
-        l.enqueue(Time::ZERO, pkt(2, 1500));
+        l.enqueue(Time::ZERO, pkt(1, 1500), &mut out);
+        l.enqueue(Time::ZERO, pkt(2, 1500), &mut out);
         l.set_up_at(Time::from_micros(5), false);
         // Queue flushed into drops_down; offers while down also drop.
         assert_eq!(l.queue_len(), 0);
-        assert_eq!(l.enqueue(Time::from_micros(6), pkt(3, 1500)), EnqueueOutcome::Dropped);
+        assert_eq!(l.enqueue(Time::from_micros(6), pkt(3, 1500), &mut out), EnqueueOutcome::Dropped);
         assert_eq!(l.stats.drops_down, 2);
         // The in-flight packet still completes.
-        let (p, next) = l.tx_done(Time::from_micros(12));
-        assert_eq!(p.uid, 1);
-        assert!(next.is_none());
+        out.clear();
+        l.settle(Time::from_micros(12), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(l.stats.tx_packets, 1);
         // Back up: traffic flows again from a clean queue.
         l.set_up_at(Time::from_micros(105), true);
-        match l.enqueue(Time::from_micros(110), pkt(4, 1500)) {
+        match l.enqueue(Time::from_micros(110), pkt(4, 1500), &mut out) {
             EnqueueOutcome::StartedTx { done_at } => {
                 assert_eq!(done_at, Time::from_micros(110) + Duration::from_micros(12));
             }
             other => panic!("{other:?}"),
         }
-        let (p, _) = l.tx_done(Time::from_micros(122));
-        assert_eq!(p.uid, 4);
+        l.settle(Time::from_micros(122), &mut out);
+        assert_eq!(l.stats.tx_packets, 2);
         assert_eq!(l.stats.drops_down, 2, "no further down drops after recovery");
         assert_eq!(l.stats.down_time, Duration::from_micros(100));
     }
@@ -471,21 +552,43 @@ mod tests {
     #[test]
     fn rate_degrade_stretches_serialization_and_is_timed() {
         let mut l = link();
+        let mut out = Vec::new();
         l.set_rate_fraction(Time::from_micros(10), 0.5);
         // Half rate: 1500 B now takes 24 us instead of 12.
-        match l.enqueue(Time::from_micros(10), pkt(1, 1500)) {
+        match l.enqueue(Time::from_micros(10), pkt(1, 1500), &mut out) {
             EnqueueOutcome::StartedTx { done_at } => {
                 assert_eq!(done_at, Time::from_micros(34));
             }
             other => panic!("{other:?}"),
         }
-        l.tx_done(Time::from_micros(34));
+        l.settle(Time::from_micros(34), &mut out);
         // Restore closes the degraded interval.
         l.set_rate_fraction(Time::from_micros(50), 1.0);
         assert_eq!(l.stats.degraded_time, Duration::from_micros(40));
         assert_eq!(l.degraded_time_as_of(Time::from_micros(99)), Duration::from_micros(40));
-        match l.enqueue(Time::from_micros(60), pkt(2, 1500)) {
+        match l.enqueue(Time::from_micros(60), pkt(2, 1500), &mut out) {
             EnqueueOutcome::StartedTx { done_at } => assert_eq!(done_at, Time::from_micros(72)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn settle_before_rate_change_commits_at_old_rate() {
+        let mut l = link();
+        let mut out = Vec::new();
+        l.enqueue(Time::ZERO, pkt(1, 1500), &mut out); // done 12
+        l.enqueue(Time::ZERO, pkt(2, 1500), &mut out); // starts at 12
+                                                       // Fault at t = 15: the fabric settles first, so packet 2 (started
+                                                       // at 12, under the old full rate) is committed with done = 24 ...
+        out.clear();
+        l.settle(Time::from_micros(15), &mut out);
+        assert_eq!(out[0].0, Time::from_micros(26));
+        l.set_rate_fraction(Time::from_micros(15), 0.5);
+        // ... and only a packet starting after the change is stretched.
+        out.clear();
+        l.settle(Time::from_micros(24), &mut out);
+        match l.enqueue(Time::from_micros(30), pkt(3, 1500), &mut out) {
+            EnqueueOutcome::StartedTx { done_at } => assert_eq!(done_at, Time::from_micros(54)),
             other => panic!("{other:?}"),
         }
     }

@@ -338,7 +338,7 @@ fn no_route_packets_counted_not_panicking() {
         .map(|l| l.id)
         .collect();
     for link in kill {
-        net.fabric.set_link_admin(link, false);
+        net.fabric.set_link_admin(Time::ZERO, link, false, &mut q);
     }
     net.fabric.host_transmit(Time::ZERO, HostId(0), data_packet(1, HostId(0), HostId(16), 5555), &mut q);
     run_all(&mut net, &mut q);

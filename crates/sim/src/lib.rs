@@ -33,7 +33,7 @@ pub mod stats;
 pub mod time;
 
 pub use progress::RunControl;
-pub use queue::{EventQueue, ScheduledEvent};
+pub use queue::{EventQueue, QueueBackend, QueueProfile, ScheduledEvent};
 pub use rng::SimRng;
 pub use time::{Duration, Time};
 
@@ -86,8 +86,14 @@ pub fn run_controlled<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>,
     let mut events = 0u64;
     let mut end_time = Time::ZERO;
     let mut flushed = 0u64;
+    // The whole earliest run (every event sharing one timestamp) is taken in
+    // a single scheduler pop and drained here; on the wheel backend the two
+    // buffers just trade allocations back and forth. Handlers observing one
+    // batch may push same-instant events — those land in the *next* run, in
+    // seq order, exactly as the one-pop-per-event loop delivered them.
+    let mut batch: std::collections::VecDeque<ScheduledEvent<W::Event>> = std::collections::VecDeque::new();
     loop {
-        let Some(&ScheduledEvent { at, .. }) = queue.peek() else {
+        let Some(at) = queue.peek_time() else {
             if let Some(c) = control {
                 c.advance(events - flushed, end_time);
             }
@@ -99,16 +105,22 @@ pub fn run_controlled<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>,
             }
             return RunSummary { events, end_time, hit_horizon: true, stopped: false };
         }
-        let ev = queue.pop().expect("peeked event must pop");
-        end_time = ev.at;
-        events += 1;
-        world.handle(ev.at, ev.event, queue);
-        if let Some(c) = control {
-            if events.is_multiple_of(progress::PROGRESS_STRIDE) {
-                c.advance(events - flushed, end_time);
-                flushed = events;
-                if c.stop_requested() {
-                    return RunSummary { events, end_time, hit_horizon: false, stopped: true };
+        let now = queue.pop_run(&mut batch).expect("peeked queue must pop a run");
+        debug_assert_eq!(now, at);
+        end_time = now;
+        while let Some(ev) = batch.pop_front() {
+            events += 1;
+            world.handle(now, ev.event, queue);
+            if let Some(c) = control {
+                if events.is_multiple_of(progress::PROGRESS_STRIDE) {
+                    c.advance(events - flushed, end_time);
+                    flushed = events;
+                    if c.stop_requested() {
+                        // Hand the unprocessed tail of the run back so the
+                        // queue still holds everything not yet handled.
+                        queue.unpop_run(&mut batch);
+                        return RunSummary { events, end_time, hit_horizon: false, stopped: true };
+                    }
                 }
             }
         }

@@ -1,0 +1,101 @@
+//! Differential property test: the timing-wheel [`EventQueue`] backend and
+//! the legacy binary-heap oracle must produce *identical* `(time, seq,
+//! event)` pop sequences under any interleaving of pushes, pops and clears.
+//! This is the randomized generalization of the LCG-driven unit test in
+//! `clove-sim/src/queue.rs` — together they pin the determinism contract
+//! the whole simulator (and its byte-identical figure outputs) rests on.
+
+use clove_sim::{EventQueue, QueueBackend, Time};
+use proptest::prelude::*;
+
+/// One scripted operation against both backends.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push at `now + offset` (offsets exercise every wheel level plus the
+    /// overflow heap).
+    Push { offset: u64 },
+    /// Pop one event and compare.
+    Pop,
+    /// Drop everything (the inter-run reuse path).
+    Clear,
+}
+
+/// Decode one sampled `(kind, raw)` pair into an [`Op`]. Push kinds span
+/// the wheel's whole range: near-future (level 0), mid-range (levels 1–3),
+/// and far-future offsets past the 2^48 ns horizon (the overflow heap).
+/// Pops get double weight so queues drain as often as they grow.
+fn decode_op((kind, raw): (u32, u64)) -> Op {
+    match kind {
+        0 => Op::Push { offset: raw % 4096 },
+        1 => Op::Push { offset: (1 << 12) + raw % (1 << 30) },
+        2 => Op::Push { offset: (1 << 30) + raw % (1 << 50) },
+        3 | 4 => Op::Pop,
+        _ => Op::Clear,
+    }
+}
+
+proptest! {
+    #[test]
+    fn wheel_and_heap_pop_identically(raw_ops in prop::collection::vec((0u32..6, 0u64..u64::MAX / 2), 1..400)) {
+        let mut wheel: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Wheel);
+        let mut heap: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Heap);
+        // `now` only advances (monotone pops give it meaning): pushes are
+        // anchored at the last popped time, as in a real simulation.
+        let mut now = 0u64;
+        for (i, &raw) in raw_ops.iter().enumerate() {
+            match decode_op(raw) {
+                Op::Push { offset } => {
+                    let at = Time::from_nanos(now.saturating_add(offset));
+                    wheel.push(at, i as u64);
+                    heap.push(at, i as u64);
+                }
+                Op::Pop => {
+                    let a = wheel.pop().map(|e| (e.at, e.seq, e.event));
+                    let b = heap.pop().map(|e| (e.at, e.seq, e.event));
+                    prop_assert_eq!(a, b, "pop diverged at op {}", i);
+                    if let Some((at, _, _)) = a {
+                        now = at.0;
+                    }
+                }
+                Op::Clear => {
+                    wheel.clear();
+                    heap.clear();
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len(), "len diverged at op {}", i);
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time(), "peek diverged at op {}", i);
+        }
+        // Drain the remainder: the full tail must match too.
+        loop {
+            let a = wheel.pop().map(|e| (e.at, e.seq, e.event));
+            let b = heap.pop().map(|e| (e.at, e.seq, e.event));
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.total_pushed(), heap.total_pushed());
+    }
+
+    #[test]
+    fn pop_run_matches_popping_singly(raw_ops in prop::collection::vec((0u32..3, 0u64..u64::MAX / 2), 1..200)) {
+        // The batched whole-timestamp API must yield exactly the events
+        // single pops would, in the same order.
+        let mut batched: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Wheel);
+        let mut single: EventQueue<u64> = EventQueue::with_backend(QueueBackend::Wheel);
+        for (i, &raw) in raw_ops.iter().enumerate() {
+            if let Op::Push { offset } = decode_op(raw) {
+                batched.push(Time::from_nanos(offset), i as u64);
+                single.push(Time::from_nanos(offset), i as u64);
+            }
+        }
+        let mut run = std::collections::VecDeque::new();
+        while let Some(t) = batched.pop_run(&mut run) {
+            for e in run.drain(..) {
+                let s = single.pop().expect("single queue has the event too");
+                prop_assert_eq!((t, e.seq, e.event), (s.at, s.seq, s.event));
+            }
+        }
+        prop_assert!(single.pop().is_none(), "batched run ended early");
+    }
+}

@@ -69,8 +69,10 @@ fn main() {
 
     println!("\n-- failing one S2-L2 cable --");
     let cable = net.fabric.links.iter().position(|l| l.from == NodeId::Switch(SwitchId(1)) && l.to == NodeId::Switch(SwitchId(3))).expect("fabric cable");
-    net.fabric.set_link_admin(clove::net::types::LinkId(cable as u32), false);
-    net.fabric.set_link_admin(clove::net::types::LinkId(cable as u32 + 1), false);
+    // The fabric is idle between rounds, so a scratch queue suffices.
+    let mut admin_q: EventQueue<Event> = EventQueue::new();
+    net.fabric.set_link_admin(Time::from_millis(15), clove::net::types::LinkId(cable as u32), false, &mut admin_q);
+    net.fabric.set_link_admin(Time::from_millis(15), clove::net::types::LinkId(cable as u32 + 1), false, &mut admin_q);
 
     println!("\n-- round 2: after failure (ECMP remapped) --");
     let ports = discover(&mut net, Time::from_millis(20), dst);

@@ -34,21 +34,25 @@ fn clove_shifts_traffic_off_the_degraded_spine() {
     // Under asymmetry, S2 (spine id 3) has half the downlink capacity to
     // L2. ECMP keeps hashing half the traffic through it; Clove-ECN must
     // shift a visibly larger share onto S1 (spine id 2).
-    let ecmp = scenario(Scheme::Ecmp, TopologyKind::Asymmetric, 0.7).run_rpc(&web_search());
-    let clove = scenario(Scheme::CloveEcn, TopologyKind::Asymmetric, 0.7).run_rpc(&web_search());
-    let ecmp_s2_frac = {
-        let s1 = fabric_share(&ecmp.link_report, 2) as f64;
-        let s2 = fabric_share(&ecmp.link_report, 3) as f64;
-        s2 / (s1 + s2)
+    //
+    // ECMP routes ~half the *flows* through S2, but any one seed's byte
+    // share is noisy because a handful of heavy-tailed flows dominate
+    // bytes — so aggregate bytes over several seeds before comparing.
+    let s2_frac = |scheme: Scheme| {
+        let (mut s1, mut s2) = (0u64, 0u64);
+        for seed in [4242, 7, 31] {
+            let mut s = Scenario::new(scheme.clone(), TopologyKind::Asymmetric, 0.7, seed);
+            s.jobs_per_conn = 30;
+            s.conns_per_client = 2;
+            s.horizon = Time::from_secs(20);
+            let out = s.run_rpc(&web_search());
+            s1 += fabric_share(&out.link_report, 2);
+            s2 += fabric_share(&out.link_report, 3);
+        }
+        s2 as f64 / (s1 + s2) as f64
     };
-    let clove_s2_frac = {
-        let s1 = fabric_share(&clove.link_report, 2) as f64;
-        let s2 = fabric_share(&clove.link_report, 3) as f64;
-        s2 / (s1 + s2)
-    };
-    // ECMP: ~half through S2 by *flow count*, but the byte share is noisy
-    // because a handful of heavy-tailed flows dominate bytes. Clove:
-    // substantially less.
+    let ecmp_s2_frac = s2_frac(Scheme::Ecmp);
+    let clove_s2_frac = s2_frac(Scheme::CloveEcn);
     assert!((0.30..0.75).contains(&ecmp_s2_frac), "ECMP S2 share {ecmp_s2_frac}");
     assert!(clove_s2_frac < ecmp_s2_frac - 0.05, "Clove did not shift: ECMP {ecmp_s2_frac:.2} vs Clove {clove_s2_frac:.2}");
 }

@@ -91,8 +91,10 @@ fn rediscovery_after_failure_shrinks_selection() {
     // Find its reverse.
     let (from, to) = (net.fabric.links[ab].from, net.fabric.links[ab].to);
     let ba = net.fabric.links.iter().position(|l| l.from == to && l.to == from).unwrap();
-    net.fabric.set_link_admin(LinkId(ab as u32), false);
-    net.fabric.set_link_admin(LinkId(ba as u32), false);
+    // The fabric is idle between rounds, so a scratch queue suffices.
+    let mut admin_q: EventQueue<Event> = EventQueue::new();
+    net.fabric.set_link_admin(Time::from_millis(40), LinkId(ab as u32), false, &mut admin_q);
+    net.fabric.set_link_admin(Time::from_millis(40), LinkId(ba as u32), false, &mut admin_q);
     let after = run_discovery(&mut net, Time::from_millis(50), HostId(16)).expect("selection");
     // L1 still has 4 uplinks, but S2's surviving downlink collapses two of
     // the old paths into overlapping ones — the greedy picker still
