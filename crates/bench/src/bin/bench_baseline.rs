@@ -11,9 +11,11 @@
 //! report with `{wall_s, events, events_per_sec, jobs}` per group plus
 //! the measured speedup. The committed `BENCH_baseline.json` at the repo
 //! root records the reference numbers EXPERIMENTS.md quotes. The report
-//! also carries an `event_mix` section — peak pending events and the
-//! push-to-pop delay histogram from representative cells — the measured
-//! footprint the timing wheel's level geometry is sized against.
+//! also carries an `event_mix` section — peak pending events, the
+//! push-to-pop delay histogram, and the per-kind event-loop dispatch
+//! profile from representative cells — the measured footprint the timing
+//! wheel's level geometry is sized against — plus a `phases` section with
+//! wall-clock per-phase timings of the bench itself.
 //!
 //! `--check FILE` compares this run's serial throughput against a
 //! previously committed report and exits non-zero if aggregate
@@ -32,7 +34,9 @@ use clove_harness::experiments::{self, ExpConfig, PointCache};
 use clove_harness::json::Json;
 use clove_harness::scenario::{Scenario, TopologyKind};
 use clove_harness::{write_atomic, Journal, Scheme};
+use clove_net::EVENT_KIND_NAMES;
 use clove_sim::{QueueBackend, QueueProfile, Time};
+use clove_telemetry::LoopProfile;
 use clove_workload::web_search;
 use std::path::Path;
 use std::time::Instant;
@@ -132,10 +136,30 @@ fn time_group(group: &Group, jobs: usize, queue: QueueBackend) -> Sample {
     Sample { wall_s: start.elapsed().as_secs_f64(), events: cache.events, jobs }
 }
 
-/// The event-mix profile: peak pending events and the push-to-pop delay
-/// histogram, merged over cells spanning the scheme/topology extremes the
-/// figures exercise. This is the measured distribution the timing wheel's
-/// level geometry (8-bit slots, 6 levels) is sized against.
+/// Registration-ordered JSON view of a [`LoopProfile`]: per-kind dispatch
+/// counts and sim-time occupancy. Deterministic — both numbers are pure
+/// functions of the event sequence.
+fn loop_profile_json(profile: &LoopProfile) -> Json {
+    Json::Obj(
+        profile
+            .kinds()
+            .iter()
+            .map(|k| {
+                (
+                    k.name.to_string(),
+                    Json::Obj(vec![("count".to_string(), Json::Num(k.count as f64)), ("occupancy_ns".to_string(), Json::Num(k.occupancy_ns as f64))]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The event-mix profile: peak pending events, the push-to-pop delay
+/// histogram, and the event-loop dispatch profile, merged over cells
+/// spanning the scheme/topology extremes the figures exercise. The delay
+/// histogram is the measured distribution the timing wheel's level
+/// geometry (8-bit slots, 6 levels) is sized against; the loop profile
+/// shows where the event loop's sim-time goes per event kind.
 fn event_mix(queue: QueueBackend) -> Json {
     let cells: [(&str, Scheme, TopologyKind, f64); 4] = [
         ("ecmp-sym-50", Scheme::Ecmp, TopologyKind::Symmetric, 0.5),
@@ -145,6 +169,7 @@ fn event_mix(queue: QueueBackend) -> Json {
     ];
     let dist = web_search();
     let mut merged = QueueProfile::default();
+    let mut merged_loop = LoopProfile::new(EVENT_KIND_NAMES);
     let mut per_cell = Vec::new();
     for (name, scheme, topology, load) in cells {
         let mut s = Scenario::new(scheme, topology, load, 1000);
@@ -152,18 +177,25 @@ fn event_mix(queue: QueueBackend) -> Json {
         s.conns_per_client = 1;
         s.horizon = Time::from_secs(10);
         s.queue = queue;
-        let profile = s.run_rpc(&dist).queue_profile;
+        let out = s.run_rpc(&dist);
+        let profile = out.queue_profile;
         per_cell.push((
             name.to_string(),
-            Json::Obj(vec![("peak_pending".to_string(), Json::Num(profile.peak_pending as f64)), ("events".to_string(), Json::Num(profile.total() as f64))]),
+            Json::Obj(vec![
+                ("peak_pending".to_string(), Json::Num(profile.peak_pending as f64)),
+                ("events".to_string(), Json::Num(profile.total() as f64)),
+                ("loop_profile".to_string(), loop_profile_json(&out.loop_profile)),
+            ]),
         ));
         merged.merge(&profile);
+        merged_loop.merge(&out.loop_profile);
     }
     Json::Obj(vec![
         ("peak_pending".to_string(), Json::Num(merged.peak_pending as f64)),
         ("events".to_string(), Json::Num(merged.total() as f64)),
         // Bucket 0 = same-instant pushes; bucket k ≥ 1 = [2^(k-1), 2^k) ns.
         ("delay_hist_log2_ns".to_string(), Json::Arr(merged.trimmed_hist().iter().map(|&c| Json::Num(c as f64)).collect())),
+        ("loop_profile".to_string(), loop_profile_json(&merged_loop)),
         ("cells".to_string(), Json::Obj(per_cell)),
     ])
 }
@@ -204,6 +236,7 @@ fn main() {
     };
 
     eprintln!("bench_baseline: {cpus} cpu(s), {} backend, comparing --jobs 1 vs --jobs {jobs}", queue.name());
+    let groups_start = Instant::now();
     let mut figures = Vec::new();
     let (mut serial_wall, mut parallel_wall, mut serial_events) = (0.0f64, 0.0f64, 0u64);
     for group in &GROUPS {
@@ -235,12 +268,16 @@ fn main() {
         serial_events += serial.events;
         figures.push((group.name, serial, parallel));
     }
+    let groups_wall_s = groups_start.elapsed().as_secs_f64();
     let speedup = serial_wall / parallel_wall.max(1e-9);
     let serial_eps = serial_events as f64 / serial_wall.max(1e-9);
     eprintln!("bench_baseline: total serial {serial_wall:.3}s, --jobs {jobs} {parallel_wall:.3}s, speedup {speedup:.2}x");
 
     eprintln!("bench_baseline: profiling the event mix");
+    let mix_start = Instant::now();
     let mix = event_mix(queue);
+    let event_mix_wall_s = mix_start.elapsed().as_secs_f64();
+    eprintln!("bench_baseline: phases — groups {groups_wall_s:.3}s, event-mix {event_mix_wall_s:.3}s");
 
     let report = Json::Obj(vec![
         ("cpus".to_string(), Json::Num(cpus as f64)),
@@ -271,6 +308,12 @@ fn main() {
                 ("events".to_string(), Json::Num(serial_events as f64)),
                 ("serial_events_per_sec".to_string(), Json::Num(serial_eps)),
             ]),
+        ),
+        // Wall-clock per-phase timings (bench-level only — the sim itself
+        // never reads a wall clock).
+        (
+            "phases".to_string(),
+            Json::Obj(vec![("groups_wall_s".to_string(), Json::Num(groups_wall_s)), ("event_mix_wall_s".to_string(), Json::Num(event_mix_wall_s))]),
         ),
         ("event_mix".to_string(), mix),
     ]);

@@ -23,8 +23,15 @@
 //! `--resume` the journal is wiped at startup.
 //!
 //! Cells that panic or stall are quarantined, not fatal: affected points
-//! render as `-` with a footer naming each quarantined cell, and the
+//! render as `-` with a footer naming each quarantined cell — plus the
+//! telemetry snapshot written for it under `results/telemetry/` (cell
+//! metadata, failure reason, and a `--trace` repro command) — and the
 //! process exits 3 so CI notices.
+//!
+//! Per-phase wall-clock timings go to stderr; `CLOVE_PROFILE=1` adds a
+//! per-matrix orchestrator profile line (cell counts, summed cell time,
+//! slowest cell). Neither touches stdout, so tables and CSVs stay
+//! byte-identical.
 
 use clove_harness::experiments::{self, ExpConfig, PointCache};
 use clove_harness::scenario::TopologyKind;
@@ -39,6 +46,18 @@ fn note_quarantine(quarantined: &[String]) {
     if !quarantined.is_empty() {
         SAW_QUARANTINE.store(true, Ordering::Release);
     }
+}
+
+/// Wall-clock per-phase timing for the figure run itself. Stderr only —
+/// the stdout tables/CSVs are byte-identical regardless — and bench-level,
+/// so the sim's determinism contract is untouched. Set `CLOVE_PROFILE=1`
+/// to additionally get per-matrix orchestrator profiles (cell counts,
+/// summed cell time, slowest cell) from the harness.
+fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    eprintln!("figures: phase {name} {:.3}s", start.elapsed().as_secs_f64());
+    out
 }
 
 fn save_csv(csv_name: &str, contents: &str) {
@@ -119,62 +138,68 @@ fn main() {
     let mut sim_cache = PointCache::new();
 
     if run_fig("fig4b") {
-        emit(experiments::fig4b(loads, &cfg), "fig4b");
+        timed("fig4b", || emit(experiments::fig4b(loads, &cfg), "fig4b"));
     }
     if run_fig("fig4c") {
-        emit(experiments::fig4c_cached(loads_a, &cfg, &mut testbed_cache), "fig4c");
+        timed("fig4c", || emit(experiments::fig4c_cached(loads_a, &cfg, &mut testbed_cache), "fig4c"));
     }
     if run_fig("fig5a") {
-        emit(experiments::fig5a_cached(loads_a, &cfg, &mut testbed_cache), "fig5a");
+        timed("fig5a", || emit(experiments::fig5a_cached(loads_a, &cfg, &mut testbed_cache), "fig5a"));
     }
     if run_fig("fig5b") {
-        emit(experiments::fig5b_cached(loads_a, &cfg, &mut testbed_cache), "fig5b");
+        timed("fig5b", || emit(experiments::fig5b_cached(loads_a, &cfg, &mut testbed_cache), "fig5b"));
     }
     if run_fig("fig5c") {
-        emit(experiments::fig5c_cached(loads_a, &cfg, &mut testbed_cache), "fig5c");
+        timed("fig5c", || emit(experiments::fig5c_cached(loads_a, &cfg, &mut testbed_cache), "fig5c"));
     }
     if run_fig("fig6") {
         // Two loads suffice for the sensitivity story.
-        emit(experiments::fig6(&loads_a[1..], &cfg), "fig6");
+        timed("fig6", || emit(experiments::fig6(&loads_a[1..], &cfg), "fig6"));
     }
     if run_fig("fig7") {
         let fanouts: Vec<u32> = if quick { vec![4, 12] } else { vec![1, 4, 8, 16] };
         let requests = if quick { 10 } else { 25 };
-        emit(experiments::fig7(&fanouts, requests, &cfg), "fig7");
+        timed("fig7", || emit(experiments::fig7(&fanouts, requests, &cfg), "fig7"));
     }
     if run_fig("fig8a") {
-        emit(experiments::fig8a(loads, &cfg), "fig8a");
+        timed("fig8a", || emit(experiments::fig8a(loads, &cfg), "fig8a"));
     }
     if run_fig("fig8b") {
-        emit(experiments::fig8b_cached(loads_a, &cfg, &mut sim_cache), "fig8b");
+        timed("fig8b", || emit(experiments::fig8b_cached(loads_a, &cfg, &mut sim_cache), "fig8b"));
     }
     if run_fig("fig9") {
-        println!("## Fig 9 — mice FCT CDFs at 70% load, asymmetric");
-        for (scheme, cdf) in experiments::fig9_cached(&cfg, &mut sim_cache) {
-            if scheme.ends_with("[quarantined]") {
-                SAW_QUARANTINE.store(true, Ordering::Release);
+        timed("fig9", || {
+            println!("## Fig 9 — mice FCT CDFs at 70% load, asymmetric");
+            for (scheme, cdf) in experiments::fig9_cached(&cfg, &mut sim_cache) {
+                if scheme.ends_with("[quarantined]") {
+                    SAW_QUARANTINE.store(true, Ordering::Release);
+                }
+                println!("# {scheme}");
+                for (fct, frac) in cdf {
+                    println!("{fct:.6},{frac:.4}");
+                }
             }
-            println!("# {scheme}");
-            for (fct, frac) in cdf {
-                println!("{fct:.6},{frac:.4}");
-            }
-        }
-        println!();
+            println!();
+        });
     }
     if run_fig("resilience") {
-        let table = experiments::resilience(&experiments::resilience_schemes(), &cfg);
-        println!("{}", table.render());
-        note_quarantine(&table.quarantined);
-        save_csv("resilience", &table.to_csv());
+        timed("resilience", || {
+            let table = experiments::resilience(&experiments::resilience_schemes(), &cfg);
+            println!("{}", table.render());
+            note_quarantine(&table.quarantined);
+            save_csv("resilience", &table.to_csv());
+        });
     }
     if run_fig("feedback") {
-        let table = experiments::feedback_degradation(&experiments::resilience_schemes(), &cfg);
-        println!("{}", table.render());
-        note_quarantine(&table.quarantined);
-        save_csv("feedback", &table.to_csv());
+        timed("feedback", || {
+            let table = experiments::feedback_degradation(&experiments::resilience_schemes(), &cfg);
+            println!("{}", table.render());
+            note_quarantine(&table.quarantined);
+            save_csv("feedback", &table.to_csv());
+        });
     }
     if run_fig("headline") {
-        headline(&cfg);
+        timed("headline", || headline(&cfg));
     }
     if let Some(j) = &journal {
         if j.hits() > 0 {

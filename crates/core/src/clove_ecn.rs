@@ -19,6 +19,7 @@ use crate::wrr::Wrr;
 use clove_net::packet::{Feedback, Packet};
 use clove_net::types::{FlowKey, HostId};
 use clove_sim::{Duration, Time};
+use clove_telemetry::{LadderRung, Trace};
 use rustc_hash::FxHashMap;
 
 /// Clove-ECN tuning knobs.
@@ -84,6 +85,10 @@ struct DstState {
     /// only evidence of control-plane trouble while we are sending — an
     /// idle destination owes us no feedback.
     silence_base: Time,
+    /// Degradation-ladder rung this destination was last observed on; kept
+    /// current regardless of tracing so trace on/off cannot diverge, and
+    /// consulted only to emit rung-change events.
+    rung: LadderRung,
 }
 
 /// Policy counters.
@@ -111,12 +116,14 @@ pub struct CloveEcnPolicy {
     dsts: FxHashMap<HostId, DstState>,
     /// Counters.
     pub stats: CloveEcnStats,
+    /// Decision-trace handle (disabled by default).
+    trace: Trace,
 }
 
 impl CloveEcnPolicy {
     /// Build the policy.
     pub fn new(cfg: CloveEcnConfig) -> CloveEcnPolicy {
-        CloveEcnPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: FxHashMap::default(), stats: CloveEcnStats::default(), cfg }
+        CloveEcnPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: FxHashMap::default(), stats: CloveEcnStats::default(), cfg, trace: Trace::disabled() }
     }
 
     /// Fallback port (pre-discovery): hash-spread like plain ECMP.
@@ -149,6 +156,17 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
         dst.last_tx = now;
         let age = dst.paths.feedback_age(now).map(|a| a.min(now.saturating_since(dst.silence_base)));
         let dead = matches!(age, Some(a) if a > self.cfg.dead_horizon);
+        let rung = if dead {
+            LadderRung::Dead
+        } else if matches!(age, Some(a) if a > self.cfg.stale_horizon) {
+            LadderRung::Stale
+        } else {
+            LadderRung::Fresh
+        };
+        if rung != dst.rung {
+            self.trace.ladder_transition(now.0, dst_hv.0, dst.rung, rung);
+            dst.rung = rung;
+        }
         if !dead && matches!(age, Some(a) if a > self.cfg.stale_horizon) && now.saturating_since(dst.last_stale_decay) >= self.cfg.stale_decay_interval {
             // Stale rung: forget toward uniform, lazily and rate-limited so
             // a burst of packets cannot fast-forward the decay.
@@ -188,6 +206,10 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
             } else {
                 dst.wrr.cut_and_redistribute(sport, self.cfg.weight_cut, &receivers);
                 self.stats.weight_cuts += 1;
+                if self.trace.is_enabled() {
+                    let ppm = (dst.wrr.weight(sport).unwrap_or(0.0) * 1e6).round() as u64;
+                    self.trace.weight_update(now.0, dst_hv.0, sport, ppm, "ecn_cut");
+                }
             }
         }
         if self.cfg.recovery_rho > 0.0 {
@@ -232,6 +254,11 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
 
     fn flowlet_len(&self) -> Option<usize> {
         Some(self.flowlets.len())
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.flowlets.set_trace(trace.clone());
+        self.trace = trace;
     }
 }
 

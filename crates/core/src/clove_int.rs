@@ -19,6 +19,7 @@ use crate::wrr::Wrr;
 use clove_net::packet::{Feedback, Packet};
 use clove_net::types::{FlowKey, HostId};
 use clove_sim::{Duration, Time};
+use clove_telemetry::{LadderRung, Trace};
 use rustc_hash::FxHashMap;
 
 /// Shared configuration for the utilization/latency variants.
@@ -84,6 +85,9 @@ struct IntDstState {
     /// Start of the current continuously-transmitting span (see Clove-ECN:
     /// silence is only evidence while we are sending).
     silence_base: Time,
+    /// Last observed degradation-ladder rung (updated regardless of tracing
+    /// so trace on/off cannot diverge; read only to emit rung changes).
+    rung: LadderRung,
 }
 
 /// Clove-INT: new flowlets take the least-utilized discovered path.
@@ -93,12 +97,14 @@ pub struct CloveIntPolicy {
     dsts: FxHashMap<HostId, IntDstState>,
     /// Counters.
     pub stats: CloveUtilStats,
+    /// Decision-trace handle (disabled by default).
+    trace: Trace,
 }
 
 impl CloveIntPolicy {
     /// Build the policy.
     pub fn new(cfg: CloveUtilConfig) -> CloveIntPolicy {
-        CloveIntPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: FxHashMap::default(), stats: CloveUtilStats::default(), cfg }
+        CloveIntPolicy { flowlets: FlowletTable::new(cfg.flowlet), dsts: FxHashMap::default(), stats: CloveUtilStats::default(), cfg, trace: Trace::disabled() }
     }
 
     fn fallback_port(flow: &FlowKey, flowlet_id: u64) -> u16 {
@@ -127,6 +133,17 @@ impl clove_overlay::EdgePolicy for CloveIntPolicy {
         let age = dst.paths.feedback_age(now).map(|a| a.min(now.saturating_since(dst.silence_base)));
         let dead = matches!(age, Some(a) if a > self.cfg.dead_horizon);
         let wrr_tier = !dead && matches!(age, Some(a) if a > stale);
+        let rung = if dead {
+            LadderRung::Dead
+        } else if wrr_tier {
+            LadderRung::Stale
+        } else {
+            LadderRung::Fresh
+        };
+        if rung != dst.rung {
+            self.trace.ladder_transition(now.0, dst_hv.0, dst.rung, rung);
+            dst.rung = rung;
+        }
         if wrr_tier && now.saturating_since(dst.last_stale_decay) >= self.cfg.stale_decay_interval {
             dst.wrr.decay_toward_uniform(self.cfg.stale_rho);
             dst.last_stale_decay = now;
@@ -159,6 +176,10 @@ impl clove_overlay::EdgePolicy for CloveIntPolicy {
                 // Keep the fallback WRR primed: a lightly loaded path earns
                 // a proportionally larger share should the loop go quiet.
                 dst.wrr.set_weight(sport, f64::from(1050 - util_pm.min(1000)) / 1000.0);
+                if self.trace.is_enabled() {
+                    let ppm = (dst.wrr.weight(sport).unwrap_or(0.0) * 1e6).round() as u64;
+                    self.trace.weight_update(now.0, dst_hv.0, sport, ppm, "util_report");
+                }
             }
         }
     }
@@ -171,6 +192,11 @@ impl clove_overlay::EdgePolicy for CloveIntPolicy {
 
     fn flowlet_len(&self) -> Option<usize> {
         Some(self.flowlets.len())
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.flowlets.set_trace(trace.clone());
+        self.trace = trace;
     }
 }
 
@@ -235,6 +261,10 @@ impl clove_overlay::EdgePolicy for CloveLatencyPolicy {
 
     fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
         self.dsts.entry(dst_hv).or_default().set_ports(ports);
+    }
+
+    fn set_trace(&mut self, trace: Trace) {
+        self.flowlets.set_trace(trace);
     }
 
     fn flowlet_len(&self) -> Option<usize> {

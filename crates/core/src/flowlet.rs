@@ -14,6 +14,7 @@
 
 use clove_net::types::FlowKey;
 use clove_sim::{Duration, Time};
+use clove_telemetry::Trace;
 use rustc_hash::FxBuildHasher;
 use std::collections::hash_map::Entry as MapEntry;
 // clove-lint: allow(std-hash-collections): generic over BuildHasher for the counting-hasher tests; the default is FxBuildHasher, so RandomState is unreachable from production code
@@ -70,6 +71,9 @@ pub struct FlowletTable<S: BuildHasher = FxBuildHasher> {
     next_flowlet_id: u64,
     /// Counters.
     pub stats: FlowletStats,
+    /// Decision-trace handle (disabled by default): flowlet create/switch/
+    /// expire events. Recording never affects classification.
+    trace: Trace,
 }
 
 impl FlowletTable {
@@ -83,7 +87,18 @@ impl<S: BuildHasher> FlowletTable<S> {
     /// An empty table using a caller-provided hash builder (tests use this
     /// with a counting shim to assert hot-path lookup counts).
     pub fn with_hasher(cfg: FlowletConfig, hasher: S) -> FlowletTable<S> {
-        FlowletTable { cfg, entries: HashMap::with_capacity_and_hasher(64, hasher), next_flowlet_id: 0, stats: FlowletStats::default() }
+        FlowletTable {
+            cfg,
+            entries: HashMap::with_capacity_and_hasher(64, hasher),
+            next_flowlet_id: 0,
+            stats: FlowletStats::default(),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Install a decision-trace handle (pre-bound to the owning host).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// Change the gap at runtime (adaptive-gap extension, paper §7).
@@ -120,6 +135,7 @@ impl<S: BuildHasher> FlowletTable<S> {
                     self.next_flowlet_id += 1;
                     self.stats.flowlets += 1;
                     let port = pick(flowlet_id);
+                    self.trace.flowlet_switch(now.0, flow.dst.0, flowlet_id, port, e.port, now.saturating_since(e.last_seen).0);
                     *e = Entry { last_seen: now, port, flowlet_id };
                     port
                 }
@@ -129,6 +145,7 @@ impl<S: BuildHasher> FlowletTable<S> {
                 self.next_flowlet_id += 1;
                 self.stats.flowlets += 1;
                 let port = pick(flowlet_id);
+                self.trace.flowlet_create(now.0, flow.dst.0, flowlet_id, port);
                 vac.insert(Entry { last_seen: now, port, flowlet_id });
                 port
             }
@@ -166,7 +183,17 @@ impl<S: BuildHasher> FlowletTable<S> {
     fn sweep(&mut self, now: Time) {
         let evict = self.cfg.idle_evict;
         let before = self.entries.len();
-        self.entries.retain(|_, e| now.saturating_since(e.last_seen) <= evict);
+        let trace = &self.trace;
+        // `retain` walks the map in its (deterministic, Fx-hashed) iteration
+        // order, so traced expiries land in a reproducible order too.
+        self.entries.retain(|flow, e| {
+            let idle = now.saturating_since(e.last_seen);
+            let keep = idle <= evict;
+            if !keep {
+                trace.flowlet_expire(now.0, flow.dst.0, e.flowlet_id, e.port, idle.0);
+            }
+            keep
+        });
         self.stats.evictions += (before - self.entries.len()) as u64;
     }
 }

@@ -95,6 +95,10 @@ impl clove_overlay::EdgePolicy for EdgeFlowletPolicy {
     fn flowlet_len(&self) -> Option<usize> {
         Some(self.flowlets.len())
     }
+
+    fn set_trace(&mut self, trace: clove_telemetry::Trace) {
+        self.flowlets.set_trace(trace);
+    }
 }
 
 #[cfg(test)]

@@ -4,9 +4,10 @@
 //!
 //! ```text
 //! clove-run <spec.json> [--jobs N] [--strict] [--resume] [--queue wheel|heap]
-//!                                    # prints a RunReport as JSON on stdout
+//!           [--trace FILE]           # prints a RunReport as JSON on stdout
 //! clove-run chaos [--runs N] [--seed S] [--jobs N] [--shrink-budget B] [--out FILE]
 //!                                    # fuzz fault timelines against the invariants
+//! clove-run trace-check <trace.jsonl>  # validate a --trace dump's schema
 //! clove-run --example                # prints a commented example spec
 //! ```
 //!
@@ -23,6 +24,13 @@
 //! binary heap (differential oracle; reports are byte-identical under
 //! either backend).
 //!
+//! `--trace FILE` additionally captures the structured decision trace
+//! (flowlet lifecycle, weight updates, ECN marks, ladder transitions,
+//! faults — see `clove-telemetry`) and writes it to FILE as JSONL, pooled
+//! in seed order so the dump is byte-identical at any `--jobs`. The
+//! RunReport on stdout is byte-identical to an untraced run. Trace runs
+//! bypass the checkpoint journal (`--resume` has no buffer to replay).
+//!
 //! `chaos` draws `--runs` random fault timelines (link faults plus
 //! control-plane faults), runs each against a strict quick-scale scenario,
 //! shrinks any violating timeline to a minimal reproducer, and exits 2 if
@@ -30,7 +38,7 @@
 
 use clove_harness::chaos::{run_chaos, ChaosConfig};
 use clove_harness::config::ScenarioSpec;
-use clove_harness::{write_atomic, Journal};
+use clove_harness::{check_trace_jsonl, write_atomic, Journal};
 use std::path::Path;
 
 /// Parse `--flag N` / `--flag=N`.
@@ -74,10 +82,34 @@ fn chaos_main(args: &[String]) -> ! {
     std::process::exit(if report.clean() { 0 } else { 2 });
 }
 
+fn trace_check_main(args: &[String]) -> ! {
+    let Some(path) = args.iter().skip(1).find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: clove-run trace-check <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("clove-run trace-check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match check_trace_jsonl(&text) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("clove-run trace-check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = parse_jobs(&args);
-    let value_flags = ["--jobs", "--runs", "--seed", "--shrink-budget", "--out", "--queue"];
+    let value_flags = ["--jobs", "--runs", "--seed", "--shrink-budget", "--out", "--queue", "--trace"];
     let arg = args
         .iter()
         .enumerate()
@@ -89,8 +121,12 @@ fn main() {
     if arg == "chaos" {
         chaos_main(&args);
     }
+    if arg == "trace-check" {
+        let rest: Vec<String> = args.iter().skip_while(|a| *a != "trace-check").cloned().collect();
+        trace_check_main(&rest);
+    }
     if arg == "--example" || arg.is_empty() {
-        eprintln!("usage: clove-run <spec.json> | chaos | --example");
+        eprintln!("usage: clove-run <spec.json> | chaos | trace-check <trace.jsonl> | --example");
         println!(
             "{{
   \"scheme\": {{ \"name\": \"clove-ecn\" }},
@@ -131,6 +167,29 @@ fn main() {
                 std::process::exit(2);
             }
         };
+    }
+    if let Some(trace_path) = parse_flag(&args, "--trace") {
+        // Trace runs bypass the journal: a resumed seed has no trace buffer
+        // to replay, and a partial dump would silently lose events.
+        match spec.run_jobs_traced(jobs) {
+            Ok((report, jsonl, dropped)) => {
+                if let Err(e) = write_atomic(Path::new(trace_path), &jsonl) {
+                    eprintln!("clove-run: cannot write trace {trace_path}: {e}");
+                    std::process::exit(1);
+                }
+                let lines = jsonl.lines().count();
+                eprintln!("clove-run: wrote {lines} trace event(s) to {trace_path}");
+                if dropped > 0 {
+                    eprintln!("clove-run: warning: {dropped} trace event(s) dropped at buffer capacity");
+                }
+                println!("{}", report.to_json().render_pretty());
+                return;
+            }
+            Err(e) => {
+                eprintln!("clove-run: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     let resume = args.iter().any(|a| a == "--resume");
     let journal = match Journal::open("results/.journal/clove-run", resume) {

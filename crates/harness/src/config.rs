@@ -238,6 +238,11 @@ pub struct ScenarioSpec {
     /// binary-heap oracle). Deliberately *not* part of the spec JSON or
     /// journal keys: the report is byte-identical under either backend.
     pub queue: QueueBackend,
+    /// Capture structured decision traces (`clove-run --trace FILE`). Like
+    /// `queue`, CLI-only and *not* part of the spec JSON or journal keys:
+    /// tracing must never change the report, and trace runs bypass the
+    /// checkpoint journal (a resumed seed has no buffer to replay).
+    pub trace: bool,
 }
 
 impl ScenarioSpec {
@@ -288,6 +293,7 @@ impl ScenarioSpec {
                 Some(x) => x.as_bool().ok_or_else(|| "'strict' must be a boolean".to_string())?,
             },
             queue: QueueBackend::default(),
+            trace: false,
         })
     }
 
@@ -341,6 +347,7 @@ impl ScenarioSpec {
         }
         s.strict = self.strict;
         s.queue = self.queue;
+        s.trace = self.trace;
         let mut profile = Profile::default();
         if let Some(us) = self.flowlet_gap_us {
             profile.flowlet_gap = Duration::from_micros(us);
@@ -364,6 +371,16 @@ impl ScenarioSpec {
         self.run_jobs_journaled(jobs, None)
     }
 
+    /// Run with decision tracing on: returns the report plus the pooled
+    /// JSONL trace (seed order — deterministic at any `jobs`) and the count
+    /// of events dropped at buffer capacity. The report itself is
+    /// byte-identical to an untraced run.
+    pub fn run_jobs_traced(&self, jobs: usize) -> Result<(RunReport, String, u64), String> {
+        let mut spec = self.clone();
+        spec.trace = true;
+        spec.run_jobs_inner(jobs, None)
+    }
+
     /// [`ScenarioSpec::run_jobs`] with panic isolation and an optional
     /// checkpoint journal: completed seeds are recorded under the journal's
     /// `clove-run` scope (keyed by the full spec JSON plus the seed), so an
@@ -371,6 +388,10 @@ impl ScenarioSpec {
     /// from disk and only executes the remainder. The report is byte-identical
     /// with or without a resume, at any `jobs` value.
     pub fn run_jobs_journaled(&self, jobs: usize, journal: Option<&Journal>) -> Result<RunReport, String> {
+        self.run_jobs_inner(jobs, journal).map(|(report, _, _)| report)
+    }
+
+    fn run_jobs_inner(&self, jobs: usize, journal: Option<&Journal>) -> Result<(RunReport, String, u64), String> {
         let dist = self.distribution()?;
         self.to_scenario().profile.discovery_config().validate().map_err(|e| format!("invalid discovery configuration: {e}"))?;
         let seeds: Vec<u64> = (0..self.seeds.max(1) as u64).map(|i| self.seed + i).collect();
@@ -392,6 +413,8 @@ impl ScenarioSpec {
         let (mut sim_time, mut events, mut drops, mut ecn_marks, mut timeouts, mut retransmits) = (0.0f64, 0u64, 0u64, 0u64, 0u64, 0u64);
         let mut violations: Vec<String> = Vec::new();
         let mut quarantined: Vec<String> = Vec::new();
+        let mut trace_jsonl = String::new();
+        let mut trace_dropped = 0u64;
         for (seed, outcome) in seeds.iter().zip(outcomes) {
             let out = match outcome {
                 CellOutcome::Ok(run) => run,
@@ -411,6 +434,8 @@ impl ScenarioSpec {
             timeouts += out.timeouts;
             retransmits += out.retransmits;
             violations.extend(out.violations);
+            trace_jsonl.push_str(&out.trace_jsonl);
+            trace_dropped += out.trace_dropped;
         }
         if !quarantined.is_empty() {
             return Err(format!("{} seed(s) quarantined: {}", quarantined.len(), quarantined.join("; ")));
@@ -419,7 +444,7 @@ impl ScenarioSpec {
             return Err(format!("strict mode: {} invariant violation(s): {}", violations.len(), violations.join("; ")));
         }
         let mut fct = fct.expect("at least one seed");
-        Ok(RunReport {
+        let report = RunReport {
             scheme: format!("{:?}", self.scheme),
             load: self.load,
             seeds: self.seeds.max(1) as u64,
@@ -437,7 +462,8 @@ impl ScenarioSpec {
             timeouts,
             retransmits,
             strict: self.strict,
-        })
+        };
+        Ok((report, trace_jsonl, trace_dropped))
     }
 }
 
@@ -455,6 +481,11 @@ struct SeedRun {
     timeouts: u64,
     retransmits: u64,
     violations: Vec<String>,
+    /// Rendered decision trace (empty unless the scenario traced). Not
+    /// journaled: trace runs bypass the checkpoint journal entirely.
+    trace_jsonl: String,
+    /// Trace events dropped at buffer capacity.
+    trace_dropped: u64,
 }
 
 impl SeedRun {
@@ -468,6 +499,8 @@ impl SeedRun {
             timeouts: out.timeouts,
             retransmits: out.retransmits,
             violations: out.violations,
+            trace_jsonl: clove_telemetry::render_jsonl(&out.trace),
+            trace_dropped: out.trace_dropped,
         }
     }
 }
@@ -504,6 +537,8 @@ impl JournalValue for SeedRun {
             timeouts: scalar("timeouts")? as u64,
             retransmits: scalar("retransmits")? as u64,
             violations,
+            trace_jsonl: String::new(),
+            trace_dropped: 0,
         })
     }
 }
@@ -597,6 +632,7 @@ mod tests {
             control_loss_at_ms: Some(20),
             strict: true,
             queue: QueueBackend::default(),
+            trace: false,
         };
         let json = spec.to_json().render_pretty();
         let back = ScenarioSpec::from_json_str(&json).unwrap();

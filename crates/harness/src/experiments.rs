@@ -192,7 +192,16 @@ where
     F: Fn(&K, &Arc<RunControl>) -> R + Send + Sync,
 {
     let costs: Vec<f64> = cells.iter().map(cost).collect();
-    orchestrator::run_journaled(cells, cfg.jobs, cfg.exec, Some(&costs), cfg.journal.as_deref().map(|j| (j, scope)), key, run)
+    let (outcomes, stats) = orchestrator::run_journaled(cells, cfg.jobs, cfg.exec, Some(&costs), cfg.journal.as_deref().map(|j| (j, scope)), key, run);
+    // Orchestrator-level wall-clock profiling (`CLOVE_PROFILE=1`): stderr
+    // only, so stdout tables/CSVs stay byte-identical at any `--jobs`. The
+    // timings come from the allowlisted orchestrator; this module only
+    // formats them.
+    if stats.executed > 0 && std::env::var_os("CLOVE_PROFILE").is_some() {
+        // clove-lint: allow(stdout-in-lib): opt-in stderr profiling line; stdout reports stay byte-identical
+        eprintln!("profile: [{scope}] {}", stats.profile_line());
+    }
+    (outcomes, stats)
 }
 
 /// The oracle Presto weights for the asymmetric topology (paper §5.2:
@@ -233,6 +242,108 @@ fn topology_tag(topology: TopologyKind) -> String {
         TopologyKind::Symmetric => "sym".into(),
         TopologyKind::Asymmetric => "asym".into(),
         TopologyKind::FatTree { k } => format!("fattree{k}"),
+    }
+}
+
+/// Where quarantined-cell telemetry snapshots land.
+const TELEMETRY_SNAPSHOT_DIR: &str = "results/telemetry";
+
+/// A filesystem-safe slug: alphanumerics, `.`, `_` and `-` pass through,
+/// every other run of characters collapses to one `-`.
+fn path_slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+            out.push(c);
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// The `clove-run` spec for one RPC cell: the replay payload embedded in
+/// quarantine snapshots so the failed cell can be re-run under `--trace`.
+/// `None` for ablation-only schemes the spec format cannot express (their
+/// snapshots fall back to a `figures` repro command).
+fn rpc_cell_spec(scheme: &Scheme, topology: TopologyKind, load: f64, seed: u64, cfg: &ExpConfig) -> Option<Json> {
+    let scheme_json = match scheme {
+        Scheme::Ecmp => Json::Obj(vec![("name".to_string(), Json::Str("ecmp".to_string()))]),
+        Scheme::EdgeFlowlet => Json::Obj(vec![("name".to_string(), Json::Str("edge-flowlet".to_string()))]),
+        Scheme::CloveEcn => Json::Obj(vec![("name".to_string(), Json::Str("clove-ecn".to_string()))]),
+        Scheme::CloveInt => Json::Obj(vec![("name".to_string(), Json::Str("clove-int".to_string()))]),
+        Scheme::CloveLatency { adaptive_gap } => {
+            Json::Obj(vec![("name".to_string(), Json::Str("clove-latency".to_string())), ("adaptive_gap".to_string(), Json::Bool(*adaptive_gap))])
+        }
+        Scheme::Presto { oracle_weights } => Json::Obj(vec![
+            ("name".to_string(), Json::Str("presto".to_string())),
+            ("weights".to_string(), oracle_weights.as_ref().map(|w| Json::Arr(w.iter().map(|&x| Json::Num(x)).collect())).unwrap_or(Json::Null)),
+        ]),
+        Scheme::Mptcp { subflows } => {
+            Json::Obj(vec![("name".to_string(), Json::Str("mptcp".to_string())), ("subflows".to_string(), Json::Num(*subflows as f64))])
+        }
+        Scheme::Conga => Json::Obj(vec![("name".to_string(), Json::Str("conga".to_string()))]),
+        Scheme::LetFlow => Json::Obj(vec![("name".to_string(), Json::Str("let-flow".to_string()))]),
+        Scheme::Hula => Json::Obj(vec![("name".to_string(), Json::Str("hula".to_string()))]),
+        Scheme::Incremental { clove_hosts } => {
+            Json::Obj(vec![("name".to_string(), Json::Str("incremental".to_string())), ("clove_hosts".to_string(), Json::Num(*clove_hosts as f64))])
+        }
+        _ => return None,
+    };
+    let topology_json = match topology {
+        TopologyKind::Symmetric => Json::Obj(vec![("kind".to_string(), Json::Str("symmetric".to_string()))]),
+        TopologyKind::Asymmetric => Json::Obj(vec![("kind".to_string(), Json::Str("asymmetric".to_string()))]),
+        TopologyKind::FatTree { k } => Json::Obj(vec![("kind".to_string(), Json::Str("fat-tree".to_string())), ("k".to_string(), Json::Num(k as f64))]),
+    };
+    Some(Json::Obj(vec![
+        ("scheme".to_string(), scheme_json),
+        ("topology".to_string(), topology_json),
+        ("load".to_string(), Json::Num(load)),
+        ("jobs_per_conn".to_string(), Json::Num(cfg.jobs_per_conn as f64)),
+        ("conns_per_client".to_string(), Json::Num(cfg.conns_per_client as f64)),
+        ("seed".to_string(), Json::Num(seed as f64)),
+        ("seeds".to_string(), Json::Num(1.0)),
+        ("horizon_secs".to_string(), Json::Num(cfg.horizon_secs as f64)),
+        ("strict".to_string(), Json::Bool(cfg.strict)),
+    ]))
+}
+
+/// Persist a telemetry snapshot for a quarantined cell under
+/// [`TELEMETRY_SNAPSHOT_DIR`] and return a footer suffix naming it (empty
+/// when the write fails — the footer then carries the reason alone).
+///
+/// Snapshots are written only when a cell is quarantined, so clean runs
+/// create no files and figure output stays byte-identical. When the cell
+/// is a plain RPC point its spec is embedded at the snapshot's top level;
+/// `ScenarioSpec` parsing ignores the extra `quarantine` object, so the
+/// snapshot file itself is a valid `clove-run` input and the recorded
+/// repro command replays exactly the failed seed with `--trace` on.
+fn quarantine_snapshot(scope: &str, cell: &str, seed: u64, reason: &str, spec: Option<Json>) -> String {
+    let name = format!("{}-seed{seed}", path_slug(&format!("{scope}-{cell}")));
+    let path = format!("{TELEMETRY_SNAPSHOT_DIR}/{name}.json");
+    let repro = match &spec {
+        Some(_) => format!("cargo run --release -p clove-harness --bin clove-run -- {path} --trace {TELEMETRY_SNAPSHOT_DIR}/{name}.trace.jsonl"),
+        None => format!("cargo run --release -p clove-bench --bin figures -- {scope} --strict --jobs 1"),
+    };
+    let meta = Json::Obj(vec![
+        ("scope".to_string(), Json::Str(scope.to_string())),
+        ("cell".to_string(), Json::Str(cell.to_string())),
+        ("seed".to_string(), Json::Num(seed as f64)),
+        ("reason".to_string(), Json::Str(reason.to_string())),
+        ("repro".to_string(), Json::Str(repro)),
+    ]);
+    let mut fields = match spec {
+        Some(Json::Obj(fields)) => fields,
+        _ => Vec::new(),
+    };
+    fields.push(("quarantine".to_string(), meta));
+    match journal::write_atomic(std::path::Path::new(&path), &(Json::Obj(fields).render_pretty() + "\n")) {
+        Ok(()) => format!(" (snapshot: {path})"),
+        Err(e) => {
+            // clove-lint: allow(stdout-in-lib): best-effort stderr warning on an already-failing path
+            eprintln!("telemetry: cannot write quarantine snapshot {path}: {e}");
+            String::new()
+        }
     }
 }
 
@@ -366,14 +477,13 @@ impl PointCache {
                             Some(p) => p.merge(fct),
                         }
                     }
-                    other => bad.push(format!(
-                        "{} @ {:.0}% load ({}) seed {}: {}",
-                        schemes[si].label(),
-                        load * 100.0,
-                        topology_tag(topology),
-                        1000 + off as u64,
-                        other.describe()
-                    )),
+                    other => {
+                        let cell = format!("{} @ {:.0}% load ({})", schemes[si].label(), load * 100.0, topology_tag(topology));
+                        let seed = 1000 + off as u64;
+                        let spec = rpc_cell_spec(&schemes[si], topology, load, seed, cfg);
+                        let snap = quarantine_snapshot("rpc", &cell, seed, &other.describe(), spec);
+                        bad.push(format!("{cell} seed {seed}: {}{snap}", other.describe()));
+                    }
                 }
             }
             let key = Self::key(&schemes[si], topology, load);
@@ -506,7 +616,12 @@ pub fn fig6(loads: &[f64], cfg: &ExpConfig) -> FigureTable {
                         None => pooled = Some(fct.clone()),
                         Some(p) => p.merge(fct),
                     },
-                    other => bad.push(format!("{name} @ {:.0}% load seed {}: {}", load * 100.0, 2000 + off as u64, other.describe())),
+                    other => {
+                        let cell = format!("{name} @ {:.0}% load", load * 100.0);
+                        let seed = 2000 + off as u64;
+                        let snap = quarantine_snapshot("fig6", &cell, seed, &other.describe(), None);
+                        bad.push(format!("{cell} seed {seed}: {}{snap}", other.describe()));
+                    }
                 }
             }
             if bad.is_empty() {
@@ -553,7 +668,12 @@ pub fn fig7(fanouts: &[u32], requests: u32, cfg: &ExpConfig) -> FigureTable {
             for (off, outcome) in chunk.iter().enumerate() {
                 match outcome {
                     CellOutcome::Ok(gbps) => sum += gbps,
-                    other => bad.push(format!("{} @ fan-in {fanout} seed {}: {}", scheme.label(), 3000 + off as u64, other.describe())),
+                    other => {
+                        let cell = format!("{} @ fan-in {fanout}", scheme.label());
+                        let seed = 3000 + off as u64;
+                        let snap = quarantine_snapshot("fig7", &cell, seed, &other.describe(), None);
+                        bad.push(format!("{cell} seed {seed}: {}{snap}", other.describe()));
+                    }
                 }
             }
             if bad.is_empty() {
@@ -812,7 +932,12 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
                             Some(p) => p.merge(&run.fct),
                         }
                     }
-                    other => bad.push(format!("{} / {} seed {}: {}", scheme.label(), case.label(), 4000 + off as u64, other.describe())),
+                    other => {
+                        let cell = format!("{} / {}", scheme.label(), case.label());
+                        let seed = 4000 + off as u64;
+                        let snap = quarantine_snapshot("resilience", &cell, seed, &other.describe(), None);
+                        bad.push(format!("{cell} seed {seed}: {}{snap}", other.describe()));
+                    }
                 }
             }
             let avg = if bad.is_empty() { pooled.expect("at least one seed").avg() } else { f64::NAN };
@@ -940,7 +1065,12 @@ pub fn feedback_degradation(schemes: &[Scheme], cfg: &ExpConfig) -> FeedbackTabl
                             Some(p) => p.merge(&run.fct),
                         }
                     }
-                    other => bad.push(format!("{} @ {:.0}% control loss seed {}: {}", scheme.label(), rate * 100.0, 5000 + off as u64, other.describe())),
+                    other => {
+                        let cell = format!("{} @ {:.0}% control loss", scheme.label(), rate * 100.0);
+                        let seed = 5000 + off as u64;
+                        let snap = quarantine_snapshot("feedback", &cell, seed, &other.describe(), None);
+                        bad.push(format!("{cell} seed {seed}: {}{snap}", other.describe()));
+                    }
                 }
             }
             let (avg, p99) = if bad.is_empty() {
@@ -1005,4 +1135,36 @@ fn rpc_figure(
         table.push_series(scheme.label(), ys);
     }
     table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_slug_collapses_unsafe_characters() {
+        assert_eq!(path_slug("Clove-ECN @ 70% load (asym)"), "Clove-ECN-70-load-asym");
+        assert_eq!(path_slug("MPTCP/4 / single-cut"), "MPTCP-4-single-cut");
+        assert_eq!(path_slug("---"), "");
+    }
+
+    #[test]
+    fn quarantine_spec_round_trips_through_clove_run_parsing() {
+        // The snapshot's repro command feeds the snapshot file straight to
+        // clove-run, so the embedded spec (plus the extra `quarantine`
+        // object, which the parser must ignore) has to parse back into a
+        // single-seed ScenarioSpec for the failed cell.
+        let cfg = ExpConfig::quick();
+        for scheme in [Scheme::CloveEcn, Scheme::Mptcp { subflows: 4 }, Scheme::Presto { oracle_weights: presto_oracle_weights(TopologyKind::Asymmetric) }] {
+            let spec = rpc_cell_spec(&scheme, TopologyKind::Asymmetric, 0.7, 1001, &cfg).expect("figure schemes are spec-expressible");
+            let Json::Obj(mut fields) = spec else { panic!("spec must be an object") };
+            fields.push(("quarantine".to_string(), Json::Obj(vec![("reason".to_string(), Json::Str("panicked".to_string()))])));
+            let parsed = crate::config::ScenarioSpec::from_json_str(&Json::Obj(fields).render()).expect("snapshot parses as a clove-run spec");
+            assert_eq!(parsed.load, 0.7);
+            assert_eq!(parsed.seed, 1001);
+            assert_eq!(parsed.seeds, 1, "replay exactly the failed seed");
+            assert_eq!(parsed.jobs_per_conn, cfg.jobs_per_conn);
+        }
+        assert!(rpc_cell_spec(&Scheme::EcmpDctcp, TopologyKind::Symmetric, 0.5, 1000, &cfg).is_none(), "ablation schemes fall back to a figures repro");
+    }
 }

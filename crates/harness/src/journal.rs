@@ -22,6 +22,7 @@
 
 use crate::json::Json;
 use clove_sim::stats::Summary;
+use clove_telemetry::Histogram;
 use clove_workload::FctSummary;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -170,16 +171,67 @@ pub(crate) fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
     v.get(key).ok_or_else(|| format!("missing field '{key}'"))
 }
 
-/// Encode a [`Summary`] as its sample list, in the summary's current sample
-/// order. Callers must encode summaries before any quantile/CDF call sorts
-/// them if they need the reconstructed Welford state to match a fresh run —
-/// in practice every journaled summary comes straight out of `summarize()`.
+/// Encode a [`Summary`]. A sample-retaining summary encodes as its sample
+/// list in the summary's current sample order (callers must encode before
+/// any quantile/CDF call sorts it if they need the reconstructed Welford
+/// state to match a fresh run — in practice every journaled summary comes
+/// straight out of `summarize()`). A streaming-mode summary encodes as an
+/// object carrying the exact Welford moments plus the sparse histogram
+/// buckets; the histogram's `u128` sum travels as a decimal string because
+/// the JSON number path is `f64`-backed.
 pub fn summary_to_json(s: &Summary) -> Json {
-    Json::Arr(s.samples().iter().map(|&x| num(x)).collect())
+    match s.export_streaming() {
+        None => Json::Arr(s.samples().iter().map(|&x| num(x)).collect()),
+        Some((count, mean, m2, min, max, hist)) => Json::Obj(vec![(
+            "streaming".into(),
+            Json::Obj(vec![
+                ("count".into(), Json::Num(count as f64)),
+                ("mean".into(), num(mean)),
+                ("m2".into(), num(m2)),
+                ("min".into(), num(min)),
+                ("max".into(), num(max)),
+                ("hist_sum".into(), Json::Str(hist.sum().to_string())),
+                ("hist_min".into(), Json::Str(hist.min().to_string())),
+                ("hist_max".into(), Json::Str(hist.max().to_string())),
+                (
+                    "buckets".into(),
+                    Json::Arr(hist.nonzero_indexed().into_iter().map(|(i, c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)])).collect()),
+                ),
+            ]),
+        )]),
+    }
 }
 
-/// Rebuild a [`Summary`] by re-adding the stored samples in order.
+/// Rebuild a [`Summary`]: re-add stored samples in order (retained form) or
+/// reassemble the streaming parts (streaming form).
 pub fn summary_from_json(v: &Json) -> Result<Summary, String> {
+    if let Some(st) = v.get("streaming") {
+        let parse_u64_str = |key: &str| -> Result<u64, String> {
+            let s = field(st, key)?.as_str().ok_or_else(|| format!("'{key}' must be a string"))?;
+            s.parse::<u64>().map_err(|_| format!("bad integer '{s}' in '{key}'"))
+        };
+        let sum = {
+            let s = field(st, "hist_sum")?.as_str().ok_or("'hist_sum' must be a string")?;
+            s.parse::<u128>().map_err(|_| format!("bad integer '{s}' in 'hist_sum'"))?
+        };
+        let mut buckets = Vec::new();
+        for pair in field(st, "buckets")?.as_array().ok_or("'buckets' must be an array")? {
+            let pair = pair.as_array().ok_or("bucket must be an [index, count] pair")?;
+            if pair.len() != 2 {
+                return Err("bucket must be an [index, count] pair".into());
+            }
+            buckets.push((deu64(&pair[0])? as usize, deu64(&pair[1])?));
+        }
+        let hist = Histogram::from_parts(&buckets, sum, parse_u64_str("hist_min")?, parse_u64_str("hist_max")?);
+        return Ok(Summary::from_streaming_parts(
+            deu64(field(st, "count")?)?,
+            denum(field(st, "mean")?)?,
+            denum(field(st, "m2")?)?,
+            denum(field(st, "min")?)?,
+            denum(field(st, "max")?)?,
+            hist,
+        ));
+    }
     let items = v.as_array().ok_or("summary must be an array")?;
     let mut s = Summary::new();
     for item in items {
@@ -325,6 +377,26 @@ mod tests {
         assert_eq!(back.std_dev().to_bits(), s.std_dev().to_bits());
         assert_eq!(back.min().to_bits(), s.min().to_bits());
         assert_eq!(back.max().to_bits(), s.max().to_bits());
+    }
+
+    #[test]
+    fn streaming_summary_round_trips_exactly() {
+        let mut s = Summary::new();
+        for x in [0.1, 0.7, 1e-9, 3.7415926535, 0.2, 123456.789] {
+            s.add(x);
+        }
+        s.spill_to_streaming();
+        let back = summary_from_json(&Json::parse(&summary_to_json(&s).render()).unwrap()).unwrap();
+        assert!(back.is_streaming());
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(back.std_dev().to_bits(), s.std_dev().to_bits());
+        assert_eq!(back.min().to_bits(), s.min().to_bits());
+        assert_eq!(back.max().to_bits(), s.max().to_bits());
+        let (mut back, mut s) = (back, s);
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(back.quantile(q).to_bits(), s.quantile(q).to_bits());
+        }
     }
 
     #[test]

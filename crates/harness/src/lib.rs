@@ -25,6 +25,8 @@
 //! * [`journal`] — the completed-cell checkpoint journal behind `--resume`,
 //!   plus atomic artifact writes.
 //! * [`chaos`] — the seeded fault-plan fuzzer behind `clove-run chaos`.
+//! * [`trace_check`] — schema validation for `--trace` JSONL dumps
+//!   (`clove-run trace-check`).
 
 pub mod chaos;
 pub mod config;
@@ -38,6 +40,7 @@ pub mod report;
 pub mod scenario;
 pub mod scheme;
 pub mod stack;
+pub mod trace_check;
 
 pub use invariants::InvariantMonitor;
 pub use journal::{write_atomic, Journal};
@@ -45,3 +48,4 @@ pub use orchestrator::{CellOutcome, ExecPolicy};
 pub use profile::Profile;
 pub use scenario::{IncastOutcome, RpcOutcome, Scenario, TopologyKind};
 pub use scheme::Scheme;
+pub use trace_check::{check_trace_jsonl, TraceCheckReport};

@@ -17,6 +17,7 @@ use clove_net::topology::{LeafSpine, Topology};
 use clove_net::types::{HostId, NodeId};
 use clove_net::Network;
 use clove_sim::{Duration, EventQueue, QueueBackend, QueueProfile, SimRng, Time};
+use clove_telemetry::{LoopProfile, Trace, TraceEvent, DEFAULT_TRACE_CAPACITY};
 use clove_workload::fct::FlowRecord;
 use clove_workload::{load_to_rate, FctSummary, FlowSizeDist, IncastSpec, RpcModel};
 use rustc_hash::FxHashMap;
@@ -73,6 +74,11 @@ pub struct Scenario {
     /// publishes events-processed and simulated time through it and honors
     /// cooperative stop requests (the orchestrator's stall watchdog).
     pub control: Option<std::sync::Arc<clove_sim::RunControl>>,
+    /// Capture a structured decision trace during the run. The buffer is
+    /// created on the worker thread (the trace handle is `!Send`) and the
+    /// recorded events come back in [`RpcOutcome::trace`]. Tracing must not
+    /// change any simulation outcome — only observe it.
+    pub trace: bool,
 }
 
 impl Scenario {
@@ -92,6 +98,7 @@ impl Scenario {
             strict: false,
             queue: QueueBackend::default(),
             control: None,
+            trace: false,
         }
     }
 
@@ -241,6 +248,14 @@ impl Scenario {
             .min();
 
         let mut net = Network::new(topo.fabric, stack);
+        // The trace buffer is created here, on the thread that runs the
+        // cell, so it is per-cell by construction and its insertion order
+        // is the cell's deterministic event order.
+        let trace = if self.trace { Trace::new(DEFAULT_TRACE_CAPACITY) } else { Trace::disabled() };
+        if self.trace {
+            net.hosts.set_trace(trace.clone());
+            net.fabric.set_trace(trace.clone());
+        }
         let mut monitor = self.strict.then(InvariantMonitor::new);
         let summary = run_to_completion(&mut net, &mut queue, self.horizon, monitor.as_mut(), self.control.as_deref());
         let end = summary.end_time;
@@ -260,6 +275,7 @@ impl Scenario {
         let (rate, base) = (self.profile.access_bps, self.profile.loaded_rtt);
         let windows = fct_windows(net.hosts.fct.records(), window, rate, base);
         let recovery = first_fault.and_then(|at| recovery_time(net.hosts.fct.records(), at, window, RECOVERY_FACTOR, rate, base));
+        let (trace_events, trace_dropped) = trace.take();
         Ok(RpcOutcome {
             fct: net.hosts.fct.summarize(),
             sim_time: end,
@@ -280,6 +296,9 @@ impl Scenario {
             link_report: link_report(&net.fabric),
             violations: monitor.map(|m| m.violations).unwrap_or_default(),
             queue_profile: queue.profile().clone(),
+            loop_profile: net.loop_profile().clone(),
+            trace: trace_events,
+            trace_dropped,
         })
     }
 
@@ -433,6 +452,13 @@ pub struct RpcOutcome {
     /// Event-queue pressure profile (peak pending events, push-to-pop
     /// delay histogram) — the data wheel bucket sizing is tuned from.
     pub queue_profile: QueueProfile,
+    /// Event-loop profile: per-event-kind dispatch counts and sim-time
+    /// occupancy. Deterministic, so identical at any `--jobs`.
+    pub loop_profile: LoopProfile,
+    /// Structured decision trace (empty unless [`Scenario::trace`] is set).
+    pub trace: Vec<TraceEvent>,
+    /// Events dropped because the trace buffer hit capacity.
+    pub trace_dropped: u64,
 }
 
 /// Recovery bound: the run counts as recovered once the per-window mean

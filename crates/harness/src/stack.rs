@@ -27,6 +27,7 @@ use clove_net::{HostCtx, HostLogic};
 use clove_overlay::VSwitch;
 use clove_sim::{Duration, SimRng, Time};
 use clove_tcp::{MptcpConnection, MptcpReceiver, TcpConfig, TcpReceiver, TcpSender};
+use clove_telemetry::Trace;
 use clove_workload::rpc::{ConnectionPlan, JobSpec};
 use clove_workload::{FctCollector, IncastSpec};
 use rustc_hash::FxHashMap;
@@ -153,6 +154,9 @@ pub struct HostStack {
     /// Scratch buffer for decapsulated inbound packets (same reuse deal,
     /// receive side).
     rx_scratch: Vec<Packet>,
+    /// Stack-level decision-trace handle (path evictions); per-host clones
+    /// live inside each vswitch/policy. Disabled by default.
+    trace: Trace,
 }
 
 impl HostStack {
@@ -179,7 +183,17 @@ impl HostStack {
             total_jobs: 0,
             tx_scratch: Vec::new(),
             rx_scratch: Vec::new(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Install a decision-trace handle, fanning a host-bound clone into
+    /// every vswitch (and through it the scheme's policy + flowlet table).
+    pub fn set_trace(&mut self, trace: Trace) {
+        for host in &mut self.hosts {
+            host.vswitch.set_trace(trace.with_host(host.id.0));
+        }
+        self.trace = trace;
     }
 
     /// Register a client→server connection (sender at client, receiver
@@ -626,6 +640,7 @@ impl HostLogic for HostStack {
                         // instead of waiting for the next full refresh.
                         DiscoveryEvent::PathDead { dst, port } => {
                             self.stats.path_evictions += 1;
+                            self.trace.with_host(host.0).path_eviction(now.0, dst.0, port);
                             host_state.vswitch.policy_mut().on_path_dead(now, dst, port);
                         }
                     }

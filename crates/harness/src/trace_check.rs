@@ -1,0 +1,124 @@
+//! Schema validation for `--trace` JSONL dumps (`clove-run trace-check`).
+//!
+//! A trace file is one JSON object per line, every line carrying the
+//! versioned envelope `v`/`kind`/`t_ns` plus the kind-specific fields of
+//! [`clove_telemetry::TraceEvent`]. This module re-parses a dump with the
+//! harness's own JSON parser and checks every line against the schema
+//! table below, so CI can assert that a freshly-written trace is valid
+//! without any external tooling.
+
+use crate::json::Json;
+use clove_telemetry::TRACE_SCHEMA_VERSION;
+
+/// Required kind-specific fields per event kind, in schema order. Must be
+/// kept in lockstep with [`clove_telemetry::TraceEvent::write_jsonl`] (the
+/// golden schema test in `tests/trace_schema.rs` pins both sides).
+pub const TRACE_KIND_FIELDS: &[(&str, &[&str])] = &[
+    ("flowlet_create", &["host", "dst", "flowlet_id", "port"]),
+    ("flowlet_switch", &["host", "dst", "flowlet_id", "port", "prev_port", "idle_ns"]),
+    ("flowlet_expire", &["host", "dst", "flowlet_id", "port", "idle_ns"]),
+    ("weight_update", &["host", "dst", "port", "weight_ppm", "cause"]),
+    ("ecn_mark", &["link", "marks"]),
+    ("int_reading", &["host", "port", "util_pm"]),
+    ("ladder_transition", &["host", "dst", "from", "to"]),
+    ("path_eviction", &["host", "dst", "port"]),
+    ("fault_activation", &["link", "action", "announced"]),
+    ("control_fault", &["action"]),
+];
+
+/// Result of checking one trace dump: total lines plus per-kind counts in
+/// [`TRACE_KIND_FIELDS`] order (kinds with zero events included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheckReport {
+    /// Validated event lines.
+    pub lines: u64,
+    /// `(kind, count)` in schema-table order.
+    pub kinds: Vec<(&'static str, u64)>,
+}
+
+impl TraceCheckReport {
+    /// Human-readable summary (one line per kind with events).
+    pub fn render(&self) -> String {
+        let mut out = format!("trace-check: {} event(s) valid\n", self.lines);
+        for &(kind, count) in &self.kinds {
+            if count > 0 {
+                out.push_str(&format!("  {kind}: {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Validate a JSONL trace dump against the event schema. Returns per-kind
+/// counts on success; the error names the first offending line.
+pub fn check_trace_jsonl(text: &str) -> Result<TraceCheckReport, String> {
+    let mut counts = vec![0u64; TRACE_KIND_FIELDS.len()];
+    let mut lines = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let v = Json::parse(line).map_err(|e| format!("line {n}: not valid JSON: {e}"))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(format!("line {n}: not a JSON object"));
+        }
+        match v.get("v").and_then(Json::as_u64) {
+            Some(TRACE_SCHEMA_VERSION) => {}
+            Some(other) => return Err(format!("line {n}: schema version {other}, expected {TRACE_SCHEMA_VERSION}")),
+            None => return Err(format!("line {n}: missing integer field 'v'")),
+        }
+        if v.get("t_ns").and_then(Json::as_u64).is_none() {
+            return Err(format!("line {n}: missing integer field 't_ns'"));
+        }
+        let kind = v.get("kind").and_then(Json::as_str).ok_or_else(|| format!("line {n}: missing string field 'kind'"))?;
+        let Some(ki) = TRACE_KIND_FIELDS.iter().position(|&(k, _)| k == kind) else {
+            return Err(format!("line {n}: unknown event kind '{kind}'"));
+        };
+        for &field in TRACE_KIND_FIELDS[ki].1 {
+            if v.get(field).is_none() {
+                return Err(format!("line {n}: kind '{kind}' missing field '{field}'"));
+            }
+        }
+        counts[ki] += 1;
+        lines += 1;
+    }
+    Ok(TraceCheckReport { lines, kinds: TRACE_KIND_FIELDS.iter().zip(counts).map(|(&(k, _), c)| (k, c)).collect() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clove_telemetry::{render_jsonl, LadderRung, TraceEvent};
+
+    #[test]
+    fn rendered_events_of_every_kind_validate() {
+        let events = vec![
+            TraceEvent::FlowletCreate { t_ns: 1, host: 0, dst: 1, flowlet_id: 7, port: 49152 },
+            TraceEvent::FlowletSwitch { t_ns: 2, host: 0, dst: 1, flowlet_id: 8, port: 49153, prev_port: 49152, idle_ns: 600 },
+            TraceEvent::FlowletExpire { t_ns: 3, host: 0, dst: 1, flowlet_id: 8, port: 49153, idle_ns: 9000 },
+            TraceEvent::WeightUpdate { t_ns: 4, host: 0, dst: 1, port: 49152, weight_ppm: 500_000, cause: "ecn_cut" },
+            TraceEvent::EcnMark { t_ns: 5, link: 3, marks: 2 },
+            TraceEvent::IntReading { t_ns: 6, host: 0, port: 49152, util_pm: 412 },
+            TraceEvent::LadderTransition { t_ns: 7, host: 0, dst: 1, from: LadderRung::Fresh, to: LadderRung::Stale },
+            TraceEvent::PathEviction { t_ns: 8, host: 0, dst: 1, port: 49152 },
+            TraceEvent::FaultActivation { t_ns: 9, link: 3, action: "down", announced: true },
+            TraceEvent::ControlFault { t_ns: 10, action: "set_probe_loss" },
+        ];
+        let report = check_trace_jsonl(&render_jsonl(&events)).unwrap();
+        assert_eq!(report.lines, 10);
+        assert!(report.kinds.iter().all(|&(_, c)| c == 1), "every kind seen once: {:?}", report.kinds);
+        assert!(report.render().contains("10 event(s) valid"));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_line_numbers() {
+        assert!(check_trace_jsonl("not json").unwrap_err().contains("line 1"));
+        let wrong_version = "{\"v\":999,\"kind\":\"ecn_mark\",\"t_ns\":1,\"link\":0,\"marks\":1}";
+        assert!(check_trace_jsonl(wrong_version).unwrap_err().contains("schema version 999"));
+        let unknown_kind = "{\"v\":1,\"kind\":\"nope\",\"t_ns\":1}";
+        assert!(check_trace_jsonl(unknown_kind).unwrap_err().contains("unknown event kind"));
+        let missing_field = "{\"v\":1,\"kind\":\"ecn_mark\",\"t_ns\":1,\"link\":0}";
+        assert!(check_trace_jsonl(missing_field).unwrap_err().contains("missing field 'marks'"));
+    }
+}

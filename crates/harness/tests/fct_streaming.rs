@@ -1,0 +1,35 @@
+//! The streaming-histogram FCT path must agree with the exact (sample-
+//! retaining) path on real simulation data, not just synthetic samples:
+//! run a small cell, force the spill, and compare the quantiles the
+//! figures actually report.
+
+use clove_harness::{Scenario, Scheme, TopologyKind};
+use clove_workload::web_search;
+
+#[test]
+fn streaming_fct_quantiles_agree_with_exact_on_a_small_cell() {
+    let scenario = Scenario::new(Scheme::CloveEcn, TopologyKind::Symmetric, 0.3, 11);
+    let mut s = scenario.clone();
+    s.jobs_per_conn = 4;
+    s.conns_per_client = 1;
+    let out = s.run_rpc(&web_search());
+    let mut exact = out.fct.all;
+    assert!(exact.count() > 50, "cell too small to compare quantiles ({} flows)", exact.count());
+    assert!(!exact.is_streaming(), "a small cell must stay on the exact path");
+    let mut streaming = exact.clone();
+    streaming.spill_to_streaming();
+    assert!(streaming.is_streaming());
+    // Count and Welford moments are exact through the spill.
+    assert_eq!(streaming.count(), exact.count());
+    assert_eq!(streaming.mean(), exact.mean());
+    assert_eq!(streaming.min(), exact.min());
+    assert_eq!(streaming.max(), exact.max());
+    // Quantiles agree within the histogram's 2^-5 relative error bound
+    // (plus a nanosecond of quantization slack).
+    for (q, name) in [(0.5, "p50"), (0.99, "p99"), (0.999, "p999")] {
+        let e = exact.quantile(q);
+        let st = streaming.quantile(q);
+        assert!((st - e).abs() <= e * 0.04 + 2e-9, "{name}: streaming {st} vs exact {e}");
+    }
+    assert_eq!(streaming.p999(), streaming.quantile(0.999));
+}

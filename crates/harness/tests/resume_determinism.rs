@@ -101,6 +101,7 @@ fn clove_run_spec_resume_reproduces_the_report_exactly() {
         ecn_threshold_pkts: None,
         strict: false,
         queue: clove_sim::QueueBackend::default(),
+        trace: false,
     };
 
     let journal = Journal::open(&root, false).expect("journal opens");

@@ -1,0 +1,83 @@
+//! Golden schema test: pins the exact JSONL rendering — field names, field
+//! order, value formatting — of every trace event kind. A diff here means
+//! the trace schema changed: bump `TRACE_SCHEMA_VERSION`, update the
+//! `trace_check` field table, and document the change in DESIGN.md §12.
+
+use clove_harness::trace_check::TRACE_KIND_FIELDS;
+use clove_telemetry::{render_jsonl, LadderRung, TraceEvent, TRACE_SCHEMA_VERSION};
+
+#[test]
+fn every_event_kind_renders_the_pinned_schema() {
+    assert_eq!(TRACE_SCHEMA_VERSION, 1, "schema version bumped: re-pin the golden lines below");
+    let golden: Vec<(TraceEvent, &str)> = vec![
+        (
+            TraceEvent::FlowletCreate { t_ns: 10, host: 1, dst: 2, flowlet_id: 3, port: 49152 },
+            r#"{"v":1,"kind":"flowlet_create","t_ns":10,"host":1,"dst":2,"flowlet_id":3,"port":49152}"#,
+        ),
+        (
+            TraceEvent::FlowletSwitch { t_ns: 11, host: 1, dst: 2, flowlet_id: 4, port: 49153, prev_port: 49152, idle_ns: 600_000 },
+            r#"{"v":1,"kind":"flowlet_switch","t_ns":11,"host":1,"dst":2,"flowlet_id":4,"port":49153,"prev_port":49152,"idle_ns":600000}"#,
+        ),
+        (
+            TraceEvent::FlowletExpire { t_ns: 12, host: 1, dst: 2, flowlet_id: 4, port: 49153, idle_ns: 2_000_000 },
+            r#"{"v":1,"kind":"flowlet_expire","t_ns":12,"host":1,"dst":2,"flowlet_id":4,"port":49153,"idle_ns":2000000}"#,
+        ),
+        (
+            TraceEvent::WeightUpdate { t_ns: 13, host: 1, dst: 2, port: 49152, weight_ppm: 250_000, cause: "ecn_cut" },
+            r#"{"v":1,"kind":"weight_update","t_ns":13,"host":1,"dst":2,"port":49152,"weight_ppm":250000,"cause":"ecn_cut"}"#,
+        ),
+        (TraceEvent::EcnMark { t_ns: 14, link: 5, marks: 3 }, r#"{"v":1,"kind":"ecn_mark","t_ns":14,"link":5,"marks":3}"#),
+        (
+            TraceEvent::IntReading { t_ns: 15, host: 1, port: 49152, util_pm: 412 },
+            r#"{"v":1,"kind":"int_reading","t_ns":15,"host":1,"port":49152,"util_pm":412}"#,
+        ),
+        (
+            TraceEvent::LadderTransition { t_ns: 16, host: 1, dst: 2, from: LadderRung::Fresh, to: LadderRung::Dead },
+            r#"{"v":1,"kind":"ladder_transition","t_ns":16,"host":1,"dst":2,"from":"fresh","to":"dead"}"#,
+        ),
+        (TraceEvent::PathEviction { t_ns: 17, host: 1, dst: 2, port: 49152 }, r#"{"v":1,"kind":"path_eviction","t_ns":17,"host":1,"dst":2,"port":49152}"#),
+        (
+            TraceEvent::FaultActivation { t_ns: 18, link: 5, action: "down", announced: true },
+            r#"{"v":1,"kind":"fault_activation","t_ns":18,"link":5,"action":"down","announced":true}"#,
+        ),
+        (TraceEvent::ControlFault { t_ns: 19, action: "set_probe_loss" }, r#"{"v":1,"kind":"control_fault","t_ns":19,"action":"set_probe_loss"}"#),
+    ];
+    assert_eq!(golden.len(), TRACE_KIND_FIELDS.len(), "a kind is missing a golden line");
+    for (ev, want) in &golden {
+        let mut got = String::new();
+        ev.write_jsonl(&mut got);
+        assert_eq!(got, format!("{want}\n"), "schema drift for kind '{}'", ev.kind());
+    }
+    // And the batch renderer is exactly the concatenation of the lines.
+    let events: Vec<TraceEvent> = golden.iter().map(|(e, _)| e.clone()).collect();
+    let all: String = golden.iter().map(|(_, w)| format!("{w}\n")).collect();
+    assert_eq!(render_jsonl(&events), all);
+}
+
+#[test]
+fn check_table_field_names_match_rendered_fields() {
+    // Every field the validator requires must actually appear in the
+    // rendered line (the golden test above pins the rendering, this ties
+    // the validator's table to it).
+    for &(kind, fields) in TRACE_KIND_FIELDS {
+        let ev = match kind {
+            "flowlet_create" => TraceEvent::FlowletCreate { t_ns: 1, host: 0, dst: 0, flowlet_id: 0, port: 0 },
+            "flowlet_switch" => TraceEvent::FlowletSwitch { t_ns: 1, host: 0, dst: 0, flowlet_id: 0, port: 0, prev_port: 0, idle_ns: 0 },
+            "flowlet_expire" => TraceEvent::FlowletExpire { t_ns: 1, host: 0, dst: 0, flowlet_id: 0, port: 0, idle_ns: 0 },
+            "weight_update" => TraceEvent::WeightUpdate { t_ns: 1, host: 0, dst: 0, port: 0, weight_ppm: 0, cause: "x" },
+            "ecn_mark" => TraceEvent::EcnMark { t_ns: 1, link: 0, marks: 0 },
+            "int_reading" => TraceEvent::IntReading { t_ns: 1, host: 0, port: 0, util_pm: 0 },
+            "ladder_transition" => TraceEvent::LadderTransition { t_ns: 1, host: 0, dst: 0, from: LadderRung::Fresh, to: LadderRung::Stale },
+            "path_eviction" => TraceEvent::PathEviction { t_ns: 1, host: 0, dst: 0, port: 0 },
+            "fault_activation" => TraceEvent::FaultActivation { t_ns: 1, link: 0, action: "down", announced: false },
+            "control_fault" => TraceEvent::ControlFault { t_ns: 1, action: "set_probe_loss" },
+            other => panic!("kind '{other}' in the check table has no constructor here"),
+        };
+        assert_eq!(ev.kind(), kind);
+        let mut line = String::new();
+        ev.write_jsonl(&mut line);
+        for field in fields {
+            assert!(line.contains(&format!("\"{field}\":")), "kind '{kind}' renders no field '{field}': {line}");
+        }
+    }
+}

@@ -30,6 +30,7 @@ use crate::packet::{CongaTag, Feedback, Packet, PacketKind};
 use crate::switch::{CongaConfig, FabricScheme, FlowletEntry, Switch};
 use crate::types::{FlowKey, HostId, LinkId, NodeId, SwitchId};
 use clove_sim::{Duration, EventQueue, SimRng, Time, World};
+use clove_telemetry::{LoopProfile, Trace};
 
 /// Per-host attachment to the fabric.
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +94,29 @@ pub enum Event {
     },
 }
 
+/// Event kind names in [`Event::kind_index`] order — the registration list
+/// for the event loop's [`LoopProfile`].
+pub const EVENT_KIND_NAMES: &[&str] = &["arrive", "host_timer", "hula_tick", "link_admin", "fault", "control_fault"];
+
+impl Event {
+    /// Index into [`EVENT_KIND_NAMES`] for this event's kind.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::Arrive { .. } => 0,
+            Event::HostTimer { .. } => 1,
+            Event::HulaTick => 2,
+            Event::LinkAdmin { .. } => 3,
+            Event::Fault { .. } => 4,
+            Event::ControlFault { .. } => 5,
+        }
+    }
+
+    /// Stable name for this event's kind.
+    pub fn kind_name(&self) -> &'static str {
+        EVENT_KIND_NAMES[self.kind_index()]
+    }
+}
+
 /// Current control-plane fault settings, mutated by
 /// [`Event::ControlFault`] and consulted on the probe/feedback hot paths.
 #[derive(Debug, Clone, Copy, Default)]
@@ -149,6 +173,9 @@ pub struct Fabric {
     pub rng: SimRng,
     /// Active control-plane fault settings.
     pub control: ControlPlaneFaults,
+    /// Decision-trace handle for fabric-level events (ECN marks, faults).
+    /// Disabled by default; recording never alters forwarding behaviour.
+    trace: Trace,
     /// Packet uid source for switch-originated packets (probe replies).
     next_uid: u64,
     /// Scratch for link settle/enqueue commits, drained into `Arrive`
@@ -171,10 +198,16 @@ impl Fabric {
             stats: FabricStats::default(),
             rng: SimRng::new(seed ^ 0xFAB0_5EED),
             control: ControlPlaneFaults::default(),
+            trace: Trace::disabled(),
             // High bit set: never collides with host-assigned uids.
             next_uid: 1 << 63,
             commit_scratch: Vec::with_capacity(scratch),
         }
+    }
+
+    /// Install a decision-trace handle for fabric-level events.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The leaf switch of a host.
@@ -296,7 +329,17 @@ impl Fabric {
         }
         let to = l.to;
         debug_assert!(self.commit_scratch.is_empty());
+        // Marks are counted in `Link::enqueue`; the before/after delta tells
+        // the trace how many CE marks this admission applied without adding
+        // any state to the link hot path.
+        let marks_before = if self.trace.is_enabled() { self.links[link.0 as usize].stats.ecn_marks } else { 0 };
         let _ = self.links[link.0 as usize].enqueue(now, pkt, &mut self.commit_scratch);
+        if self.trace.is_enabled() {
+            let delta = self.links[link.0 as usize].stats.ecn_marks - marks_before;
+            if delta > 0 {
+                self.trace.ecn_mark(now.0, link.0, delta);
+            }
+        }
         for (at, pkt) in self.commit_scratch.drain(..) {
             q.push(at, Event::Arrive { node: to, via: link, pkt });
         }
@@ -713,6 +756,7 @@ impl Fabric {
             }
         };
         self.stats.faults_applied += 1;
+        self.trace.fault_activation(now.0, link.0, action.name(), announced);
         if routes_change {
             crate::topology::recompute_routes(self);
         }
@@ -784,12 +828,21 @@ pub struct Network<H: HostLogic> {
     pub fabric: Fabric,
     /// All host-side state.
     pub hosts: H,
+    /// Always-on event-loop profile: per-kind dispatch counts and sim-time
+    /// occupancy (the gap each event closes). Purely derived from the
+    /// deterministic event stream, so it is identical across `--jobs`.
+    profile: LoopProfile,
 }
 
 impl<H: HostLogic> Network<H> {
     /// Pair a fabric with host logic.
     pub fn new(fabric: Fabric, hosts: H) -> Network<H> {
-        Network { fabric, hosts }
+        Network { fabric, hosts, profile: LoopProfile::new(EVENT_KIND_NAMES) }
+    }
+
+    /// The event-loop profile accumulated so far.
+    pub fn loop_profile(&self) -> &LoopProfile {
+        &self.profile
     }
 
     /// Convenience: a `HostCtx` for out-of-band initialization (e.g. apps
@@ -804,6 +857,7 @@ impl<H: HostLogic> World for Network<H> {
     type Event = Event;
 
     fn handle(&mut self, now: Time, event: Event, queue: &mut EventQueue<Event>) {
+        self.profile.record(event.kind_index(), now.0);
         match event {
             Event::Arrive { node, via, pkt } => {
                 // A delivery on `via` means its transmitter finished one
@@ -826,7 +880,10 @@ impl<H: HostLogic> World for Network<H> {
             Event::HulaTick => self.fabric.hula_tick(now, queue),
             Event::LinkAdmin { link, up } => self.fabric.set_link_admin(now, link, up, queue),
             Event::Fault { link, action, announced } => self.fabric.apply_fault(now, link, action, announced, queue),
-            Event::ControlFault { action } => self.fabric.apply_control_fault(action),
+            Event::ControlFault { action } => {
+                self.fabric.trace.control_fault(now.0, action.name());
+                self.fabric.apply_control_fault(action);
+            }
         }
     }
 }

@@ -112,6 +112,18 @@ pub enum LinkAction {
     SetLoss(f64),
 }
 
+impl LinkAction {
+    /// Stable schema name for trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkAction::Down => "down",
+            LinkAction::Up => "up",
+            LinkAction::SetRate(_) => "set_rate",
+            LinkAction::SetLoss(_) => "set_loss",
+        }
+    }
+}
+
 /// One scheduled atomic action, produced by [`FaultPlan::expand`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultAction {
@@ -307,6 +319,19 @@ pub enum ControlAction {
     SetFeedbackDelay(Duration),
     /// Set the feedback corruption probability.
     SetFeedbackCorrupt(f64),
+}
+
+impl ControlAction {
+    /// Stable schema name for trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlAction::SetProbeLoss(_) => "set_probe_loss",
+            ControlAction::SetReplyLoss(_) => "set_reply_loss",
+            ControlAction::SetFeedbackLoss(_) => "set_feedback_loss",
+            ControlAction::SetFeedbackDelay(_) => "set_feedback_delay",
+            ControlAction::SetFeedbackCorrupt(_) => "set_feedback_corrupt",
+        }
+    }
 }
 
 /// One scheduled control-plane action, produced by

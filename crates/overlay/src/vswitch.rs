@@ -19,6 +19,7 @@ use crate::presto_rx::{PrestoReassembly, ReassemblyConfig};
 use clove_net::packet::{Encap, Feedback, Packet};
 use clove_net::types::HostId;
 use clove_sim::{Duration, Time};
+use clove_telemetry::Trace;
 use rustc_hash::FxHashMap;
 
 /// The pluggable path-selection policy: where ECMP, Presto, Edge-Flowlet,
@@ -65,6 +66,12 @@ pub trait EdgePolicy {
     fn flowlet_len(&self) -> Option<usize> {
         None
     }
+
+    /// Install a decision-trace handle, pre-bound to this policy's host.
+    /// Default is a no-op for policies with nothing to trace. Recording an
+    /// event must never change a scheduling outcome: a traced run has to
+    /// stay byte-identical to an untraced one.
+    fn set_trace(&mut self, _trace: Trace) {}
 }
 
 /// Deployment-wide vswitch configuration (identical on every hypervisor).
@@ -162,6 +169,9 @@ pub struct VSwitch {
     /// a TCP option, `Packet::orig_sport`).
     /// Counters.
     pub stats: VSwitchStats,
+    /// Decision-trace handle (disabled by default); records INT readings
+    /// observed at decap and is shared with the policy.
+    trace: Trace,
 }
 
 impl VSwitch {
@@ -174,7 +184,15 @@ impl VSwitch {
             collectors: FxHashMap::default(),
             presto: cfg.presto_reassembly.map(PrestoReassembly::new),
             stats: VSwitchStats::default(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Install a decision-trace handle; the same handle is shared with the
+    /// policy so its flowlet/weight/ladder decisions land in one buffer.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.policy.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// The policy, for discovery-daemon updates and inspection.
@@ -257,6 +275,9 @@ impl VSwitch {
                 pkt.int_util_pm,
                 one_way,
             );
+            if let Some(util) = pkt.int_util_pm {
+                self.trace.int_reading(now.0, sport, util as u64);
+            }
         }
         // 3. Strip the encapsulation / restore the five-tuple.
         let ce_on_wire = pkt.ce;

@@ -1,0 +1,147 @@
+//! Named metric registry: counters, gauges, and histograms keyed by
+//! `'static` names. Backed by `BTreeMap` so every snapshot renders in
+//! name order — deterministic regardless of insertion order or `--jobs`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+
+/// Deterministic registry of named metrics for one cell (or one merged
+/// aggregate of cells).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add `by` to a counter, creating it at zero first.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &'static str, value: i64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Mutable named histogram, created empty on first use.
+    pub fn hist_mut(&mut self, name: &'static str) -> &mut Histogram {
+        self.hists.entry(name).or_default()
+    }
+
+    /// Named histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Merge another registry: counters add, gauges take the other side's
+    /// value (last writer wins), histograms merge elementwise.
+    pub fn merge(&mut self, other: &Registry) {
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (&name, h) in &other.hists {
+            self.hists.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Render the registry as a deterministic JSON object. Histograms emit
+    /// summary stats plus sparse `(bucket_high, count)` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[", h.count(), h.sum(), h.min(), h.max());
+            for (j, (high, c)) in h.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{high},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let mut r = Registry::new();
+        r.inc("drops", 3);
+        r.inc("drops", 2);
+        r.set_gauge("peak_pending", 42);
+        assert_eq!(r.counter("drops"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("peak_pending"), Some(42));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_hists() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.inc("x", 1);
+        b.inc("x", 2);
+        a.hist_mut("fct").record(10);
+        b.hist_mut("fct").record(20);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.hist("fct").expect("merged hist exists").count(), 2);
+    }
+
+    #[test]
+    fn json_is_name_ordered_regardless_of_insertion() {
+        let mut r = Registry::new();
+        r.inc("zeta", 1);
+        r.inc("alpha", 2);
+        r.set_gauge("g", -7);
+        r.hist_mut("h").record(5);
+        assert_eq!(
+            r.to_json(),
+            "{\"counters\":{\"alpha\":2,\"zeta\":1},\"gauges\":{\"g\":-7},\
+             \"histograms\":{\"h\":{\"count\":1,\"sum\":5,\"min\":5,\"max\":5,\"buckets\":[[5,1]]}}}"
+        );
+    }
+}

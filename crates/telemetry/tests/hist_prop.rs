@@ -1,0 +1,76 @@
+//! Property tests for the streaming histogram: merging must be exactly
+//! associative and commutative (cells are folded in whatever order the
+//! scheduler finishes them, so anything weaker would leak nondeterminism
+//! into reports), and the log-linear quantile estimate must stay within
+//! its advertised relative-error bound of the exact nearest-rank value.
+
+use clove_telemetry::{Histogram, SUB_BITS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): fold order across cells cannot matter.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..40),
+        b in prop::collection::vec(0u64..u64::MAX, 0..40),
+        c in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊕ b == b ⊕ a, and merging equals recording the concatenation.
+    #[test]
+    fn merge_is_commutative_and_lossless(
+        a in prop::collection::vec(0u64..u64::MAX, 0..60),
+        b in prop::collection::vec(0u64..u64::MAX, 0..60),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(ab, hist_of(&concat));
+    }
+
+    /// Quantile estimates never exceed the log-linear relative-error bound
+    /// (2^-SUB_BITS) against the exact nearest-rank sample.
+    #[test]
+    fn quantile_respects_error_bound(
+        values in prop::collection::vec(0u64..(1u64 << 48), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let est = h.quantile(q);
+        // The estimate is the containing bucket's upper bound, clamped to
+        // the observed range: never below the exact sample, and at most one
+        // sub-bucket width (exact/2^SUB_BITS) above it.
+        prop_assert!(est >= exact.min(h.max()), "est {} < exact {}", est, exact);
+        let bound = exact + (exact >> SUB_BITS) + 1;
+        prop_assert!(est <= bound, "est {} > bound {} (exact {})", est, bound, exact);
+    }
+}
