@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|feedback|headline|all] [--quick] [--jobs N] [--strict] [--resume] [--queue wheel|heap]
+//! cargo run --release -p clove-bench --bin figures -- [fig4b|fig4c|fig5|fig6|fig7|fig8a|fig8b|fig9|resilience|feedback|recovery|headline|all] [--quick] [--jobs N] [--strict] [--resume] [--queue wheel|heap]
 //! ```
 //!
 //! `--quick` uses the small experiment configuration (fast, noisier);
@@ -196,6 +196,14 @@ fn main() {
             println!("{}", table.render());
             note_quarantine(&table.quarantined);
             save_csv("feedback", &table.to_csv());
+        });
+    }
+    if run_fig("recovery") {
+        timed("recovery", || {
+            let table = experiments::recovery(&experiments::resilience_schemes(), &cfg);
+            println!("{}", table.render());
+            note_quarantine(&table.quarantined);
+            save_csv("recovery", &table.to_csv());
         });
     }
     if run_fig("headline") {

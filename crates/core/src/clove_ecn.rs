@@ -235,6 +235,17 @@ impl clove_overlay::EdgePolicy for CloveEcnPolicy {
         }
     }
 
+    fn on_cold_restart(&mut self, _now: Time) {
+        // Everything learned lives in kernel/userspace tables a crash
+        // destroys: the flowlet table and every per-destination record
+        // (WRR weights, congestion history, ladder clocks). Cumulative
+        // stats survive — they are the experiment ledger, not vswitch
+        // state. Fresh flowlets hash-spread via `fallback_port` until
+        // discovery re-learns paths.
+        self.flowlets.clear();
+        self.dsts.clear();
+    }
+
     fn on_path_dead(&mut self, _now: Time, dst_hv: HostId, port: u16) {
         let Some(dst) = self.dsts.get_mut(&dst_hv) else {
             return;
@@ -515,6 +526,24 @@ mod tests {
         for port in [10, 20, 30, 40] {
             assert_eq!(m[&port], 100);
         }
+    }
+
+    #[test]
+    fn cold_restart_flushes_learned_state_but_not_stats() {
+        let mut p = policy();
+        for i in 0..6 {
+            p.on_feedback(Time::from_micros(i), HostId(1), &Feedback::Ecn { sport: 10, congested: true });
+        }
+        let cuts = p.stats.weight_cuts;
+        assert!(cuts > 0);
+        clove_overlay::EdgePolicy::on_cold_restart(&mut p, Time::from_micros(100));
+        // Weights and discovered paths are gone: pre-discovery fallback.
+        assert!(p.weight(HostId(1), 10).is_none());
+        let mut a = pkt(42);
+        assert!(p.select_port(Time::from_micros(101), HostId(1), &mut a) >= 49152);
+        assert_eq!(p.flowlet_len(), Some(1), "flowlet table restarted empty");
+        // The cumulative ledger survives the crash.
+        assert_eq!(p.stats.weight_cuts, cuts);
     }
 
     #[test]

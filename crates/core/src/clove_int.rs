@@ -190,6 +190,13 @@ impl clove_overlay::EdgePolicy for CloveIntPolicy {
         dst.wrr.set_ports(ports);
     }
 
+    fn on_cold_restart(&mut self, _now: Time) {
+        // Flowlet table and per-destination utilization/WRR/ladder state
+        // are crash-lost; cumulative stats survive (experiment ledger).
+        self.flowlets.clear();
+        self.dsts.clear();
+    }
+
     fn flowlet_len(&self) -> Option<usize> {
         Some(self.flowlets.len())
     }
@@ -261,6 +268,13 @@ impl clove_overlay::EdgePolicy for CloveLatencyPolicy {
 
     fn on_paths_updated(&mut self, _now: Time, dst_hv: HostId, ports: &[u16]) {
         self.dsts.entry(dst_hv).or_default().set_ports(ports);
+    }
+
+    fn on_cold_restart(&mut self, _now: Time) {
+        self.flowlets.clear();
+        self.dsts.clear();
+        // The adaptive gap is learned from latency spreads: reset to base.
+        self.flowlets.set_gap(self.base_gap);
     }
 
     fn set_trace(&mut self, trace: Trace) {

@@ -225,6 +225,19 @@ impl ProbeDaemon {
         }
     }
 
+    /// The hypervisor cold-restarted: drop every learned selection, open
+    /// round, and black-hole counter — the daemon starts re-discovery from
+    /// scratch on its next scheduled round. Deliberately *kept*: the RNG
+    /// stream and the probe-id/uid counters (replies to pre-crash probes
+    /// may still be in flight, and reusing a probe id or packet uid would
+    /// let them corrupt post-crash rounds), plus the cumulative stats.
+    pub fn cold_restart(&mut self) {
+        self.rounds.clear();
+        self.selections.clear();
+        self.silence.clear();
+        self.outstanding = 0;
+    }
+
     /// The probing interval (callers schedule rounds on this cadence).
     pub fn probe_interval(&self) -> Duration {
         self.cfg.probe_interval
@@ -831,6 +844,46 @@ mod tests {
         // Restarting without finishing must not leak the old budget.
         d.start_round(Time::from_millis(50), HostId(1));
         assert_eq!(d.outstanding(), 96);
+    }
+
+    #[test]
+    fn cold_restart_forgets_selections_but_not_probe_ids() {
+        let mut d = daemon();
+        let dst = HostId(1);
+        run_round(&mut d, dst, Time::ZERO, parity_fabric(None));
+        assert!(d.selection(dst).is_some());
+        let probes_before = d.start_round(Time::from_millis(50), dst);
+        let max_id_before = probes_before
+            .iter()
+            .map(|p| match p.kind {
+                PacketKind::Probe { probe_id, .. } => probe_id,
+                _ => unreachable!(),
+            })
+            .max()
+            .unwrap();
+        d.cold_restart();
+        // Learned state is gone and the outstanding budget is reset...
+        assert_eq!(d.selection(dst), None);
+        assert_eq!(d.outstanding(), 0);
+        // ...but probe ids never go backwards: a stale pre-crash reply can
+        // never be mistaken for a post-crash probe's answer.
+        let probes_after = d.start_round(Time::from_millis(100), dst);
+        for p in &probes_after {
+            let PacketKind::Probe { probe_id, .. } = p.kind else { unreachable!() };
+            assert!(probe_id > max_id_before, "probe id reused across restart");
+        }
+        // A stale reply for a pre-crash probe is dropped silently.
+        let PacketKind::Probe { probe_id, ttl_sent } = probes_before[0].kind else { unreachable!() };
+        d.on_reply(probe_id, ttl_sent, SwitchId(1), Some(LinkId(1)));
+        // And re-discovery works from scratch.
+        for p in &probes_after {
+            let PacketKind::Probe { probe_id, ttl_sent } = p.kind else { unreachable!() };
+            if let Some((sw, link)) = parity_fabric(None)(p.outer.unwrap().sport, ttl_sent) {
+                d.on_reply(probe_id, ttl_sent, sw, Some(link));
+            }
+        }
+        let evs = d.finish_round(Time::from_millis(102), dst);
+        assert!(matches!(evs.last(), Some(DiscoveryEvent::PathsUpdated { .. })), "{evs:?}");
     }
 
     #[test]

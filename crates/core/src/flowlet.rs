@@ -170,6 +170,14 @@ impl<S: BuildHasher> FlowletTable<S> {
         self.entries.keys()
     }
 
+    /// Drop every tracked flow at once (vswitch cold restart). The flowlet
+    /// id counter deliberately survives: a restarted hypervisor never
+    /// reuses an id, so traced flowlets stay unique across the crash.
+    /// Stats survive too — they are the experiment's cumulative ledger.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of tracked flows.
     pub fn len(&self) -> usize {
         self.entries.len()

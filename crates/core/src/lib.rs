@@ -92,6 +92,15 @@ impl clove_overlay::EdgePolicy for EdgeFlowletPolicy {
         self.paths.insert(dst_hv, ports.to_vec());
     }
 
+    fn on_cold_restart(&mut self, _now: Time) {
+        // Flowlet pins and discovered port sets are crash-lost. The RNG
+        // stream continues — a fresh daemon would re-seed, but the stream
+        // is already a pure function of (seed, host), so continuing it
+        // keeps the run deterministic without modeling seed files.
+        self.flowlets.clear();
+        self.paths.clear();
+    }
+
     fn flowlet_len(&self) -> Option<usize> {
         Some(self.flowlets.len())
     }

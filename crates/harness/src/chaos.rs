@@ -1,9 +1,11 @@
 //! The chaos-fuzz driver behind `clove-run chaos`.
 //!
-//! Each iteration draws a random [`ChaosPlan`] (a link-fault timeline plus
-//! a control-plane fault timeline, always valid by construction — see
-//! [`clove_net::chaos`]), picks a scheme, and runs a quick-scale strict
-//! RPC scenario under the [`InvariantMonitor`](crate::InvariantMonitor).
+//! Each iteration draws a random [`ChaosPlan`] (a cable-fault timeline,
+//! node crash-restarts that lower to their incident cable sets plus
+//! warm/cold restart semantics, and a control-plane fault timeline —
+//! always valid by construction, see [`clove_net::chaos`]), picks a
+//! scheme, and runs a quick-scale strict RPC scenario under the
+//! [`InvariantMonitor`](crate::InvariantMonitor).
 //! A *finding* is any plan whose run panics or trips an invariant; the
 //! plan is then minimized with the greedy [`shrink`](clove_net::chaos::shrink)
 //! loop (same scheme, same seed — the simulator's determinism makes the
@@ -161,8 +163,9 @@ fn chaos_scenario(scheme: Scheme, plan: &ChaosPlan, seed: u64) -> Scenario {
     s
 }
 
-/// The sampling domain: the paper testbed's extents, fault times inside
-/// the window the quick scenario actually runs through.
+/// The sampling domain: the paper testbed's extents (including node
+/// crash-restarts — the joint node × cable × control space), fault times
+/// inside the window the quick scenario actually runs through.
 fn chaos_space() -> ChaosSpace {
     ChaosSpace::paper_testbed(Duration::from_millis(500))
 }

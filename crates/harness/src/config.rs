@@ -197,6 +197,81 @@ impl From<TopologySpec> for TopologyKind {
     }
 }
 
+/// JSON-facing node crash-restart
+/// (`{"node":"leaf1","at_ms":20,"down_ms":15,"state":"cold"}`): the named
+/// node goes dark at `at_ms` — every incident cable drops — and reboots
+/// `down_ms` later, cold (soft state flushed: switch LB tables, or the
+/// whole vswitch plus discovery for a host) or warm (state survives).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCrashSpec {
+    /// Which node reboots.
+    pub node: clove_net::fault::NodeSelector,
+    /// Crash time in milliseconds.
+    pub at_ms: u64,
+    /// Reboot duration in milliseconds (must be positive).
+    pub down_ms: u64,
+    /// Cold (default) or warm restart.
+    pub cold: bool,
+}
+
+impl NodeCrashSpec {
+    /// Parse from the object form. The node is named `leaf<N>`, `spine<N>`
+    /// or `host<N>`; `state` is `"cold"` (default) or `"warm"`.
+    pub fn from_json(v: &Json) -> Result<NodeCrashSpec, String> {
+        let name = v.get("node").and_then(Json::as_str).ok_or_else(|| "node_crash: missing string field 'node'".to_string())?;
+        let node = parse_node(name)?;
+        let num = |key: &str| v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("node_crash: missing integer field '{key}'"));
+        let down_ms = num("down_ms")?;
+        if down_ms == 0 {
+            return Err("node_crash: 'down_ms' must be positive".to_string());
+        }
+        let cold = match v.get("state") {
+            None | Some(Json::Null) => true,
+            Some(s) => match s.as_str() {
+                Some("cold") => true,
+                Some("warm") => false,
+                _ => return Err("node_crash: 'state' must be \"cold\" or \"warm\"".to_string()),
+            },
+        };
+        Ok(NodeCrashSpec { node, at_ms: num("at_ms")?, down_ms, cold })
+    }
+
+    /// Render back to the object form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("node".to_string(), Json::Str(format!("{}{}", self.node.tier(), self.node.index()))),
+            ("at_ms".to_string(), Json::Num(self.at_ms as f64)),
+            ("down_ms".to_string(), Json::Num(self.down_ms as f64)),
+            ("state".to_string(), Json::Str(if self.cold { "cold" } else { "warm" }.to_string())),
+        ])
+    }
+
+    /// The one-spec fault plan this crash describes.
+    pub fn plan(&self) -> clove_net::fault::FaultPlan {
+        use clove_net::fault::{FaultPlan, NodeState};
+        FaultPlan::node_crash(
+            Time::from_millis(self.at_ms),
+            self.node,
+            Duration::from_millis(self.down_ms),
+            if self.cold { NodeState::Cold } else { NodeState::Warm },
+        )
+    }
+}
+
+/// Parse a node name like `leaf0`, `spine1` or `host12`.
+fn parse_node(name: &str) -> Result<clove_net::fault::NodeSelector, String> {
+    use clove_net::fault::NodeSelector;
+    let digits = name.find(|c: char| c.is_ascii_digit()).ok_or_else(|| format!("node '{name}': want leaf<N> | spine<N> | host<N>"))?;
+    let (tier, idx) = name.split_at(digits);
+    let index: u32 = idx.parse().map_err(|_| format!("node '{name}': bad index '{idx}'"))?;
+    match tier {
+        "leaf" => Ok(NodeSelector::Leaf(index)),
+        "spine" => Ok(NodeSelector::Spine(index)),
+        "host" => Ok(NodeSelector::Host(index)),
+        other => Err(format!("node '{name}': unknown tier '{other}' (want leaf | spine | host)")),
+    }
+}
+
 /// A complete experiment specification.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -221,6 +296,10 @@ pub struct ScenarioSpec {
     pub horizon_secs: u64,
     /// Optional mid-run S2–L2 failure time in milliseconds.
     pub fail_at_ms: Option<u64>,
+    /// Optional node crash-restart (composes with `fail_at_ms`; the
+    /// cable/node precedence rules in `clove_net::fault` apply when both
+    /// touch the same cable).
+    pub node_crash: Option<NodeCrashSpec>,
     /// Flowlet gap override in microseconds.
     pub flowlet_gap_us: Option<u64>,
     /// ECN threshold override in MTU packets.
@@ -275,6 +354,10 @@ impl ScenarioSpec {
             seeds: opt_u64("seeds")?.unwrap_or(1).max(1) as u32,
             horizon_secs: opt_u64("horizon_secs")?.unwrap_or(30),
             fail_at_ms: opt_u64("fail_at_ms")?,
+            node_crash: match v.get("node_crash") {
+                None | Some(Json::Null) => None,
+                Some(x) => Some(NodeCrashSpec::from_json(x)?),
+            },
             flowlet_gap_us: opt_u64("flowlet_gap_us")?,
             ecn_threshold_pkts: opt_u64("ecn_threshold_pkts")?.map(|x| x as u32),
             control_loss: match v.get("control_loss") {
@@ -311,6 +394,7 @@ impl ScenarioSpec {
             ("seeds".to_string(), Json::Num(self.seeds as f64)),
             ("horizon_secs".to_string(), Json::Num(self.horizon_secs as f64)),
             ("fail_at_ms".to_string(), opt(self.fail_at_ms)),
+            ("node_crash".to_string(), self.node_crash.as_ref().map(NodeCrashSpec::to_json).unwrap_or(Json::Null)),
             ("flowlet_gap_us".to_string(), opt(self.flowlet_gap_us)),
             ("ecn_threshold_pkts".to_string(), opt(self.ecn_threshold_pkts.map(u64::from))),
             ("control_loss".to_string(), self.control_loss.map(Json::Num).unwrap_or(Json::Null)),
@@ -341,6 +425,9 @@ impl ScenarioSpec {
         s.horizon = Time::from_secs(self.horizon_secs);
         if let Some(ms) = self.fail_at_ms {
             s.fail_at(Time::from_millis(ms));
+        }
+        if let Some(crash) = &self.node_crash {
+            s.faults.extend(crash.plan());
         }
         if let Some(rate) = self.control_loss {
             s.control_faults = clove_net::fault::ControlFaultPlan::lossy_control(Time::from_millis(self.control_loss_at_ms.unwrap_or(0)), rate);
@@ -626,6 +713,7 @@ mod tests {
             seeds: 1,
             horizon_secs: 10,
             fail_at_ms: Some(100),
+            node_crash: Some(NodeCrashSpec { node: clove_net::fault::NodeSelector::Leaf(1), at_ms: 20, down_ms: 15, cold: true }),
             flowlet_gap_us: Some(150),
             ecn_threshold_pkts: Some(30),
             control_loss: Some(0.2),
@@ -639,12 +727,45 @@ mod tests {
         assert_eq!(back.load, 0.7);
         assert_eq!(back.scheme, SchemeSpec::CloveEcn);
         assert_eq!(back.fail_at_ms, Some(100));
+        assert_eq!(back.node_crash, spec.node_crash);
         assert_eq!(back.control_loss, Some(0.2));
         assert_eq!(back.control_loss_at_ms, Some(20));
         assert!(back.strict);
         let s = back.to_scenario();
         assert!(s.strict);
         assert_eq!(s.control_faults.expand().len(), 3, "lossy_control covers probes, replies and feedback");
+    }
+
+    #[test]
+    fn node_crash_spec_parses_and_builds_the_plan() {
+        let json = r#"{"scheme":{"name":"clove-ecn"},"topology":{"kind":"symmetric"},"load":0.5,
+                       "node_crash":{"node":"host3","at_ms":20,"down_ms":10,"state":"warm"}}"#;
+        let spec = ScenarioSpec::from_json_str(json).unwrap();
+        let crash = spec.node_crash.expect("node crash parsed");
+        assert_eq!(crash.node, clove_net::fault::NodeSelector::Host(3));
+        assert!(!crash.cold);
+        let s = spec.to_scenario();
+        assert_eq!(s.faults.node_specs.len(), 1);
+        assert_eq!(s.faults.node_specs[0].window(), (Time::from_millis(20), Time::from_millis(30)));
+        assert!(!s.faults.node_specs[0].is_cold());
+        // State defaults to cold.
+        let json = r#"{"scheme":{"name":"ecmp"},"topology":{"kind":"symmetric"},"load":0.5,
+                       "node_crash":{"node":"spine1","at_ms":5,"down_ms":5}}"#;
+        assert!(ScenarioSpec::from_json_str(json).unwrap().node_crash.unwrap().cold);
+    }
+
+    #[test]
+    fn bad_node_crash_specs_are_rejected() {
+        for bad in [
+            r#"{"node":"pod1","at_ms":1,"down_ms":1}"#,                // unknown tier
+            r#"{"node":"leaf","at_ms":1,"down_ms":1}"#,                // no index
+            r#"{"node":"leaf0","at_ms":1,"down_ms":0}"#,               // zero reboot window
+            r#"{"node":"leaf0","down_ms":1}"#,                         // missing at_ms
+            r#"{"node":"leaf0","at_ms":1,"down_ms":1,"state":"hot"}"#, // bad state
+        ] {
+            let json = format!(r#"{{"scheme":{{"name":"ecmp"}},"topology":{{"kind":"symmetric"}},"load":0.5,"node_crash":{bad}}}"#);
+            assert!(ScenarioSpec::from_json_str(&json).is_err(), "should reject {bad}");
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::orchestrator::{self, CellOutcome, ExecPolicy, MatrixStats};
 use crate::report::{FeedbackRow, FeedbackTable, FigureTable, ResilienceRow, ResilienceTable};
 use crate::scenario::{RpcOutcome, Scenario, TopologyKind};
 use crate::scheme::Scheme;
-use clove_net::fault::{CableSelector, ControlFaultPlan, ControlFaultStats, FaultPlan, FaultStats};
+use clove_net::fault::{CableSelector, ControlFaultPlan, ControlFaultStats, FaultPlan, FaultStats, NodeSelector, NodeState};
 use clove_sim::{Duration, QueueBackend, RunControl, Time};
 use clove_workload::{web_search, FctSummary, FlowSizeDist};
 use rayon::prelude::*;
@@ -908,11 +908,29 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
     );
     let mut table =
         ResilienceTable::new(format!("Resilience — S2-L2 faults at {} ms, symmetric, {:.0}% load", RESILIENCE_FAULT_AT.0 / 1_000_000, load * 100.0));
-    let per_point = cfg.seeds as usize;
+    let cases: Vec<&'static str> = FaultCase::ALL.iter().map(|c| c.label()).collect();
+    fold_damage_rows(&mut table, "resilience", schemes, &cases, &outcomes, cfg.seeds as usize, 4000);
+    table
+}
+
+/// Fold the `(scheme, case, seed)` outcomes of a damage sweep into table
+/// rows, scheme-major with the clean baseline first in each scheme's case
+/// list. Shared by [`resilience`] and [`recovery`]; the fold consumes
+/// outcomes in cell order, so the resulting table is byte-identical at any
+/// `--jobs` width.
+fn fold_damage_rows(
+    table: &mut ResilienceTable,
+    scope: &str,
+    schemes: &[Scheme],
+    cases: &[&'static str],
+    outcomes: &[CellOutcome<ResilienceRun>],
+    per_point: usize,
+    seed_base: u64,
+) {
     let mut chunks = outcomes.chunks(per_point);
     for scheme in schemes {
         let mut clean_avg = None;
-        for case in FaultCase::ALL {
+        for &case in cases {
             let chunk = chunks.next().expect("cell count matches schemes × cases");
             let mut pooled: Option<FctSummary> = None;
             let mut evictions = 0u64;
@@ -933,9 +951,9 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
                         }
                     }
                     other => {
-                        let cell = format!("{} / {}", scheme.label(), case.label());
-                        let seed = 4000 + off as u64;
-                        let snap = quarantine_snapshot("resilience", &cell, seed, &other.describe(), None);
+                        let cell = format!("{} / {}", scheme.label(), case);
+                        let seed = seed_base + off as u64;
+                        let snap = quarantine_snapshot(scope, &cell, seed, &other.describe(), None);
                         bad.push(format!("{cell} seed {seed}: {}{snap}", other.describe()));
                     }
                 }
@@ -956,7 +974,7 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
                 1.0
             };
             table.rows.push(ResilienceRow {
-                case: case.label().into(),
+                case: case.into(),
                 scheme: scheme.label().to_string(),
                 avg_fct_s: avg,
                 degradation,
@@ -966,6 +984,113 @@ pub fn resilience(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
             });
         }
     }
+}
+
+/// One node-fault case of the recovery matrix. Every case crashes whole
+/// nodes on the otherwise symmetric testbed topology and watches traffic
+/// ride the outage out and re-converge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryCase {
+    /// No fault — the per-scheme baseline the others are normalized to.
+    Clean,
+    /// ToR (leaf 1) crash-restart, cold: its CONGA/LetFlow/HULA soft state
+    /// is gone when it boots back.
+    TorReboot,
+    /// Spine 1 crash-restart, cold — half the fabric's middle stage.
+    SpineReboot,
+    /// Hypervisor 0 crash-restart, warm: the vswitch state survives (VM
+    /// live-migration-style restart), only the outage itself hurts.
+    HostCrashWarm,
+    /// Hypervisor 0 crash-restart, cold: flowlet table, WRR weights and
+    /// discovery selections are flushed; re-discovery starts from scratch
+    /// under the degradation ladder.
+    HostCrashCold,
+    /// Rolling ToR maintenance: leaf 0 reboots, then leaf 1 after the
+    /// first is back — the planned-upgrade pattern.
+    RollingTor,
+}
+
+impl RecoveryCase {
+    /// Every case, clean first (the matrix relies on that ordering to have
+    /// the baseline before computing degradations).
+    pub const ALL: [RecoveryCase; 6] = [
+        RecoveryCase::Clean,
+        RecoveryCase::TorReboot,
+        RecoveryCase::SpineReboot,
+        RecoveryCase::HostCrashWarm,
+        RecoveryCase::HostCrashCold,
+        RecoveryCase::RollingTor,
+    ];
+
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryCase::Clean => "clean",
+            RecoveryCase::TorReboot => "tor-reboot",
+            RecoveryCase::SpineReboot => "spine-reboot",
+            RecoveryCase::HostCrashWarm => "host-crash-warm",
+            RecoveryCase::HostCrashCold => "host-crash-cold",
+            RecoveryCase::RollingTor => "rolling-tor",
+        }
+    }
+
+    /// The node-fault timeline for this case, anchored at `at`. Switch
+    /// reboots take 15 ms (three 5 ms probe rounds — long enough that the
+    /// blind window matters), host reboots 10 ms; the rolling upgrade
+    /// staggers the two ToRs so the fabric is never fully dark.
+    pub fn plan(self, at: Time) -> FaultPlan {
+        let switch_boot = Duration::from_millis(15);
+        let host_boot = Duration::from_millis(10);
+        match self {
+            RecoveryCase::Clean => FaultPlan::none(),
+            RecoveryCase::TorReboot => FaultPlan::node_crash(at, NodeSelector::Leaf(1), switch_boot, NodeState::Cold),
+            RecoveryCase::SpineReboot => FaultPlan::node_crash(at, NodeSelector::Spine(1), switch_boot, NodeState::Cold),
+            RecoveryCase::HostCrashWarm => FaultPlan::node_crash(at, NodeSelector::Host(0), host_boot, NodeState::Warm),
+            RecoveryCase::HostCrashCold => FaultPlan::node_crash(at, NodeSelector::Host(0), host_boot, NodeState::Cold),
+            RecoveryCase::RollingTor => {
+                let mut plan = FaultPlan::node_crash(at, NodeSelector::Leaf(0), host_boot, NodeState::Cold);
+                plan.extend(FaultPlan::node_crash(at + host_boot + Duration::from_millis(5), NodeSelector::Leaf(1), host_boot, NodeState::Cold));
+                plan
+            }
+        }
+    }
+}
+
+/// The recovery-conformance matrix: `{clean, tor-reboot, spine-reboot,
+/// host-crash-warm, host-crash-cold, rolling-tor}` × `schemes` at 60% load
+/// on the symmetric testbed topology, reporting time-to-recover and the
+/// SLO damage ledger (FCT degradation vs. the scheme's clean run, drops,
+/// down time, evictions). Node faults lower to their incident cable sets
+/// plus the restart-semantics events (`clove_net::fault` module docs);
+/// cold restarts additionally flush switch LB tables or the whole vswitch
+/// (flowlets, WRR weights, discovery selections). Probing is tightened to
+/// 5 ms rounds so re-discovery happens on the timescale of the reboots.
+pub fn recovery(schemes: &[Scheme], cfg: &ExpConfig) -> ResilienceTable {
+    let dist = web_search();
+    let load = 0.6;
+    // Flat (scheme, case, seed) cells, folded scheme-major (cases in
+    // RecoveryCase::ALL order so `clean` arrives first) in cell order.
+    let cells: Vec<(usize, usize, u64)> =
+        (0..schemes.len()).flat_map(|si| (0..RecoveryCase::ALL.len()).flat_map(move |ci| (0..cfg.seeds).map(move |s| (si, ci, 6000 + s as u64)))).collect();
+    let (outcomes, _) = run_cells(
+        "recovery",
+        &cells,
+        cfg,
+        // All cells share one load; scheme weight dominates wall time.
+        |&(si, _, _)| schemes[si].cost_weight(),
+        |&(si, ci, seed)| format!("recovery|{}|{}|seed{seed}|{}", schemes[si].label(), RecoveryCase::ALL[ci].label(), cfg.key_fragment()),
+        |&(si, ci, seed), control| {
+            let mut s = scenario(schemes[si].clone(), TopologyKind::Symmetric, load, seed, cfg, Some(control));
+            s.profile.probe_interval = Duration::from_millis(5);
+            s.faults = RecoveryCase::ALL[ci].plan(RESILIENCE_FAULT_AT);
+            let out = run_rpc_checked(&s, &dist);
+            ResilienceRun { fct: out.fct, evictions: out.path_evictions, fault_stats: out.fault_stats, recovery: out.recovery }
+        },
+    );
+    let mut table =
+        ResilienceTable::new(format!("Recovery — node crash-restarts at {} ms, symmetric, {:.0}% load", RESILIENCE_FAULT_AT.0 / 1_000_000, load * 100.0));
+    let cases: Vec<&'static str> = RecoveryCase::ALL.iter().map(|c| c.label()).collect();
+    fold_damage_rows(&mut table, "recovery", schemes, &cases, &outcomes, cfg.seeds as usize, 6000);
     table
 }
 
@@ -1146,6 +1271,26 @@ mod tests {
         assert_eq!(path_slug("Clove-ECN @ 70% load (asym)"), "Clove-ECN-70-load-asym");
         assert_eq!(path_slug("MPTCP/4 / single-cut"), "MPTCP-4-single-cut");
         assert_eq!(path_slug("---"), "");
+    }
+
+    #[test]
+    fn recovery_cases_validate_and_lower_on_the_testbed() {
+        for case in RecoveryCase::ALL {
+            let mut s = Scenario::new(Scheme::CloveEcn, TopologyKind::Symmetric, 0.5, 1);
+            s.faults = case.plan(RESILIENCE_FAULT_AT);
+            s.validate().unwrap_or_else(|e| panic!("{} must resolve on the paper testbed: {e}", case.label()));
+            let nodes = s.faults.node_specs.len();
+            match case {
+                RecoveryCase::Clean => assert_eq!(nodes, 0),
+                RecoveryCase::RollingTor => assert_eq!(nodes, 2, "rolling upgrade reboots both ToRs"),
+                _ => assert_eq!(nodes, 1),
+            }
+        }
+        // The warm and cold host crashes differ only in restart state.
+        let warm = RecoveryCase::HostCrashWarm.plan(RESILIENCE_FAULT_AT);
+        let cold = RecoveryCase::HostCrashCold.plan(RESILIENCE_FAULT_AT);
+        assert!(!warm.node_specs[0].is_cold() && cold.node_specs[0].is_cold());
+        assert_eq!(warm.node_specs[0].window(), cold.node_specs[0].window());
     }
 
     #[test]

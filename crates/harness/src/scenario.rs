@@ -122,16 +122,21 @@ impl Scenario {
     }
 
     /// Validate the scenario's fault plans: spec parameters must be in
-    /// range (flap duty cycles, loss rates) and every named cable must
-    /// resolve in the topology this scenario builds. The error names the
-    /// offending selector and lists the valid cable selectors for the
-    /// topology, so a mis-written plan is a diagnosis rather than a panic
-    /// deep inside a run.
+    /// range (flap duty cycles, loss rates), every named node must lower
+    /// onto an incident cable set, and every named cable must resolve in
+    /// the topology this scenario builds. The error names the offending
+    /// selector and lists the valid selectors for the topology, so a
+    /// mis-written plan is a diagnosis rather than a panic deep inside a
+    /// run.
     pub fn validate(&self) -> Result<(), String> {
         self.faults.validate().map_err(|e| format!("fault plan: {e}"))?;
         self.control_faults.validate().map_err(|e| format!("control fault plan: {e}"))?;
         let topo = self.build_topology();
-        for action in self.effective_faults().expand() {
+        let lowered = self
+            .effective_faults()
+            .lower_nodes(|n| topo.incident_cables(n))
+            .map_err(|e| format!("fault plan: {e} (topology '{}'; {})", topo.name, topo.node_catalog()))?;
+        for action in lowered.expand() {
             if topo.resolve_cable(action.cable).is_none() {
                 return Err(format!("fault plan names cable {:?}, which does not resolve in topology '{}'; {}", action.cable, topo.name, topo.cable_catalog()));
             }
@@ -140,18 +145,31 @@ impl Scenario {
     }
 
     /// Schedule every expanded fault action against both directions of its
-    /// resolved cable, plus every control-plane fault (fabric-wide, no
-    /// cable to resolve). Errors (with the offending selector and the
-    /// topology's valid cables) when the plan names a cable the topology
-    /// cannot resolve.
+    /// resolved cable — node faults lowered onto their incident cable sets
+    /// first — plus the node lifecycle events carrying warm/cold state
+    /// semantics, plus every control-plane fault (fabric-wide, no cable to
+    /// resolve). Cable flips are pushed before node lifecycle events, so
+    /// at a restart instant links are restored and routes recomputed
+    /// before any cold-state flush runs. Errors (with the offending
+    /// selector and the topology's valid names) when the plan names a
+    /// cable or node the topology cannot resolve.
     fn schedule_faults(&self, topo: &Topology, queue: &mut EventQueue<Event>) -> Result<(), String> {
-        for action in self.effective_faults().expand() {
+        let effective = self.effective_faults();
+        let lowered =
+            effective.lower_nodes(|n| topo.incident_cables(n)).map_err(|e| format!("fault plan: {e} (topology '{}'; {})", topo.name, topo.node_catalog()))?;
+        for action in lowered.expand() {
             let (a, b) = topo.resolve_cable(action.cable).ok_or_else(|| {
                 format!("fault plan names cable {:?}, which does not resolve in topology '{}'; {}", action.cable, topo.name, topo.cable_catalog())
             })?;
             for link in [a, b] {
                 queue.push(action.at, Event::Fault { link, action: action.action, announced: action.announced });
             }
+        }
+        for action in effective.node_actions() {
+            // The switch is resolved here — only the topology knows the
+            // tier layout; `None` means a host/hypervisor node.
+            let switch = topo.resolve_switch(action.node);
+            queue.push(action.at, Event::NodeFault { node: action.node, switch, up: action.up, cold: action.cold });
         }
         for action in self.control_faults.expand() {
             queue.push(action.at, Event::ControlFault { action: action.action });
@@ -235,14 +253,15 @@ impl Scenario {
             queue.push(Time::ZERO, Event::HulaTick);
         }
         self.schedule_faults(&topo, &mut queue)?;
-        // Recovery is measured against the first *mid-run* fault — link or
-        // control-plane (a t=0 cut is a static asymmetry, not an incident
-        // to recover from).
-        let first_fault = self
-            .effective_faults()
+        // Recovery is measured against the first *mid-run* fault — link,
+        // node or control-plane (a t=0 cut is a static asymmetry, not an
+        // incident to recover from).
+        let effective = self.effective_faults();
+        let first_fault = effective
             .expand()
             .into_iter()
             .map(|a| a.at)
+            .chain(effective.node_actions().into_iter().map(|a| a.at))
             .chain(self.control_faults.expand().into_iter().map(|a| a.at))
             .filter(|&at| at > Time::ZERO)
             .min();

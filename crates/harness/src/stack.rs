@@ -692,4 +692,28 @@ impl HostLogic for HostStack {
             _ => unreachable!("unknown timer token {tok:#x}"),
         }
     }
+
+    fn on_restart(&mut self, host: HostId, cold: bool, ctx: &mut HostCtx<'_>) {
+        let hi = host.0 as usize;
+        let now = ctx.now;
+        let t = self.trace.with_host(host.0);
+        t.vswitch_restart(now.0, cold);
+        if !cold {
+            return;
+        }
+        // Hypervisor cold boot: the vswitch (policy soft state, feedback
+        // collectors, Presto reassembly) and the probe daemon lose every
+        // learned table. Guest VM state — TCP connections, job queues,
+        // in-flight FCT clocks — is suspend/resume'd with the VM image and
+        // survives, so flow accounting stays conserved across the crash.
+        // No timer re-bootstrap is needed: T_PROBE_START self-rechains
+        // every probe interval, and the next round re-discovers from
+        // scratch while the degradation ladder covers the blind window.
+        self.hosts[hi].vswitch.cold_restart(now);
+        t.state_flush(now.0, "host", host.0, "vswitch");
+        if let Some(daemon) = self.hosts[hi].daemon.as_mut() {
+            daemon.cold_restart();
+            t.state_flush(now.0, "host", host.0, "discovery");
+        }
+    }
 }

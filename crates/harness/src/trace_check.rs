@@ -6,24 +6,39 @@
 //! harness's own JSON parser and checks every line against the schema
 //! table below, so CI can assert that a freshly-written trace is valid
 //! without any external tooling.
+//!
+//! Versioning: schemas are additive, so any version in
+//! [`MIN_TRACE_SCHEMA_VERSION`]`..=`[`TRACE_SCHEMA_VERSION`] is accepted
+//! per line — v1 dumps still validate under the v2 checker. Each kind
+//! records the version that introduced it; a line whose kind postdates its
+//! own `v` stamp is rejected (it could not have been written by that
+//! schema), and unknown kinds report the line's version so a dump from a
+//! *newer* schema produces an actionable error.
 
 use crate::json::Json;
 use clove_telemetry::TRACE_SCHEMA_VERSION;
 
-/// Required kind-specific fields per event kind, in schema order. Must be
-/// kept in lockstep with [`clove_telemetry::TraceEvent::write_jsonl`] (the
-/// golden schema test in `tests/trace_schema.rs` pins both sides).
-pub const TRACE_KIND_FIELDS: &[(&str, &[&str])] = &[
-    ("flowlet_create", &["host", "dst", "flowlet_id", "port"]),
-    ("flowlet_switch", &["host", "dst", "flowlet_id", "port", "prev_port", "idle_ns"]),
-    ("flowlet_expire", &["host", "dst", "flowlet_id", "port", "idle_ns"]),
-    ("weight_update", &["host", "dst", "port", "weight_ppm", "cause"]),
-    ("ecn_mark", &["link", "marks"]),
-    ("int_reading", &["host", "port", "util_pm"]),
-    ("ladder_transition", &["host", "dst", "from", "to"]),
-    ("path_eviction", &["host", "dst", "port"]),
-    ("fault_activation", &["link", "action", "announced"]),
-    ("control_fault", &["action"]),
+/// Oldest schema version this checker still validates.
+pub const MIN_TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Required kind-specific fields per event kind, in schema order, plus the
+/// schema version that introduced the kind. Must be kept in lockstep with
+/// [`clove_telemetry::TraceEvent::write_jsonl`] (the golden schema test in
+/// `tests/trace_schema.rs` pins both sides).
+pub const TRACE_KIND_FIELDS: &[(&str, u64, &[&str])] = &[
+    ("flowlet_create", 1, &["host", "dst", "flowlet_id", "port"]),
+    ("flowlet_switch", 1, &["host", "dst", "flowlet_id", "port", "prev_port", "idle_ns"]),
+    ("flowlet_expire", 1, &["host", "dst", "flowlet_id", "port", "idle_ns"]),
+    ("weight_update", 1, &["host", "dst", "port", "weight_ppm", "cause"]),
+    ("ecn_mark", 1, &["link", "marks"]),
+    ("int_reading", 1, &["host", "port", "util_pm"]),
+    ("ladder_transition", 1, &["host", "dst", "from", "to"]),
+    ("path_eviction", 1, &["host", "dst", "port"]),
+    ("fault_activation", 1, &["link", "action", "announced"]),
+    ("control_fault", 1, &["action"]),
+    ("node_fault_activation", 2, &["node", "index", "action", "cold"]),
+    ("vswitch_restart", 2, &["host", "cold"]),
+    ("state_flush", 2, &["node", "index", "what"]),
 ];
 
 /// Result of checking one trace dump: total lines plus per-kind counts in
@@ -63,19 +78,25 @@ pub fn check_trace_jsonl(text: &str) -> Result<TraceCheckReport, String> {
         if !matches!(v, Json::Obj(_)) {
             return Err(format!("line {n}: not a JSON object"));
         }
-        match v.get("v").and_then(Json::as_u64) {
-            Some(TRACE_SCHEMA_VERSION) => {}
-            Some(other) => return Err(format!("line {n}: schema version {other}, expected {TRACE_SCHEMA_VERSION}")),
+        let version = match v.get("v").and_then(Json::as_u64) {
+            Some(ver) if (MIN_TRACE_SCHEMA_VERSION..=TRACE_SCHEMA_VERSION).contains(&ver) => ver,
+            Some(other) => {
+                return Err(format!("line {n}: schema version {other}, expected {MIN_TRACE_SCHEMA_VERSION}..={TRACE_SCHEMA_VERSION}"));
+            }
             None => return Err(format!("line {n}: missing integer field 'v'")),
-        }
+        };
         if v.get("t_ns").and_then(Json::as_u64).is_none() {
             return Err(format!("line {n}: missing integer field 't_ns'"));
         }
         let kind = v.get("kind").and_then(Json::as_str).ok_or_else(|| format!("line {n}: missing string field 'kind'"))?;
-        let Some(ki) = TRACE_KIND_FIELDS.iter().position(|&(k, _)| k == kind) else {
-            return Err(format!("line {n}: unknown event kind '{kind}'"));
+        let Some(ki) = TRACE_KIND_FIELDS.iter().position(|&(k, _, _)| k == kind) else {
+            return Err(format!("line {n}: unknown event kind '{kind}' (line declares schema version {version}, checker knows v{TRACE_SCHEMA_VERSION})"));
         };
-        for &field in TRACE_KIND_FIELDS[ki].1 {
+        let (_, since, fields) = TRACE_KIND_FIELDS[ki];
+        if version < since {
+            return Err(format!("line {n}: kind '{kind}' requires schema version {since}, but line declares version {version}"));
+        }
+        for &field in fields {
             if v.get(field).is_none() {
                 return Err(format!("line {n}: kind '{kind}' missing field '{field}'"));
             }
@@ -83,7 +104,7 @@ pub fn check_trace_jsonl(text: &str) -> Result<TraceCheckReport, String> {
         counts[ki] += 1;
         lines += 1;
     }
-    Ok(TraceCheckReport { lines, kinds: TRACE_KIND_FIELDS.iter().zip(counts).map(|(&(k, _), c)| (k, c)).collect() })
+    Ok(TraceCheckReport { lines, kinds: TRACE_KIND_FIELDS.iter().zip(counts).map(|(&(k, _, _), c)| (k, c)).collect() })
 }
 
 #[cfg(test)]
@@ -104,11 +125,33 @@ mod tests {
             TraceEvent::PathEviction { t_ns: 8, host: 0, dst: 1, port: 49152 },
             TraceEvent::FaultActivation { t_ns: 9, link: 3, action: "down", announced: true },
             TraceEvent::ControlFault { t_ns: 10, action: "set_probe_loss" },
+            TraceEvent::NodeFaultActivation { t_ns: 11, node: "leaf", index: 1, action: "down", cold: true },
+            TraceEvent::VswitchRestart { t_ns: 12, host: 0, cold: true },
+            TraceEvent::StateFlush { t_ns: 13, node: "host", index: 0, what: "vswitch" },
         ];
         let report = check_trace_jsonl(&render_jsonl(&events)).unwrap();
-        assert_eq!(report.lines, 10);
+        assert_eq!(report.lines, 13);
         assert!(report.kinds.iter().all(|&(_, c)| c == 1), "every kind seen once: {:?}", report.kinds);
-        assert!(report.render().contains("10 event(s) valid"));
+        assert!(report.render().contains("13 event(s) valid"));
+    }
+
+    #[test]
+    fn v1_dumps_still_validate() {
+        // A dump written by the v1 schema: v1 envelope, v1 kinds only.
+        let v1_dump = concat!(
+            "{\"v\":1,\"kind\":\"ecn_mark\",\"t_ns\":5,\"link\":3,\"marks\":2}\n",
+            "{\"v\":1,\"kind\":\"fault_activation\",\"t_ns\":9,\"link\":3,\"action\":\"down\",\"announced\":true}\n",
+        );
+        let report = check_trace_jsonl(v1_dump).unwrap();
+        assert_eq!(report.lines, 2);
+    }
+
+    #[test]
+    fn v2_only_kinds_are_rejected_on_v1_lines() {
+        let line = "{\"v\":1,\"kind\":\"node_fault_activation\",\"t_ns\":1,\"node\":\"leaf\",\"index\":0,\"action\":\"down\",\"cold\":true}";
+        let err = check_trace_jsonl(line).unwrap_err();
+        assert!(err.contains("requires schema version 2"), "{err}");
+        assert!(err.contains("declares version 1"), "{err}");
     }
 
     #[test]
@@ -117,7 +160,12 @@ mod tests {
         let wrong_version = "{\"v\":999,\"kind\":\"ecn_mark\",\"t_ns\":1,\"link\":0,\"marks\":1}";
         assert!(check_trace_jsonl(wrong_version).unwrap_err().contains("schema version 999"));
         let unknown_kind = "{\"v\":1,\"kind\":\"nope\",\"t_ns\":1}";
-        assert!(check_trace_jsonl(unknown_kind).unwrap_err().contains("unknown event kind"));
+        let unknown_err = check_trace_jsonl(unknown_kind).unwrap_err();
+        assert!(unknown_err.contains("unknown event kind"));
+        // Unknown-kind errors are versioned: they name the line's declared
+        // version and the checker's ceiling.
+        assert!(unknown_err.contains("schema version 1"), "{unknown_err}");
+        assert!(unknown_err.contains("v2"), "{unknown_err}");
         let missing_field = "{\"v\":1,\"kind\":\"ecn_mark\",\"t_ns\":1,\"link\":0}";
         assert!(check_trace_jsonl(missing_field).unwrap_err().contains("missing field 'marks'"));
     }

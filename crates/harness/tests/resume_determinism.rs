@@ -95,6 +95,7 @@ fn clove_run_spec_resume_reproduces_the_report_exactly() {
         seeds: 4,
         horizon_secs: 10,
         fail_at_ms: None,
+        node_crash: None,
         control_loss: None,
         control_loss_at_ms: None,
         flowlet_gap_us: None,

@@ -3,44 +3,53 @@
 //! the trace schema changed: bump `TRACE_SCHEMA_VERSION`, update the
 //! `trace_check` field table, and document the change in DESIGN.md §12.
 
-use clove_harness::trace_check::TRACE_KIND_FIELDS;
+use clove_harness::trace_check::{check_trace_jsonl, TRACE_KIND_FIELDS};
 use clove_telemetry::{render_jsonl, LadderRung, TraceEvent, TRACE_SCHEMA_VERSION};
 
 #[test]
 fn every_event_kind_renders_the_pinned_schema() {
-    assert_eq!(TRACE_SCHEMA_VERSION, 1, "schema version bumped: re-pin the golden lines below");
+    assert_eq!(TRACE_SCHEMA_VERSION, 2, "schema version bumped: re-pin the golden lines below");
     let golden: Vec<(TraceEvent, &str)> = vec![
         (
             TraceEvent::FlowletCreate { t_ns: 10, host: 1, dst: 2, flowlet_id: 3, port: 49152 },
-            r#"{"v":1,"kind":"flowlet_create","t_ns":10,"host":1,"dst":2,"flowlet_id":3,"port":49152}"#,
+            r#"{"v":2,"kind":"flowlet_create","t_ns":10,"host":1,"dst":2,"flowlet_id":3,"port":49152}"#,
         ),
         (
             TraceEvent::FlowletSwitch { t_ns: 11, host: 1, dst: 2, flowlet_id: 4, port: 49153, prev_port: 49152, idle_ns: 600_000 },
-            r#"{"v":1,"kind":"flowlet_switch","t_ns":11,"host":1,"dst":2,"flowlet_id":4,"port":49153,"prev_port":49152,"idle_ns":600000}"#,
+            r#"{"v":2,"kind":"flowlet_switch","t_ns":11,"host":1,"dst":2,"flowlet_id":4,"port":49153,"prev_port":49152,"idle_ns":600000}"#,
         ),
         (
             TraceEvent::FlowletExpire { t_ns: 12, host: 1, dst: 2, flowlet_id: 4, port: 49153, idle_ns: 2_000_000 },
-            r#"{"v":1,"kind":"flowlet_expire","t_ns":12,"host":1,"dst":2,"flowlet_id":4,"port":49153,"idle_ns":2000000}"#,
+            r#"{"v":2,"kind":"flowlet_expire","t_ns":12,"host":1,"dst":2,"flowlet_id":4,"port":49153,"idle_ns":2000000}"#,
         ),
         (
             TraceEvent::WeightUpdate { t_ns: 13, host: 1, dst: 2, port: 49152, weight_ppm: 250_000, cause: "ecn_cut" },
-            r#"{"v":1,"kind":"weight_update","t_ns":13,"host":1,"dst":2,"port":49152,"weight_ppm":250000,"cause":"ecn_cut"}"#,
+            r#"{"v":2,"kind":"weight_update","t_ns":13,"host":1,"dst":2,"port":49152,"weight_ppm":250000,"cause":"ecn_cut"}"#,
         ),
-        (TraceEvent::EcnMark { t_ns: 14, link: 5, marks: 3 }, r#"{"v":1,"kind":"ecn_mark","t_ns":14,"link":5,"marks":3}"#),
+        (TraceEvent::EcnMark { t_ns: 14, link: 5, marks: 3 }, r#"{"v":2,"kind":"ecn_mark","t_ns":14,"link":5,"marks":3}"#),
         (
             TraceEvent::IntReading { t_ns: 15, host: 1, port: 49152, util_pm: 412 },
-            r#"{"v":1,"kind":"int_reading","t_ns":15,"host":1,"port":49152,"util_pm":412}"#,
+            r#"{"v":2,"kind":"int_reading","t_ns":15,"host":1,"port":49152,"util_pm":412}"#,
         ),
         (
             TraceEvent::LadderTransition { t_ns: 16, host: 1, dst: 2, from: LadderRung::Fresh, to: LadderRung::Dead },
-            r#"{"v":1,"kind":"ladder_transition","t_ns":16,"host":1,"dst":2,"from":"fresh","to":"dead"}"#,
+            r#"{"v":2,"kind":"ladder_transition","t_ns":16,"host":1,"dst":2,"from":"fresh","to":"dead"}"#,
         ),
-        (TraceEvent::PathEviction { t_ns: 17, host: 1, dst: 2, port: 49152 }, r#"{"v":1,"kind":"path_eviction","t_ns":17,"host":1,"dst":2,"port":49152}"#),
+        (TraceEvent::PathEviction { t_ns: 17, host: 1, dst: 2, port: 49152 }, r#"{"v":2,"kind":"path_eviction","t_ns":17,"host":1,"dst":2,"port":49152}"#),
         (
             TraceEvent::FaultActivation { t_ns: 18, link: 5, action: "down", announced: true },
-            r#"{"v":1,"kind":"fault_activation","t_ns":18,"link":5,"action":"down","announced":true}"#,
+            r#"{"v":2,"kind":"fault_activation","t_ns":18,"link":5,"action":"down","announced":true}"#,
         ),
-        (TraceEvent::ControlFault { t_ns: 19, action: "set_probe_loss" }, r#"{"v":1,"kind":"control_fault","t_ns":19,"action":"set_probe_loss"}"#),
+        (TraceEvent::ControlFault { t_ns: 19, action: "set_probe_loss" }, r#"{"v":2,"kind":"control_fault","t_ns":19,"action":"set_probe_loss"}"#),
+        (
+            TraceEvent::NodeFaultActivation { t_ns: 20, node: "leaf", index: 1, action: "down", cold: true },
+            r#"{"v":2,"kind":"node_fault_activation","t_ns":20,"node":"leaf","index":1,"action":"down","cold":true}"#,
+        ),
+        (TraceEvent::VswitchRestart { t_ns: 21, host: 1, cold: true }, r#"{"v":2,"kind":"vswitch_restart","t_ns":21,"host":1,"cold":true}"#),
+        (
+            TraceEvent::StateFlush { t_ns: 22, node: "host", index: 1, what: "vswitch" },
+            r#"{"v":2,"kind":"state_flush","t_ns":22,"node":"host","index":1,"what":"vswitch"}"#,
+        ),
     ];
     assert_eq!(golden.len(), TRACE_KIND_FIELDS.len(), "a kind is missing a golden line");
     for (ev, want) in &golden {
@@ -59,7 +68,7 @@ fn check_table_field_names_match_rendered_fields() {
     // Every field the validator requires must actually appear in the
     // rendered line (the golden test above pins the rendering, this ties
     // the validator's table to it).
-    for &(kind, fields) in TRACE_KIND_FIELDS {
+    for &(kind, _since, fields) in TRACE_KIND_FIELDS {
         let ev = match kind {
             "flowlet_create" => TraceEvent::FlowletCreate { t_ns: 1, host: 0, dst: 0, flowlet_id: 0, port: 0 },
             "flowlet_switch" => TraceEvent::FlowletSwitch { t_ns: 1, host: 0, dst: 0, flowlet_id: 0, port: 0, prev_port: 0, idle_ns: 0 },
@@ -71,6 +80,9 @@ fn check_table_field_names_match_rendered_fields() {
             "path_eviction" => TraceEvent::PathEviction { t_ns: 1, host: 0, dst: 0, port: 0 },
             "fault_activation" => TraceEvent::FaultActivation { t_ns: 1, link: 0, action: "down", announced: false },
             "control_fault" => TraceEvent::ControlFault { t_ns: 1, action: "set_probe_loss" },
+            "node_fault_activation" => TraceEvent::NodeFaultActivation { t_ns: 1, node: "leaf", index: 0, action: "down", cold: false },
+            "vswitch_restart" => TraceEvent::VswitchRestart { t_ns: 1, host: 0, cold: false },
+            "state_flush" => TraceEvent::StateFlush { t_ns: 1, node: "host", index: 0, what: "vswitch" },
             other => panic!("kind '{other}' in the check table has no constructor here"),
         };
         assert_eq!(ev.kind(), kind);
@@ -80,4 +92,35 @@ fn check_table_field_names_match_rendered_fields() {
             assert!(line.contains(&format!("\"{field}\":")), "kind '{kind}' renders no field '{field}': {line}");
         }
     }
+}
+
+#[test]
+fn v1_golden_lines_still_validate_under_v2() {
+    // Frozen v1 output (one line per v1 kind, verbatim from the v1 golden
+    // test) must keep validating after the v2 bump — dumps on disk don't
+    // get rewritten when the schema grows.
+    let v1_dump = concat!(
+        r#"{"v":1,"kind":"flowlet_create","t_ns":10,"host":1,"dst":2,"flowlet_id":3,"port":49152}"#,
+        "\n",
+        r#"{"v":1,"kind":"flowlet_switch","t_ns":11,"host":1,"dst":2,"flowlet_id":4,"port":49153,"prev_port":49152,"idle_ns":600000}"#,
+        "\n",
+        r#"{"v":1,"kind":"flowlet_expire","t_ns":12,"host":1,"dst":2,"flowlet_id":4,"port":49153,"idle_ns":2000000}"#,
+        "\n",
+        r#"{"v":1,"kind":"weight_update","t_ns":13,"host":1,"dst":2,"port":49152,"weight_ppm":250000,"cause":"ecn_cut"}"#,
+        "\n",
+        r#"{"v":1,"kind":"ecn_mark","t_ns":14,"link":5,"marks":3}"#,
+        "\n",
+        r#"{"v":1,"kind":"int_reading","t_ns":15,"host":1,"port":49152,"util_pm":412}"#,
+        "\n",
+        r#"{"v":1,"kind":"ladder_transition","t_ns":16,"host":1,"dst":2,"from":"fresh","to":"dead"}"#,
+        "\n",
+        r#"{"v":1,"kind":"path_eviction","t_ns":17,"host":1,"dst":2,"port":49152}"#,
+        "\n",
+        r#"{"v":1,"kind":"fault_activation","t_ns":18,"link":5,"action":"down","announced":true}"#,
+        "\n",
+        r#"{"v":1,"kind":"control_fault","t_ns":19,"action":"set_probe_loss"}"#,
+        "\n",
+    );
+    let report = check_trace_jsonl(v1_dump).expect("v1 dump validates under the v2 checker");
+    assert_eq!(report.lines, 10);
 }

@@ -18,7 +18,9 @@
 //!   at a time while an oracle keeps reporting the violation, so findings
 //!   land in the report at (locally) minimal size.
 
-use crate::fault::{CableSelector, ControlFaultKind, ControlFaultPlan, ControlFaultSpec, FaultKind, FaultPlan, FaultSpec};
+use crate::fault::{
+    CableSelector, ControlFaultKind, ControlFaultPlan, ControlFaultSpec, FaultKind, FaultPlan, FaultSpec, NodeFaultKind, NodeFaultSpec, NodeSelector, NodeState,
+};
 use clove_sim::{Duration, SimRng, Time};
 
 /// Bounds for chaos plan sampling: which selectors resolve and how large a
@@ -41,13 +43,18 @@ pub struct ChaosSpace {
     /// Maximum control-fault specs per plan (0 is allowed: link faults
     /// alone are a valid chaos case).
     pub max_control_faults: usize,
+    /// Maximum node crash-restart specs per plan (0 disables node faults).
+    /// Node specs ride in [`FaultPlan::node_specs`] and lower to their
+    /// incident cable sets at run time, so the fuzzer covers the joint
+    /// node × cable × control fault space.
+    pub max_node_faults: usize,
 }
 
 impl ChaosSpace {
     /// The paper's testbed extents (§5: 2 leaves × 2 spines, 2-cable
     /// trunks, 32 hosts) over the given horizon.
     pub fn paper_testbed(horizon: Duration) -> ChaosSpace {
-        ChaosSpace { leaves: 2, spines: 2, trunk: 2, hosts: 32, horizon, max_faults: 4, max_control_faults: 3 }
+        ChaosSpace { leaves: 2, spines: 2, trunk: 2, hosts: 32, horizon, max_faults: 4, max_control_faults: 3, max_node_faults: 2 }
     }
 }
 
@@ -62,9 +69,10 @@ pub struct ChaosPlan {
 }
 
 impl ChaosPlan {
-    /// Total spec count across both timelines.
+    /// Total spec count across both timelines (cable, node and control
+    /// specs all count — the shrinker's progress metric).
     pub fn len(&self) -> usize {
-        self.faults.specs.len() + self.control.specs.len()
+        self.faults.specs.len() + self.faults.node_specs.len() + self.control.specs.len()
     }
 
     /// True if both timelines are empty.
@@ -81,6 +89,20 @@ impl ChaosPlan {
         for _ in 0..n_faults {
             faults.push(FaultSpec { at: random_time(rng, space.horizon), cable: random_cable(rng, space), kind: random_kind(rng), announced: rng.chance(0.5) });
         }
+        let n_nodes = if space.max_node_faults == 0 { 0 } else { rng.below(space.max_node_faults as u64 + 1) as usize };
+        for _ in 0..n_nodes {
+            faults.push_node(NodeFaultSpec {
+                at: random_time(rng, space.horizon),
+                node: random_node(rng, space),
+                kind: NodeFaultKind::CrashRestart {
+                    // Reboots from sub-probe-round blips to multi-round
+                    // outages; always positive, as validate requires.
+                    down_for: Duration::from_micros(rng.range(500, 50_000)),
+                    state: if rng.chance(0.5) { NodeState::Cold } else { NodeState::Warm },
+                },
+                announced: rng.chance(0.5),
+            });
+        }
         let mut control = ControlFaultPlan::none();
         let n_control = if space.max_control_faults == 0 { 0 } else { rng.below(space.max_control_faults as u64 + 1) as usize };
         for _ in 0..n_control {
@@ -95,6 +117,9 @@ impl ChaosPlan {
         let mut lines = Vec::new();
         for spec in &self.faults.specs {
             lines.push(format!("  link  t={:>12}ns {:?} {:?} announced={}", spec.at.0, spec.cable, spec.kind, spec.announced));
+        }
+        for spec in &self.faults.node_specs {
+            lines.push(format!("  node  t={:>12}ns {:?} {:?} announced={}", spec.at.0, spec.node, spec.kind, spec.announced));
         }
         for spec in &self.control.specs {
             lines.push(format!("  ctrl  t={:>12}ns {:?}", spec.at.0, spec.kind));
@@ -117,6 +142,16 @@ fn random_cable(rng: &mut SimRng, space: &ChaosSpace) -> CableSelector {
             spine: rng.below(space.spines as u64) as u32,
             which: rng.below(space.trunk as u64) as u32,
         }
+    }
+}
+
+fn random_node(rng: &mut SimRng, space: &ChaosSpace) -> NodeSelector {
+    // Hosts get half the draws: hypervisor crash-recovery is the vswitch
+    // state machine under test; switch reboots cover the fabric side.
+    match rng.below(4) {
+        0 => NodeSelector::Leaf(rng.below(space.leaves as u64) as u32),
+        1 => NodeSelector::Spine(rng.below(space.spines as u64) as u32),
+        _ => NodeSelector::Host(rng.below(space.hosts as u64) as u32),
     }
 }
 
@@ -170,6 +205,18 @@ where
                 progressed = true;
             }
         }
+        for i in (0..best.faults.node_specs.len()).rev() {
+            if calls >= budget {
+                return (best, calls);
+            }
+            let mut candidate = best.clone();
+            candidate.faults.node_specs.remove(i);
+            calls += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                progressed = true;
+            }
+        }
         for i in (0..best.control.specs.len()).rev() {
             if calls >= budget {
                 return (best, calls);
@@ -216,6 +263,7 @@ mod tests {
             let plan = ChaosPlan::generate(&mut rng, &s);
             assert!(!plan.faults.is_empty(), "chaos plans always carry at least one link fault");
             assert!(plan.faults.specs.len() <= s.max_faults);
+            assert!(plan.faults.node_specs.len() <= s.max_node_faults);
             assert!(plan.control.specs.len() <= s.max_control_faults);
             plan.faults.validate().expect("generated fault plan must validate");
             plan.control.validate().expect("generated control plan must validate");
@@ -229,7 +277,46 @@ mod tests {
                     CableSelector::Index(_) => panic!("generator never emits raw-index selectors"),
                 }
             }
+            for spec in &plan.faults.node_specs {
+                assert!(spec.at < Time(s.horizon.0));
+                match spec.node {
+                    NodeSelector::Leaf(l) => assert!(l < s.leaves),
+                    NodeSelector::Spine(sp) => assert!(sp < s.spines),
+                    NodeSelector::Host(h) => assert!(h < s.hosts),
+                }
+                let NodeFaultKind::CrashRestart { down_for, .. } = spec.kind;
+                assert!(down_for.0 > 0, "validate requires a positive reboot window");
+            }
         }
+        let mut rng = SimRng::new(123);
+        let any_node = (0..500).any(|_| !ChaosPlan::generate(&mut rng, &s).faults.node_specs.is_empty());
+        assert!(any_node, "the generator must actually exercise node faults");
+    }
+
+    #[test]
+    fn shrink_strips_innocent_node_specs() {
+        // Oracle: the violation needs any *cold* node crash — cable and
+        // control specs, and warm crashes, are noise the shrinker strips.
+        let mut rng = SimRng::new(11);
+        let mut plan = ChaosPlan::generate(&mut rng, &space());
+        plan.faults.node_specs.clear();
+        plan.faults.push_node(NodeFaultSpec {
+            at: Time::from_millis(2),
+            node: NodeSelector::Host(5),
+            kind: NodeFaultKind::CrashRestart { down_for: Duration::from_millis(1), state: NodeState::Warm },
+            announced: true,
+        });
+        plan.faults.push_node(NodeFaultSpec {
+            at: Time::from_millis(3),
+            node: NodeSelector::Leaf(1),
+            kind: NodeFaultKind::CrashRestart { down_for: Duration::from_millis(1), state: NodeState::Cold },
+            announced: false,
+        });
+        let guilty = |p: &ChaosPlan| p.faults.node_specs.iter().any(NodeFaultSpec::is_cold);
+        assert!(guilty(&plan));
+        let (min, _) = shrink(&plan, guilty, 1000);
+        assert_eq!(min.len(), 1, "only the cold crash should survive: {min:?}");
+        assert!(min.faults.node_specs[0].is_cold());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! * `LinkAdmin` → link state flips and routes are recomputed — this is
 //!   how experiments inject mid-run failures.
 
-use crate::fault::{ControlAction, ControlFaultStats, FaultStats, LinkAction};
+use crate::fault::{ControlAction, ControlFaultStats, FaultStats, LinkAction, NodeSelector};
 use crate::hash::ecmp_select;
 use crate::link::Link;
 use crate::packet::{CongaTag, Feedback, Packet, PacketKind};
@@ -92,11 +92,29 @@ pub enum Event {
         /// The setting change.
         action: ControlAction,
     },
+    /// One lifecycle phase of a node fault (see
+    /// [`crate::fault::NodeFaultSpec`]). The incident-cable flips are
+    /// separate [`Event::Fault`]s scheduled at the same timestamps, before
+    /// this event — this one carries only the state semantics: a cold
+    /// switch restart clears the switch's soft forwarding tables, and a
+    /// host restart is dispatched to [`HostLogic::on_restart`].
+    NodeFault {
+        /// The node, for traces and host dispatch.
+        node: NodeSelector,
+        /// Resolved switch id when the node is a switch (`None` for
+        /// hosts) — resolved at schedule time because only the topology
+        /// knows the tier layout.
+        switch: Option<SwitchId>,
+        /// `true` = restart phase, `false` = crash phase.
+        up: bool,
+        /// Whether the restart is cold (soft state lost).
+        cold: bool,
+    },
 }
 
 /// Event kind names in [`Event::kind_index`] order — the registration list
 /// for the event loop's [`LoopProfile`].
-pub const EVENT_KIND_NAMES: &[&str] = &["arrive", "host_timer", "hula_tick", "link_admin", "fault", "control_fault"];
+pub const EVENT_KIND_NAMES: &[&str] = &["arrive", "host_timer", "hula_tick", "link_admin", "fault", "control_fault", "node_fault"];
 
 impl Event {
     /// Index into [`EVENT_KIND_NAMES`] for this event's kind.
@@ -108,6 +126,7 @@ impl Event {
             Event::LinkAdmin { .. } => 3,
             Event::Fault { .. } => 4,
             Event::ControlFault { .. } => 5,
+            Event::NodeFault { .. } => 6,
         }
     }
 
@@ -762,6 +781,18 @@ impl Fabric {
         }
     }
 
+    /// Cold-restart semantics for a switch: every soft forwarding table the
+    /// reboot would lose — the LetFlow/HULA flowlet table, all four CONGA
+    /// maps, and the HULA best-hop table — is flushed. Routes themselves
+    /// are rebuilt by the announced incident-cable `Up`s; warm restarts
+    /// skip this entirely (state survives in the model, as it would in a
+    /// supervisor fast-restart).
+    pub fn switch_cold_restart(&mut self, now: Time, sw: SwitchId, node: NodeSelector) {
+        let s = &mut self.switches[sw.0 as usize];
+        s.cold_clear();
+        self.trace.state_flush(now.0, node.tier(), node.index(), "fabric_lb");
+    }
+
     /// Aggregate fault damage across all links as of `now` (open down /
     /// degraded intervals are included).
     pub fn fault_stats(&self, now: Time) -> FaultStats {
@@ -787,6 +818,12 @@ pub trait HostLogic {
     fn on_packet(&mut self, host: HostId, pkt: Packet, ctx: &mut HostCtx<'_>);
     /// A timer set through [`HostCtx::timer_in`] fired.
     fn on_timer(&mut self, host: HostId, token: u64, ctx: &mut HostCtx<'_>);
+    /// The hypervisor under `host` restarted after a crash ([`Event::NodeFault`]
+    /// restart phase). `cold` means the vswitch's soft state (flowlet
+    /// table, WRR weights, ECN/INT feedback, discovery selections) was
+    /// lost and must be flushed; warm restarts keep it. Default: no-op
+    /// (hostless harnesses and sinks don't model hypervisor state).
+    fn on_restart(&mut self, _host: HostId, _cold: bool, _ctx: &mut HostCtx<'_>) {}
 }
 
 /// Capabilities handed to host logic while it runs.
@@ -883,6 +920,20 @@ impl<H: HostLogic> World for Network<H> {
             Event::ControlFault { action } => {
                 self.fabric.trace.control_fault(now.0, action.name());
                 self.fabric.apply_control_fault(action);
+            }
+            Event::NodeFault { node, switch, up, cold } => {
+                self.fabric.trace.node_fault_activation(now.0, node.tier(), node.index(), if up { "up" } else { "down" }, cold);
+                if up {
+                    match switch {
+                        Some(sw) if cold => self.fabric.switch_cold_restart(now, sw, node),
+                        Some(_) => {}
+                        None => {
+                            let host = HostId(node.index());
+                            let mut ctx = HostCtx { now, host, fabric: &mut self.fabric, queue };
+                            self.hosts.on_restart(host, cold, &mut ctx);
+                        }
+                    }
+                }
             }
         }
     }

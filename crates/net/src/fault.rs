@@ -21,6 +21,36 @@
 //!
 //! [`FaultStats`] aggregates the damage for reports: drops by cause and
 //! cumulative down/degraded link-time.
+//!
+//! ## Node faults and cable/node precedence
+//!
+//! Beyond per-cable faults, a plan may carry node-level faults
+//! ([`NodeFaultSpec`]): a whole switch or host crashes and restarts. A node
+//! fault is *defined* as its lowering onto the node's incident cable set
+//! ([`FaultPlan::lower_nodes`]): a `Down` on every incident cable at the
+//! crash time and an `Up` on each at the restart time, in catalog order —
+//! plus a node-level lifecycle action ([`NodeFaultAction`]) that carries
+//! the warm/cold state semantics the cables cannot express.
+//!
+//! When a node fault and a hand-written cable fault overlap the same cable
+//! in the same window, the rule is:
+//!
+//! 1. **Point events, last-action-wins.** Expanded actions are applied in
+//!    timestamp order; at equal timestamps, hand-written cable specs apply
+//!    *before* node-derived ones (lowering appends node-derived specs after
+//!    the cable specs, and expansion sorting is stable), so an explicit
+//!    cable action is overridden by a simultaneous node action — the node
+//!    outage is the coarser, physically-dominant event.
+//! 2. **No double-counted damage.** Link down/degraded accounting is
+//!    idempotent (`Link::set_up_at` ignores a `Down` while already down and
+//!    an `Up` while already up), so overlapping down windows contribute
+//!    their union to [`FaultStats::down_time`], never the sum. A cable cut
+//!    inside a node outage window therefore adds zero extra down-time; an
+//!    `Up` from a node restart ends the open interval even if it was opened
+//!    by a cable fault (and vice versa).
+//! 3. **`faults_applied` counts atomic actions**, including each
+//!    node-derived per-cable action — it measures injection activity, not
+//!    distinct outages.
 
 use clove_sim::{Duration, Time};
 
@@ -137,11 +167,152 @@ pub struct FaultAction {
     pub announced: bool,
 }
 
+/// Names a whole node — a switch or a host/hypervisor — the unit of a
+/// node-level fault domain. Tiered selectors (leaf/spine) resolve only on
+/// leaf-spine topologies, like [`CableSelector::LeafSpine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelector {
+    /// A leaf (ToR) switch by tier-local index.
+    Leaf(u32),
+    /// A spine switch by tier-local index.
+    Spine(u32),
+    /// A host (its hypervisor/vswitch) by index. Works on any topology.
+    Host(u32),
+}
+
+impl NodeSelector {
+    /// Stable schema name of the node tier, for trace output.
+    pub fn tier(self) -> &'static str {
+        match self {
+            NodeSelector::Leaf(_) => "leaf",
+            NodeSelector::Spine(_) => "spine",
+            NodeSelector::Host(_) => "host",
+        }
+    }
+
+    /// Tier-local index of the node.
+    pub fn index(self) -> u32 {
+        match self {
+            NodeSelector::Leaf(i) | NodeSelector::Spine(i) | NodeSelector::Host(i) => i,
+        }
+    }
+}
+
+/// Whether soft state survives a node's crash-restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// State survives the reboot (battery-backed tables, a fast supervisor
+    /// restart, a live-migrated VM): flowlet/CONGA/HULA tables on a switch,
+    /// vswitch + discovery state on a host, all come back intact.
+    Warm,
+    /// State is lost (power-cycle, hypervisor crash): the switch returns
+    /// with empty tables; the host's vswitch flushes flowlet/WRR/ECN/INT
+    /// state and the probe daemon cold-starts re-discovery.
+    Cold,
+}
+
+impl NodeState {
+    /// True for [`NodeState::Cold`].
+    pub fn is_cold(self) -> bool {
+        matches!(self, NodeState::Cold)
+    }
+}
+
+/// What happens to the selected node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeFaultKind {
+    /// The node goes dark at the spec time — every incident cable drops —
+    /// and returns `down_for` later with `state` semantics.
+    CrashRestart {
+        /// How long the node stays down before restarting.
+        down_for: Duration,
+        /// Warm (state kept) or cold (state lost) return.
+        state: NodeState,
+    },
+}
+
+/// One timed fault against one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaultSpec {
+    /// When the node crashes.
+    pub at: Time,
+    /// Which node.
+    pub node: NodeSelector,
+    /// What happens.
+    pub kind: NodeFaultKind,
+    /// Whether the fabric control plane notices each incident-cable flip
+    /// and reroutes (a dead ToR trips link-layer alarms; a silent node
+    /// fault models a hung dataplane that keeps link lights on).
+    pub announced: bool,
+}
+
+impl NodeFaultSpec {
+    /// The `(crash, restart)` window.
+    pub fn window(&self) -> (Time, Time) {
+        let NodeFaultKind::CrashRestart { down_for, .. } = self.kind;
+        (self.at, self.at + down_for)
+    }
+
+    /// True when the node returns cold (state lost).
+    pub fn is_cold(&self) -> bool {
+        let NodeFaultKind::CrashRestart { state, .. } = self.kind;
+        state.is_cold()
+    }
+
+    /// Lower onto the node's incident cable set (resolved by the caller,
+    /// in catalog order): a `Down` on every cable at the crash time, then
+    /// an `Up` on each at the restart time.
+    pub fn cable_specs(&self, incident: &[CableSelector]) -> Vec<FaultSpec> {
+        let (down_at, up_at) = self.window();
+        let mut out = Vec::with_capacity(incident.len() * 2);
+        for &cable in incident {
+            out.push(FaultSpec { at: down_at, cable, kind: FaultKind::LinkDown, announced: self.announced });
+        }
+        for &cable in incident {
+            out.push(FaultSpec { at: up_at, cable, kind: FaultKind::LinkUp, announced: self.announced });
+        }
+        out
+    }
+}
+
+/// One scheduled node lifecycle action, produced by
+/// [`FaultPlan::node_actions`] — the state-semantics companion to the
+/// per-cable actions a node fault lowers to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFaultAction {
+    /// When it happens.
+    pub at: Time,
+    /// Which node.
+    pub node: NodeSelector,
+    /// `false` = crash (node goes dark), `true` = restart (node returns).
+    pub up: bool,
+    /// Whether the return is cold (state lost). Carried on both phases so
+    /// traces can show the eventual semantics at crash time.
+    pub cold: bool,
+    /// Whether the incident-cable flips are announced.
+    pub announced: bool,
+}
+
+impl NodeFaultAction {
+    /// Stable schema name for trace output.
+    pub fn action_name(&self) -> &'static str {
+        if self.up {
+            "up"
+        } else {
+            "down"
+        }
+    }
+}
+
 /// An ordered timeline of faults for one experiment run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
-    /// The fault timeline (any insertion order; expansion sorts by time).
+    /// The cable-fault timeline (any insertion order; expansion sorts by
+    /// time).
     pub specs: Vec<FaultSpec>,
+    /// The node-fault timeline (see module docs for how node faults lower
+    /// to cable faults and compose with them).
+    pub node_specs: Vec<NodeFaultSpec>,
 }
 
 impl FaultPlan {
@@ -152,42 +323,55 @@ impl FaultPlan {
 
     /// True if no faults are planned.
     pub fn is_empty(&self) -> bool {
-        self.specs.is_empty()
+        self.specs.is_empty() && self.node_specs.is_empty()
     }
 
-    /// Append a fault.
+    /// Append a cable fault.
     pub fn push(&mut self, spec: FaultSpec) -> &mut Self {
         self.specs.push(spec);
+        self
+    }
+
+    /// Append a node fault.
+    pub fn push_node(&mut self, spec: NodeFaultSpec) -> &mut Self {
+        self.node_specs.push(spec);
         self
     }
 
     /// A single announced cut of `cable` at `at`, never restored — the
     /// classic asymmetry experiment (and what `fail_at` used to hard-code).
     pub fn cut(at: Time, cable: CableSelector) -> FaultPlan {
-        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::LinkDown, announced: true }] }
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::LinkDown, announced: true }], node_specs: Vec::new() }
     }
 
     /// A silent flap of `cable`: `count` cycles of `period`, down for
     /// `duty` of each, starting at `at`.
     pub fn flap(at: Time, cable: CableSelector, period: Duration, duty: f64, count: u32) -> FaultPlan {
-        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::Flap { period, duty, count }, announced: false }] }
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::Flap { period, duty, count }, announced: false }], node_specs: Vec::new() }
     }
 
     /// A silent rate degrade of `cable` to `fraction` of nominal at `at`,
     /// never restored.
     pub fn degrade(at: Time, cable: CableSelector, fraction: f64) -> FaultPlan {
-        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::RateDegrade { fraction }, announced: false }] }
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::RateDegrade { fraction }, announced: false }], node_specs: Vec::new() }
     }
 
     /// Silent stochastic loss on `cable` at `rate` from `at` on, never
     /// cleared.
     pub fn loss(at: Time, cable: CableSelector, rate: f64) -> FaultPlan {
-        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::RandomLoss { rate }, announced: false }] }
+        FaultPlan { specs: vec![FaultSpec { at, cable, kind: FaultKind::RandomLoss { rate }, announced: false }], node_specs: Vec::new() }
+    }
+
+    /// An announced crash-restart of `node` at `at`, returning `down_for`
+    /// later with `state` semantics.
+    pub fn node_crash(at: Time, node: NodeSelector, down_for: Duration, state: NodeState) -> FaultPlan {
+        FaultPlan { specs: Vec::new(), node_specs: vec![NodeFaultSpec { at, node, kind: NodeFaultKind::CrashRestart { down_for, state }, announced: true }] }
     }
 
     /// Merge another plan's specs into this one.
     pub fn extend(&mut self, other: FaultPlan) -> &mut Self {
         self.specs.extend(other.specs);
+        self.node_specs.extend(other.node_specs);
         self
     }
 
@@ -221,11 +405,48 @@ impl FaultPlan {
                 }
             }
         }
+        for (i, spec) in self.node_specs.iter().enumerate() {
+            let NodeFaultKind::CrashRestart { down_for, .. } = spec.kind;
+            if down_for.is_zero() {
+                return Err(format!("node spec {i}: crash-restart down_for must be positive"));
+            }
+        }
         Ok(())
     }
 
-    /// Lower the plan into atomic actions sorted by timestamp (stable: ties
-    /// keep spec order, and a flap's down precedes its up).
+    /// Lower every node fault onto its incident cable set (resolved by
+    /// `incident`, typically `Topology::incident_cables`), returning a plan
+    /// with only cable specs: the hand-written cable specs first, then each
+    /// node spec's lowering in insertion order — the precedence documented
+    /// in the module docs. Errs when a node selector does not resolve.
+    pub fn lower_nodes(&self, mut incident: impl FnMut(NodeSelector) -> Option<Vec<CableSelector>>) -> Result<FaultPlan, String> {
+        let mut out = FaultPlan { specs: self.specs.clone(), node_specs: Vec::new() };
+        for (i, spec) in self.node_specs.iter().enumerate() {
+            let cables = incident(spec.node).ok_or_else(|| format!("node spec {i}: {:?} does not resolve on this topology", spec.node))?;
+            out.specs.extend(spec.cable_specs(&cables));
+        }
+        Ok(out)
+    }
+
+    /// The node lifecycle timeline: a crash and a restart action per node
+    /// spec, sorted by timestamp (stable: ties keep spec order, a crash
+    /// precedes its own restart).
+    pub fn node_actions(&self) -> Vec<NodeFaultAction> {
+        let mut out = Vec::with_capacity(self.node_specs.len() * 2);
+        for spec in &self.node_specs {
+            let (down_at, up_at) = spec.window();
+            let cold = spec.is_cold();
+            out.push(NodeFaultAction { at: down_at, node: spec.node, up: false, cold, announced: spec.announced });
+            out.push(NodeFaultAction { at: up_at, node: spec.node, up: true, cold, announced: spec.announced });
+        }
+        out.sort_by_key(|a| a.at);
+        out
+    }
+
+    /// Lower the cable plan into atomic actions sorted by timestamp
+    /// (stable: ties keep spec order, and a flap's down precedes its up).
+    /// Node specs are *not* included — they only lower against a topology
+    /// (see [`FaultPlan::lower_nodes`]).
     pub fn expand(&self) -> Vec<FaultAction> {
         let mut out = Vec::new();
         for spec in &self.specs {
@@ -673,6 +894,66 @@ mod tests {
     #[should_panic(expected = "probe loss rate")]
     fn control_plan_rejects_bad_rate() {
         ControlFaultPlan::probe_loss(Time::ZERO, 1.5).expand();
+    }
+
+    #[test]
+    fn node_crash_lowers_to_downs_then_ups_after_cable_specs() {
+        let mut plan = FaultPlan::cut(Time::from_millis(1), CableSelector::S2_L2);
+        plan.extend(FaultPlan::node_crash(Time::from_millis(10), NodeSelector::Spine(1), Duration::from_millis(5), NodeState::Cold));
+        assert!(!plan.is_empty());
+        let incident = vec![CableSelector::LeafSpine { leaf: 0, spine: 1, which: 0 }, CableSelector::S2_L2];
+        let lowered = plan.lower_nodes(|_| Some(incident.clone())).expect("resolves");
+        assert!(lowered.node_specs.is_empty());
+        // Hand-written spec first, then 2 downs + 2 ups from the node.
+        assert_eq!(lowered.specs.len(), 5);
+        assert_eq!(lowered.specs[0].at, Time::from_millis(1));
+        let actions = lowered.expand();
+        assert_eq!(actions.len(), 5);
+        assert_eq!(actions[0].action, LinkAction::Down);
+        assert!(actions[1..3].iter().all(|a| a.at == Time::from_millis(10) && a.action == LinkAction::Down && a.announced));
+        assert!(actions[3..5].iter().all(|a| a.at == Time::from_millis(15) && a.action == LinkAction::Up && a.announced));
+        // Incident cables keep catalog order within each phase.
+        assert_eq!(actions[1].cable, incident[0]);
+        assert_eq!(actions[2].cable, incident[1]);
+    }
+
+    #[test]
+    fn node_actions_give_crash_and_restart_sorted() {
+        let mut plan = FaultPlan::node_crash(Time::from_millis(20), NodeSelector::Leaf(0), Duration::from_millis(10), NodeState::Cold);
+        plan.extend(FaultPlan::node_crash(Time::from_millis(5), NodeSelector::Host(3), Duration::from_millis(40), NodeState::Warm));
+        let actions = plan.node_actions();
+        assert_eq!(actions.len(), 4);
+        assert_eq!((actions[0].at, actions[0].node, actions[0].up, actions[0].cold), (Time::from_millis(5), NodeSelector::Host(3), false, false));
+        assert_eq!((actions[1].at, actions[1].up, actions[1].cold), (Time::from_millis(20), false, true));
+        assert_eq!((actions[2].at, actions[2].node, actions[2].up), (Time::from_millis(30), NodeSelector::Leaf(0), true));
+        assert_eq!((actions[3].at, actions[3].node, actions[3].up), (Time::from_millis(45), NodeSelector::Host(3), true));
+        assert_eq!(actions[0].action_name(), "down");
+        assert_eq!(actions[3].action_name(), "up");
+    }
+
+    #[test]
+    fn node_validate_and_lowering_errors() {
+        let mut bad = FaultPlan::none();
+        bad.push_node(NodeFaultSpec {
+            at: Time::ZERO,
+            node: NodeSelector::Leaf(0),
+            kind: NodeFaultKind::CrashRestart { down_for: Duration::ZERO, state: NodeState::Warm },
+            announced: true,
+        });
+        assert!(bad.validate().unwrap_err().contains("down_for"));
+        let plan = FaultPlan::node_crash(Time::ZERO, NodeSelector::Leaf(9), Duration::from_millis(1), NodeState::Warm);
+        assert!(plan.validate().is_ok());
+        assert!(plan.lower_nodes(|_| None).unwrap_err().contains("Leaf(9)"));
+    }
+
+    #[test]
+    fn node_selector_names() {
+        assert_eq!(NodeSelector::Leaf(1).tier(), "leaf");
+        assert_eq!(NodeSelector::Spine(0).tier(), "spine");
+        assert_eq!(NodeSelector::Host(7).tier(), "host");
+        assert_eq!(NodeSelector::Host(7).index(), 7);
+        assert!(NodeState::Cold.is_cold());
+        assert!(!NodeState::Warm.is_cold());
     }
 
     #[test]

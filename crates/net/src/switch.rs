@@ -143,11 +143,47 @@ impl Switch {
     pub fn group(&self, dst: HostId) -> Option<&[usize]> {
         self.routes.get(dst.0 as usize).filter(|v| !v.is_empty()).map(|v| v.as_slice())
     }
+
+    /// Flush every soft table a power-cycle would lose: the LetFlow/HULA
+    /// flowlet table, all CONGA maps, the HULA best-hop table. Ports,
+    /// routes, and the hash seed are hardware/config state and survive.
+    pub fn cold_clear(&mut self) {
+        self.letflow_table.clear();
+        self.conga.to_leaf.clear();
+        self.conga.from_leaf.clear();
+        self.conga.fb_cursor.clear();
+        self.conga.flowlets.clear();
+        self.hula_best.clear();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cold_clear_flushes_soft_tables_only() {
+        let mut sw = Switch::new(SwitchId(0), 99, true);
+        sw.ports = vec![LinkId(0)];
+        sw.routes = vec![vec![0]];
+        sw.letflow_table.insert(FlowKey::tcp(HostId(0), HostId(1), 1, 2), FlowletEntry { port_choice: 0, last_seen: Time::ZERO });
+        sw.conga.to_leaf.insert(1, vec![(3, Time::ZERO)]);
+        sw.conga.from_leaf.insert(1, vec![(3, Time::ZERO)]);
+        sw.conga.fb_cursor.insert(1, 1);
+        sw.conga.flowlets.insert(FlowKey::tcp(HostId(0), HostId(1), 1, 2), FlowletEntry { port_choice: 0, last_seen: Time::ZERO });
+        sw.hula_best.insert(0, (0, 10, Time::ZERO));
+        sw.cold_clear();
+        assert!(sw.letflow_table.is_empty());
+        assert!(sw.conga.to_leaf.is_empty());
+        assert!(sw.conga.from_leaf.is_empty());
+        assert!(sw.conga.fb_cursor.is_empty());
+        assert!(sw.conga.flowlets.is_empty());
+        assert!(sw.hula_best.is_empty());
+        // Hardware/config state survives.
+        assert_eq!(sw.ports, vec![LinkId(0)]);
+        assert_eq!(sw.routes, vec![vec![0]]);
+        assert_eq!(sw.seed, 99);
+    }
 
     #[test]
     fn group_lookup() {

@@ -13,7 +13,7 @@
 //! forces Clove to re-discover its port→path mapping (paper §3.1).
 
 use crate::fabric::{Fabric, HostAttachment};
-use crate::fault::CableSelector;
+use crate::fault::{CableSelector, NodeSelector};
 use crate::link::{Link, LinkConfig};
 use crate::switch::{FabricScheme, Switch};
 use crate::types::{HostId, LinkId, NodeId, SwitchId};
@@ -86,6 +86,72 @@ impl Topology {
         }
         forms.push(format!("Index(0..{})", self.cables.len()));
         format!("valid cable selectors: {}", forms.join(", "))
+    }
+
+    /// Resolve a [`NodeSelector`] to its switch id, if the tier is named on
+    /// this topology. Hosts have no switch id (`None` — use
+    /// [`NodeSelector::index`] as the `HostId`).
+    pub fn resolve_switch(&self, node: NodeSelector) -> Option<crate::types::SwitchId> {
+        match node {
+            NodeSelector::Leaf(l) if self.leaves > 0 && l < self.leaves => Some(SwitchId(l)),
+            NodeSelector::Spine(s) if self.spines > 0 && s < self.spines => Some(SwitchId(self.leaves + s)),
+            _ => None,
+        }
+    }
+
+    /// The deterministic incident cable set of a node, in catalog order —
+    /// what a node fault lowers onto (see `fault` module docs). `None` when
+    /// the selector does not resolve (tier out of range, or a named tier on
+    /// a topology without tier metadata, e.g. fat-trees).
+    pub fn incident_cables(&self, node: NodeSelector) -> Option<Vec<CableSelector>> {
+        match node {
+            NodeSelector::Leaf(l) => {
+                self.resolve_switch(node)?;
+                let mut out = Vec::new();
+                for s in 0..self.spines {
+                    for w in 0..self.trunk {
+                        out.push(CableSelector::LeafSpine { leaf: l, spine: s, which: w });
+                    }
+                }
+                for (h, att) in self.fabric.hosts.iter().enumerate() {
+                    if att.leaf == SwitchId(l) {
+                        out.push(CableSelector::Access { host: h as u32 });
+                    }
+                }
+                Some(out)
+            }
+            NodeSelector::Spine(s) => {
+                self.resolve_switch(node)?;
+                let mut out = Vec::new();
+                for l in 0..self.leaves {
+                    for w in 0..self.trunk {
+                        out.push(CableSelector::LeafSpine { leaf: l, spine: s, which: w });
+                    }
+                }
+                Some(out)
+            }
+            NodeSelector::Host(h) => {
+                if h < self.num_hosts {
+                    Some(vec![CableSelector::Access { host: h }])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// A one-line description of every [`NodeSelector`] form this topology
+    /// can resolve, for node-fault validation errors.
+    pub fn node_catalog(&self) -> String {
+        let mut forms = Vec::new();
+        if self.leaves > 0 && self.spines > 0 {
+            forms.push(format!("Leaf(0..{})", self.leaves));
+            forms.push(format!("Spine(0..{})", self.spines));
+        }
+        if self.num_hosts > 0 {
+            forms.push(format!("Host(0..{})", self.num_hosts));
+        }
+        format!("valid node selectors: {}", forms.join(", "))
     }
 
     /// Administratively fail a cable (both directions) and recompute routes.
@@ -526,6 +592,37 @@ mod tests {
         let ft = FatTree { k: 4, access_bps: 1_000_000_000, fabric_bps: 1_000_000_000, scheme: FabricScheme::Ecmp, seed: 7 }.build();
         assert!(ft.resolve_cable(CableSelector::S2_L2).is_none());
         assert!(ft.resolve_cable(CableSelector::Index(0)).is_some());
+    }
+
+    #[test]
+    fn incident_cables_cover_node_fault_domains() {
+        let t = testbed();
+        // Leaf 1: 2 spines × trunk 2 uplinks + its 16 access cables.
+        let leaf = t.incident_cables(NodeSelector::Leaf(1)).expect("resolves");
+        assert_eq!(leaf.len(), 4 + 16);
+        assert_eq!(leaf[0], CableSelector::LeafSpine { leaf: 1, spine: 0, which: 0 });
+        assert_eq!(leaf[4], CableSelector::Access { host: 16 });
+        assert_eq!(leaf[19], CableSelector::Access { host: 31 });
+        // Spine 0: trunk 2 downlinks to each of the 2 leaves.
+        let spine = t.incident_cables(NodeSelector::Spine(0)).expect("resolves");
+        assert_eq!(spine.len(), 4);
+        assert!(spine.iter().all(|c| matches!(c, CableSelector::LeafSpine { spine: 0, .. })));
+        // Host 5: exactly its access cable.
+        assert_eq!(t.incident_cables(NodeSelector::Host(5)).expect("resolves"), vec![CableSelector::Access { host: 5 }]);
+        // Every incident cable resolves on the topology it came from.
+        for c in leaf.iter().chain(&spine) {
+            assert!(t.resolve_cable(*c).is_some());
+        }
+        // Out-of-range and unnamed tiers refuse.
+        assert!(t.incident_cables(NodeSelector::Leaf(2)).is_none());
+        assert!(t.incident_cables(NodeSelector::Host(32)).is_none());
+        assert_eq!(t.resolve_switch(NodeSelector::Spine(1)), Some(SwitchId(3)));
+        assert!(t.resolve_switch(NodeSelector::Host(0)).is_none());
+        let ft = FatTree { k: 4, access_bps: 1_000_000_000, fabric_bps: 1_000_000_000, scheme: FabricScheme::Ecmp, seed: 7 }.build();
+        assert!(ft.incident_cables(NodeSelector::Leaf(0)).is_none());
+        assert!(ft.incident_cables(NodeSelector::Host(0)).is_some());
+        assert!(ft.node_catalog().contains("Host(0..16)"));
+        assert!(t.node_catalog().contains("Leaf(0..2)"));
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! pure function of the fabric seed.
 
 use clove_net::fabric::Event;
-use clove_net::fault::{CableSelector, ControlFaultKind, ControlFaultPlan, ControlFaultSpec, FaultKind, FaultPlan, FaultSpec, LinkAction};
+use clove_net::fault::{
+    CableSelector, ControlFaultKind, ControlFaultPlan, ControlFaultSpec, FaultKind, FaultPlan, FaultSpec, LinkAction, NodeFaultKind, NodeFaultSpec,
+    NodeSelector, NodeState,
+};
 use clove_net::packet::{Feedback, Packet, PacketKind};
 use clove_net::topology::LeafSpine;
 use clove_net::types::{FlowKey, HostId, LinkId};
@@ -83,6 +86,23 @@ fn make_control_spec(i: usize, kind_i: u32, param: f64) -> ControlFaultSpec {
         _ => ControlFaultKind::FeedbackCorrupt { rate: param * 0.9 },
     };
     ControlFaultSpec { at, kind }
+}
+
+/// The node pool fold-equivalence draws from: every switch of the paper
+/// testbed plus two hosts (one per leaf).
+const NODES: [NodeSelector; 6] =
+    [NodeSelector::Leaf(0), NodeSelector::Leaf(1), NodeSelector::Spine(0), NodeSelector::Spine(1), NodeSelector::Host(3), NodeSelector::Host(17)];
+
+/// Build one node crash-restart spec on the same disjoint 10 ms grid as
+/// [`make_spec`]. `down_us < 10 ms` keeps each outage window inside its
+/// own grid cell, so no two specs ever overlap in time.
+fn make_node_spec(i: usize, node_i: usize, down_us: u64, cold: bool) -> NodeFaultSpec {
+    NodeFaultSpec {
+        at: Time::from_micros(i as u64 * 10_000),
+        node: NODES[node_i % NODES.len()],
+        kind: NodeFaultKind::CrashRestart { down_for: Duration::from_micros(down_us), state: if cold { NodeState::Cold } else { NodeState::Warm } },
+        announced: down_us.is_multiple_of(2),
+    }
 }
 
 proptest! {
@@ -238,4 +258,112 @@ proptest! {
         let touched = first.probes_dropped + first.feedback_dropped + first.feedback_corrupted;
         prop_assert!(touched <= schedule.len() as u64);
     }
+
+    #[test]
+    fn node_lowering_equals_the_handwritten_cable_plan(
+        raw in prop::collection::vec((0usize..6, 500u64..9_500, any::<bool>()), 1..6),
+        rot in 0usize..6,
+    ) {
+        // A node crash-restart must be *exactly* sugar for the cable plan a
+        // careful operator would write by hand: a Down on every incident
+        // cable at the crash, an Up on each at the restart, in catalog
+        // order — regardless of the order node specs were pushed in.
+        let topo = LeafSpine::paper_testbed(1.0, 42).build();
+        let mut plan = FaultPlan::none();
+        let n = raw.len();
+        for j in 0..n {
+            let i = (j + rot) % n;
+            let (node_i, down_us, cold) = raw[i];
+            plan.push_node(make_node_spec(i, node_i, down_us, cold));
+        }
+        let lowered = plan.lower_nodes(|node| topo.incident_cables(node)).expect("the testbed resolves every pool node");
+        prop_assert!(lowered.node_specs.is_empty(), "lowering must consume the node specs");
+
+        let mut hand = FaultPlan::none();
+        for (i, &(node_i, down_us, cold)) in raw.iter().enumerate() {
+            let spec = make_node_spec(i, node_i, down_us, cold);
+            let (down_at, up_at) = spec.window();
+            let cables = topo.incident_cables(spec.node).expect("the testbed resolves every pool node");
+            for &cable in &cables {
+                hand.push(FaultSpec { at: down_at, cable, kind: FaultKind::LinkDown, announced: spec.announced });
+            }
+            for &cable in &cables {
+                hand.push(FaultSpec { at: up_at, cable, kind: FaultKind::LinkUp, announced: spec.announced });
+            }
+        }
+        prop_assert_eq!(lowered.expand(), hand.expand());
+
+        // And the fabric's damage ledger agrees with straight arithmetic:
+        // windows are time-disjoint by construction, so each spec downs
+        // `2 × incident` links for exactly `down_for`.
+        let expected_ns: u64 = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(node_i, down_us, cold))| {
+                let spec = make_node_spec(i, node_i, down_us, cold);
+                let incident = topo.incident_cables(spec.node).expect("resolves").len() as u64;
+                down_us * 1_000 * 2 * incident
+            })
+            .sum();
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for action in lowered.expand() {
+            let (a, b) = topo.resolve_cable(action.cable).expect("all lowered cables resolve");
+            for link in [a, b] {
+                queue.push(action.at, Event::Fault { link, action: action.action, announced: action.announced });
+            }
+        }
+        let mut net = Network::new(topo.fabric, Sink);
+        clove_sim::run(&mut net, &mut queue, Time::from_secs(1));
+        let stats = net.fabric.fault_stats(Time::from_secs(1));
+        prop_assert_eq!(stats.down_time, Duration(expected_ns));
+        prop_assert!(net.fabric.links.iter().all(|l| l.up), "every outage window closed before the horizon");
+    }
+}
+
+/// Drive a lowered plan's link events through a fresh testbed fabric and
+/// return the damage ledger at 100 ms (all windows long closed).
+fn damage_of(plan: &FaultPlan) -> clove_net::fault::FaultStats {
+    let topo = LeafSpine::paper_testbed(1.0, 42).build();
+    let lowered = plan.lower_nodes(|node| topo.incident_cables(node)).expect("plan lowers on the testbed");
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for action in lowered.expand() {
+        let (a, b) = topo.resolve_cable(action.cable).expect("cable resolves");
+        for link in [a, b] {
+            queue.push(action.at, Event::Fault { link, action: action.action, announced: action.announced });
+        }
+    }
+    let mut net = Network::new(topo.fabric, Sink);
+    clove_sim::run(&mut net, &mut queue, Time::from_millis(100));
+    net.fabric.fault_stats(Time::from_millis(100))
+}
+
+/// The precedence/accounting rule from `fault.rs`: a cable fault
+/// overlapping a node outage on the same cable contributes the *union* of
+/// the down windows to `FaultStats::down_time`, never the sum — and the
+/// node restart's `Up` closes an interval a cable cut opened.
+#[test]
+fn overlapping_node_and_cable_outages_count_their_union_once() {
+    let topo = LeafSpine::paper_testbed(1.0, 42).build();
+    let incident = topo.incident_cables(NodeSelector::Leaf(1)).expect("leaf 1 resolves");
+    assert!(incident.contains(&CableSelector::S2_L2), "the paper cable is incident to leaf 1");
+
+    // Leaf 1 is dark over [20 ms, 35 ms): 2 links per incident cable.
+    let node_only = FaultPlan::node_crash(Time::from_millis(20), NodeSelector::Leaf(1), Duration::from_millis(15), NodeState::Cold);
+    let base = damage_of(&node_only);
+    assert_eq!(base.down_time, Duration(incident.len() as u64 * 2 * 15_000_000));
+
+    // An unrestored cable cut *inside* the node window adds zero down
+    // time: the link is already down (idempotent open), and the node
+    // restart's Up closes the interval the cut would have left open.
+    let mut overlapped = node_only.clone();
+    overlapped.extend(FaultPlan::cut(Time::from_millis(25), CableSelector::S2_L2));
+    let with_inner_cut = damage_of(&overlapped);
+    assert_eq!(with_inner_cut.down_time, base.down_time, "a cable cut inside the node outage must not double-count");
+    assert!(with_inner_cut.faults_applied > base.faults_applied, "the extra action still counts as injection activity");
+
+    // A cut that opens *before* the crash contributes only its lead-in:
+    // down over [15 ms, 35 ms) on that one cable, union not sum.
+    let mut early = node_only;
+    early.extend(FaultPlan::cut(Time::from_millis(15), CableSelector::S2_L2));
+    assert_eq!(damage_of(&early).down_time, base.down_time + Duration(2 * 5_000_000));
 }

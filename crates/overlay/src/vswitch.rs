@@ -72,6 +72,14 @@ pub trait EdgePolicy {
     /// event must never change a scheduling outcome: a traced run has to
     /// stay byte-identical to an untraced one.
     fn set_trace(&mut self, _trace: Trace) {}
+
+    /// The hypervisor cold-restarted: drop every piece of learned soft
+    /// state (flowlet table, WRR weights, feedback estimates, per-dst
+    /// path sets) as a crash would, keeping only construction-time config.
+    /// Paths are re-learned from scratch via `on_paths_updated` when the
+    /// probe daemon's cold re-discovery completes. Default: no-op, correct
+    /// for stateless policies (ECMP hashing, Presto's static round-robin).
+    fn on_cold_restart(&mut self, _now: Time) {}
 }
 
 /// Deployment-wide vswitch configuration (identical on every hypervisor).
@@ -299,6 +307,17 @@ impl VSwitch {
             _ => out.push(pkt),
         }
         ce_visible
+    }
+
+    /// Hypervisor cold-restart: flush everything a crash would lose — the
+    /// policy's learned state, the receive-side feedback collectors, and
+    /// any in-flight Presto reassembly buffers (rebuilt empty from config).
+    /// Cumulative counters survive: they model the experiment's ledger,
+    /// not hypervisor RAM.
+    pub fn cold_restart(&mut self, now: Time) {
+        self.policy.on_cold_restart(now);
+        self.collectors.clear();
+        self.presto = self.cfg.presto_reassembly.map(PrestoReassembly::new);
     }
 
     /// Presto: flush reassembly buffers whose timeout expired (driven by a

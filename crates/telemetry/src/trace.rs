@@ -19,7 +19,11 @@ use std::rc::Rc;
 
 /// Version stamp emitted as the `v` field of every JSONL record. Bump this
 /// (and the golden schema test) whenever a field is added/renamed.
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 — the original 10 kinds; v2 — adds `node_fault_activation`,
+/// `vswitch_restart`, and `state_flush` (node-level fault domains). v1
+/// dumps remain valid v2 documents: no v1 field changed.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Rungs of the graceful-degradation ladder in the Clove policies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
@@ -71,6 +75,15 @@ pub enum TraceEvent {
     FaultActivation { t_ns: u64, link: u32, action: &'static str, announced: bool },
     /// A control-plane fault regime was activated.
     ControlFault { t_ns: u64, action: &'static str },
+    /// A node-level fault phase fired (`action`: "down" = crash, "up" =
+    /// restart) on a node named by tier + index. `cold` is the eventual
+    /// restart semantics, carried on both phases. Since v2.
+    NodeFaultActivation { t_ns: u64, node: &'static str, index: u32, action: &'static str, cold: bool },
+    /// A host's vswitch came back from a hypervisor crash-restart. Since v2.
+    VswitchRestart { t_ns: u64, host: u32, cold: bool },
+    /// A node flushed a class of soft state (`what`, e.g. "fabric_lb",
+    /// "vswitch", "discovery") during a cold restart. Since v2.
+    StateFlush { t_ns: u64, node: &'static str, index: u32, what: &'static str },
 }
 
 impl TraceEvent {
@@ -87,6 +100,9 @@ impl TraceEvent {
             TraceEvent::PathEviction { .. } => "path_eviction",
             TraceEvent::FaultActivation { .. } => "fault_activation",
             TraceEvent::ControlFault { .. } => "control_fault",
+            TraceEvent::NodeFaultActivation { .. } => "node_fault_activation",
+            TraceEvent::VswitchRestart { .. } => "vswitch_restart",
+            TraceEvent::StateFlush { .. } => "state_flush",
         }
     }
 
@@ -102,7 +118,10 @@ impl TraceEvent {
             | TraceEvent::LadderTransition { t_ns, .. }
             | TraceEvent::PathEviction { t_ns, .. }
             | TraceEvent::FaultActivation { t_ns, .. }
-            | TraceEvent::ControlFault { t_ns, .. } => t_ns,
+            | TraceEvent::ControlFault { t_ns, .. }
+            | TraceEvent::NodeFaultActivation { t_ns, .. }
+            | TraceEvent::VswitchRestart { t_ns, .. }
+            | TraceEvent::StateFlush { t_ns, .. } => t_ns,
         }
     }
 
@@ -142,6 +161,15 @@ impl TraceEvent {
             }
             TraceEvent::ControlFault { action, .. } => {
                 let _ = write!(out, ",\"action\":\"{action}\"");
+            }
+            TraceEvent::NodeFaultActivation { node, index, action, cold, .. } => {
+                let _ = write!(out, ",\"node\":\"{node}\",\"index\":{index},\"action\":\"{action}\",\"cold\":{cold}");
+            }
+            TraceEvent::VswitchRestart { host, cold, .. } => {
+                let _ = write!(out, ",\"host\":{host},\"cold\":{cold}");
+            }
+            TraceEvent::StateFlush { node, index, what, .. } => {
+                let _ = write!(out, ",\"node\":\"{node}\",\"index\":{index},\"what\":\"{what}\"");
             }
         }
         out.push_str("}\n");
@@ -298,6 +326,30 @@ impl Trace {
         }
     }
 
+    /// Record a node-level fault phase (crash or restart).
+    #[inline]
+    pub fn node_fault_activation(&self, t_ns: u64, node: &'static str, index: u32, action: &'static str, cold: bool) {
+        if self.buf.is_some() {
+            self.record(TraceEvent::NodeFaultActivation { t_ns, node, index, action, cold });
+        }
+    }
+
+    /// Record a vswitch returning from a hypervisor crash-restart.
+    #[inline]
+    pub fn vswitch_restart(&self, t_ns: u64, cold: bool) {
+        if self.buf.is_some() {
+            self.record(TraceEvent::VswitchRestart { t_ns, host: self.host, cold });
+        }
+    }
+
+    /// Record a cold-restart state flush on a node.
+    #[inline]
+    pub fn state_flush(&self, t_ns: u64, node: &'static str, index: u32, what: &'static str) {
+        if self.buf.is_some() {
+            self.record(TraceEvent::StateFlush { t_ns, node, index, what });
+        }
+    }
+
     /// Drain the shared buffer: recorded events in insertion order (which is
     /// sim-time order, since a cell runs single-threaded through the event
     /// loop) plus the count of events dropped at capacity.
@@ -370,6 +422,22 @@ mod tests {
         let ev = TraceEvent::WeightUpdate { t_ns: 42, host: 1, dst: 2, port: 3, weight_ppm: 250_000, cause: "ecn_cut" };
         let mut s = String::new();
         ev.write_jsonl(&mut s);
-        assert_eq!(s, "{\"v\":1,\"kind\":\"weight_update\",\"t_ns\":42,\"host\":1,\"dst\":2,\"port\":3,\"weight_ppm\":250000,\"cause\":\"ecn_cut\"}\n");
+        assert_eq!(s, "{\"v\":2,\"kind\":\"weight_update\",\"t_ns\":42,\"host\":1,\"dst\":2,\"port\":3,\"weight_ppm\":250000,\"cause\":\"ecn_cut\"}\n");
+    }
+
+    #[test]
+    fn v2_node_kinds_render_stably() {
+        let mut s = String::new();
+        TraceEvent::NodeFaultActivation { t_ns: 7, node: "leaf", index: 1, action: "down", cold: true }.write_jsonl(&mut s);
+        TraceEvent::VswitchRestart { t_ns: 8, host: 4, cold: false }.write_jsonl(&mut s);
+        TraceEvent::StateFlush { t_ns: 9, node: "host", index: 4, what: "vswitch" }.write_jsonl(&mut s);
+        assert_eq!(
+            s,
+            concat!(
+                "{\"v\":2,\"kind\":\"node_fault_activation\",\"t_ns\":7,\"node\":\"leaf\",\"index\":1,\"action\":\"down\",\"cold\":true}\n",
+                "{\"v\":2,\"kind\":\"vswitch_restart\",\"t_ns\":8,\"host\":4,\"cold\":false}\n",
+                "{\"v\":2,\"kind\":\"state_flush\",\"t_ns\":9,\"node\":\"host\",\"index\":4,\"what\":\"vswitch\"}\n",
+            )
+        );
     }
 }
